@@ -1,0 +1,49 @@
+// Ablation: the Section-2 motivation quantified. Compares the paper's
+// multicast trees against the two pre-wormhole baselines — separate
+// addressing (one unicast per destination) and the store-and-forward
+// relay tree — in simulated delay and in the number of non-destination
+// processors that must handle the message.
+
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "metrics/table.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "workload/random_sets.hpp"
+
+int main() {
+  using namespace hypercast;
+  const hcube::Topology topo(6);
+  const std::size_t sets = 20;
+
+  metrics::Series delay("Ablation: baselines vs multicast trees (6-cube)",
+                        "destinations", "avg delay (us)");
+  metrics::Series relays("Non-destination processors handling the message",
+                         "destinations", "relay processors");
+  for (const std::size_t m : {4u, 8u, 16u, 32u, 48u, 63u}) {
+    for (std::size_t trial = 0; trial < sets; ++trial) {
+      workload::Rng rng(workload::derive_seed(607, m, trial));
+      const auto dests = workload::random_destinations(topo, 0, m, rng);
+      const core::MulticastRequest req{topo, 0, dests};
+      for (const auto& algo : core::all_algorithms()) {
+        const auto schedule = algo.build(req);
+        sim::SimConfig config;
+        const auto result = sim::simulate_multicast(schedule, config);
+        delay.add_sample(algo.display, static_cast<double>(m),
+                         result.avg_delay(req.destinations) / 1000.0);
+        relays.add_sample(
+            algo.display, static_cast<double>(m),
+            static_cast<double>(
+                schedule.relay_processors(req.destinations).size()));
+      }
+    }
+  }
+  std::fputs(metrics::format_table(delay).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(metrics::format_table(relays).c_str(), stdout);
+  std::puts(
+      "\nReading: separate addressing serializes at the source and the\n"
+      "SF tree burdens relay processors; the unicast-tree algorithms\n"
+      "involve only destination processors and finish far sooner.");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: channel-load footprints. Contention avoidance is load
+// spreading: this bench reports, per algorithm, how many distinct
+// channels a multicast touches and how hot the hottest channel gets —
+// the static explanation for the dynamic delay results of Figs 11-14.
+
+#include <cstdio>
+
+#include "core/channel_load.hpp"
+#include "core/registry.hpp"
+#include "metrics/table.hpp"
+#include "workload/random_sets.hpp"
+
+int main() {
+  using namespace hypercast;
+  const hcube::Topology topo(8);
+  const std::size_t sets = 40;
+
+  metrics::Series max_load("Ablation: hottest-channel load (8-cube)",
+                           "destinations", "max crossings per channel");
+  metrics::Series used("Distinct channels used", "destinations", "channels");
+  for (const std::size_t m : {16u, 32u, 64u, 128u, 255u}) {
+    for (std::size_t trial = 0; trial < sets; ++trial) {
+      workload::Rng rng(workload::derive_seed(613, m, trial));
+      const auto dests = workload::random_destinations(topo, 0, m, rng);
+      const core::MulticastRequest req{topo, 0, dests};
+      for (const auto& algo : core::all_algorithms()) {
+        const auto schedule = algo.build(req);
+        const auto report = core::analyze_channel_load(
+            schedule,
+            core::assign_steps(schedule, core::PortModel::all_port()));
+        max_load.add_sample(algo.display, static_cast<double>(m),
+                            static_cast<double>(report.max_load));
+        used.add_sample(algo.display, static_cast<double>(m),
+                        static_cast<double>(report.channels_used));
+      }
+    }
+  }
+  std::fputs(metrics::format_table(max_load).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(metrics::format_table(used).c_str(), stdout);
+  std::puts(
+      "\nReading: Maxport and W-sort never cross any channel twice (max\n"
+      "load 1.00 — the static face of Theorem 6); U-cube's hot channel\n"
+      "gets reused several times and separate addressing's first-hop\n"
+      "channels absorb whole destination groups.");
+  return 0;
+}

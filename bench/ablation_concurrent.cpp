@@ -1,0 +1,63 @@
+// Ablation: k concurrent multicasts on one shared network. The paper
+// evaluates one multicast at a time; real redistribution phases launch
+// several at once. This sweep grows the number of simultaneous 4 KiB
+// multicasts (random sources, 32 random destinations each) on a 6-cube
+// and reports the phase makespan and the channel waiting it induces.
+
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "metrics/table.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "workload/random_sets.hpp"
+
+int main() {
+  using namespace hypercast;
+  const hcube::Topology topo(6);
+  const std::size_t trials = 15;
+  const std::size_t dests_per_job = 32;
+
+  metrics::Series makespan(
+      "Ablation: k concurrent 32-destination multicasts (6-cube, 4 KiB)",
+      "concurrent multicasts", "phase makespan (us)");
+  metrics::Series waits("Channel waits induced by concurrency",
+                        "concurrent multicasts", "blocked acquisitions");
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      workload::Rng rng(workload::derive_seed(612, k, trial));
+      for (const auto& algo : core::paper_algorithms()) {
+        std::vector<core::MulticastSchedule> schedules;
+        schedules.reserve(k);
+        for (std::size_t j = 0; j < k; ++j) {
+          const auto source = static_cast<hcube::NodeId>(rng() % 64);
+          const auto dests =
+              workload::random_destinations(topo, source, dests_per_job, rng);
+          schedules.push_back(
+              algo.build(core::MulticastRequest{topo, source, dests}));
+        }
+        std::vector<sim::CollectiveJob> jobs;
+        for (const auto& s : schedules) {
+          jobs.push_back(sim::CollectiveJob{&s, 0});
+        }
+        const sim::SimConfig config;
+        const auto result = sim::simulate_collectives(jobs, config);
+        makespan.add_sample(algo.display, static_cast<double>(k),
+                            sim::to_microseconds(result.makespan()));
+        waits.add_sample(algo.display, static_cast<double>(k),
+                         static_cast<double>(
+                             result.stats.blocked_acquisitions));
+      }
+    }
+  }
+  std::fputs(metrics::format_table(makespan).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(metrics::format_table(waits).c_str(), stdout);
+  std::puts(
+      "\nReading: per-multicast contention-freedom (Theorem 6) cannot\n"
+      "protect across independent multicasts, so waits grow with k for\n"
+      "every algorithm — but the spread trees start from disjoint\n"
+      "channels far more often, so W-sort's makespan degrades most\n"
+      "gracefully. Scheduling the phase is the runtime's job; this bench\n"
+      "is the tool for exploring it.");
+  return 0;
+}

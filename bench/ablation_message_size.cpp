@@ -1,0 +1,45 @@
+// Ablation: message-length regimes. The paper measures one size
+// (4096 bytes); this bench sweeps 64 B to 16 KiB on a 6-cube to show
+// where each algorithm's advantage lives: with small messages the
+// startup-serialization structure dominates (steps matter most); with
+// large messages channel occupancy and contention dominate.
+
+#include <cstdio>
+
+#include "core/registry.hpp"
+#include "metrics/table.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "workload/random_sets.hpp"
+
+int main() {
+  using namespace hypercast;
+  const hcube::Topology topo(6);
+  const std::size_t m = 31;
+  const std::size_t sets = 30;
+
+  metrics::Series series(
+      "Ablation: 6-cube, 31 destinations, delay vs message size",
+      "message bytes", "avg delay (us)");
+  for (const std::size_t bytes : {64u, 256u, 1024u, 4096u, 16384u}) {
+    for (std::size_t trial = 0; trial < sets; ++trial) {
+      workload::Rng rng(workload::derive_seed(606, bytes, trial));
+      const auto dests = workload::random_destinations(topo, 0, m, rng);
+      const core::MulticastRequest req{topo, 0, dests};
+      for (const auto& algo : core::paper_algorithms()) {
+        sim::SimConfig config;
+        config.message_bytes = bytes;
+        const auto result = sim::simulate_multicast(algo.build(req), config);
+        series.add_sample(algo.display, static_cast<double>(bytes),
+                          result.avg_delay(req.destinations) / 1000.0);
+      }
+    }
+  }
+  std::fputs(metrics::format_table(series).c_str(), stdout);
+  std::puts(
+      "\nReading: there is a crossover. For tiny messages the send\n"
+      "startup dominates and U-cube's minimum-height tree is marginally\n"
+      "best; once the body outweighs the startup (around 1 KiB here) the\n"
+      "multiport algorithms win and the gap grows with message size —\n"
+      "which is why the paper measures 4096-byte messages.");
+  return 0;
+}

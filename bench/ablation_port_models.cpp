@@ -1,0 +1,59 @@
+// Ablation: how much does the port model itself buy? The same W-sort
+// and U-cube schedules are replayed on one-port, 2-port, 4-port and
+// all-port 6-cube nodes. This isolates the paper's core architectural
+// claim: the multiport algorithms only pay off when the hardware can
+// actually drive multiple internal channels.
+
+#include <cstdio>
+#include <string>
+
+#include "core/registry.hpp"
+#include "metrics/table.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "workload/random_sets.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hypercast;
+  const hcube::Dim n = 6;
+  const hcube::Topology topo(n);
+  const std::size_t sets = 20;
+
+  const std::vector<std::pair<std::string, core::PortModel>> ports = {
+      {"one-port", core::PortModel::one_port()},
+      {"2-port", core::PortModel::k_port(2)},
+      {"4-port", core::PortModel::k_port(4)},
+      {"all-port", core::PortModel::all_port()},
+  };
+
+  for (const char* algo_name : {"ucube", "wsort"}) {
+    const auto& algo = core::find_algorithm(algo_name);
+    metrics::Series series(
+        std::string("Ablation: port models, ") + algo.display +
+            " schedules, 4096-byte multicast on a 6-cube",
+        "destinations", "avg delay (us)");
+    for (const std::size_t m : {8u, 16u, 24u, 32u, 48u, 63u}) {
+      for (std::size_t trial = 0; trial < sets; ++trial) {
+        workload::Rng rng(workload::derive_seed(604, m, trial));
+        const auto dests = workload::random_destinations(topo, 0, m, rng);
+        const core::MulticastRequest req{topo, 0, dests};
+        const auto schedule = algo.build(req);
+        for (const auto& [label, port] : ports) {
+          sim::SimConfig config;
+          config.port = port;
+          const auto result = sim::simulate_multicast(schedule, config);
+          series.add_sample(label, static_cast<double>(m),
+                            result.avg_delay(req.destinations) / 1000.0);
+        }
+      }
+    }
+    std::fputs(metrics::format_table(series).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+
+  if (argc > 1) (void)argv;  // csv output not needed for ablations
+  std::puts(
+      "Reading: all-port vs one-port is the architectural gap the paper\n"
+      "exploits; W-sort converts extra ports into delay reductions while\n"
+      "U-cube (designed for one port) barely benefits from them.");
+  return 0;
+}

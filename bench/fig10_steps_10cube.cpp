@@ -1,0 +1,14 @@
+// Regenerates Figure 10: stepwise comparisons on a 10-cube (average of
+// the max steps over 100 random destination sets per point).
+//
+// Expected shape (paper): same ordering as Figure 9 with the gaps wider
+// — W-sort's advantage grows with cube size.
+
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const std::string csv = argc > 1 ? argv[1] : "results/fig10_steps_10cube.csv";
+  hypercast::harness::run_and_report_steps(hypercast::harness::fig10_config(),
+                                           csv);
+  return 0;
+}

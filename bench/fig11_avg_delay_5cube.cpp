@@ -1,0 +1,18 @@
+// Regenerates Figure 11: average delay, over destinations, of a
+// 4096-byte multicast on a 5-cube (the paper measured a 32-node
+// partition of an nCUBE-2; we replay through the wormhole DES with the
+// nCUBE-2 cost model), 20 random destination sets per point.
+//
+// Expected shape (paper): the multiport algorithms (Maxport, Combine,
+// W-sort) sit below U-cube; notably U-cube's *average* delay for large
+// multicasts is worse than for full broadcast (m = 31), because the
+// algorithm sometimes pushes multiple messages out one channel.
+
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const std::string base = argc > 1 ? argv[1] : "results/fig11_avg_delay_5cube";
+  hypercast::harness::run_and_report_delays(
+      hypercast::harness::fig11_12_config(), "avg", base);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates Figure 12: maximum delay, over destinations, of a
+// 4096-byte multicast on a 5-cube, 20 random destination sets per point.
+//
+// Expected shape (paper): U-cube shows a clear staircase (its step
+// count is ceil(log2(m+1))); the all-port algorithms smooth out the
+// relative delays across destination set sizes.
+
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const std::string base = argc > 1 ? argv[1] : "results/fig12_max_delay_5cube";
+  hypercast::harness::run_and_report_delays(
+      hypercast::harness::fig11_12_config(), "max", base);
+  return 0;
+}

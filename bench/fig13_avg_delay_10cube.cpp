@@ -1,0 +1,15 @@
+// Regenerates Figure 13: average delay of a 4096-byte multicast on a
+// 1024-node 10-cube, 100 random destination sets per point — the
+// paper's MultiSim experiment, replayed through our wormhole DES.
+//
+// Expected shape (paper): all multiport algorithms beat U-cube; at this
+// scale W-sort's advantage becomes clearly visible in the average.
+
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const std::string base = argc > 1 ? argv[1] : "results/fig13_avg_delay_10cube";
+  hypercast::harness::run_and_report_delays(
+      hypercast::harness::fig13_14_config(), "avg", base);
+  return 0;
+}

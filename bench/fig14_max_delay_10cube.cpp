@@ -1,0 +1,14 @@
+// Regenerates Figure 14: maximum delay of a 4096-byte multicast on a
+// 10-cube, 100 random destination sets per point.
+//
+// Expected shape (paper): same ordering as Figure 13; W-sort's lead is
+// most obvious in the worst-case (max) delay on the large cube.
+
+#include "harness/figures.hpp"
+
+int main(int argc, char** argv) {
+  const std::string base = argc > 1 ? argv[1] : "results/fig14_max_delay_10cube";
+  hypercast::harness::run_and_report_delays(
+      hypercast::harness::fig13_14_config(), "max", base);
+  return 0;
+}

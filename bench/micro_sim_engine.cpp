@@ -1,0 +1,59 @@
+// Microbenchmark: discrete-event simulator throughput — full multicast
+// replays per second and events per second, for the schedules the
+// figure sweeps run by the thousand.
+
+#include <benchmark/benchmark.h>
+
+#include "core/registry.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "workload/random_sets.hpp"
+
+namespace {
+
+using namespace hypercast;
+
+void simulate(benchmark::State& state, const char* algo_name,
+              core::PortModel port) {
+  const hcube::Dim n = 10;
+  const hcube::Topology topo(n);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  workload::Rng rng(workload::derive_seed(11, m, 0));
+  const auto dests = workload::random_destinations(topo, 0, m, rng);
+  const core::MulticastRequest req{topo, 0, dests};
+  const auto schedule = core::find_algorithm(algo_name).build(req);
+  sim::SimConfig config;
+  config.port = port;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto result = sim::simulate_multicast(schedule, config);
+    events += result.stats.events;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(simulate, wsort_allport, "wsort",
+                  hypercast::core::PortModel::all_port())
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(1023);
+BENCHMARK_CAPTURE(simulate, ucube_allport, "ucube",
+                  hypercast::core::PortModel::all_port())
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(1023);
+BENCHMARK_CAPTURE(simulate, ucube_oneport, "ucube",
+                  hypercast::core::PortModel::one_port())
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(1023);
+BENCHMARK_CAPTURE(simulate, separate_allport, "separate",
+                  hypercast::core::PortModel::all_port())
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(1023);
+
+BENCHMARK_MAIN();

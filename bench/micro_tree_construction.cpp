@@ -1,0 +1,57 @@
+// Microbenchmark: schedule-construction cost of each multicast
+// algorithm versus destination-set size. The distributed algorithms run
+// this logic at multicast-initiation time, so construction cost is part
+// of the real latency budget (the paper quotes O(m^2) centralized /
+// O(m log m) distributed for weighted_sort).
+
+#include <benchmark/benchmark.h>
+
+#include "core/registry.hpp"
+#include "workload/random_sets.hpp"
+
+namespace {
+
+using namespace hypercast;
+
+void construction(benchmark::State& state, const char* name) {
+  const hcube::Dim n = 10;
+  const hcube::Topology topo(n);
+  const auto m = static_cast<std::size_t>(state.range(0));
+  workload::Rng rng(workload::derive_seed(2026, m, 0));
+  const auto dests = workload::random_destinations(topo, 0, m, rng);
+  const core::MulticastRequest req{topo, 0, dests};
+  const auto& algo = core::find_algorithm(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.build(req));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(m));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(construction, ucube, "ucube")
+    ->RangeMultiplier(4)
+    ->Range(8, 1023)
+    ->Complexity();
+BENCHMARK_CAPTURE(construction, maxport, "maxport")
+    ->RangeMultiplier(4)
+    ->Range(8, 1023)
+    ->Complexity();
+BENCHMARK_CAPTURE(construction, combine, "combine")
+    ->RangeMultiplier(4)
+    ->Range(8, 1023)
+    ->Complexity();
+BENCHMARK_CAPTURE(construction, wsort, "wsort")
+    ->RangeMultiplier(4)
+    ->Range(8, 1023)
+    ->Complexity();
+BENCHMARK_CAPTURE(construction, separate, "separate")
+    ->RangeMultiplier(4)
+    ->Range(8, 1023)
+    ->Complexity();
+BENCHMARK_CAPTURE(construction, sftree, "sftree")
+    ->RangeMultiplier(4)
+    ->Range(8, 1023)
+    ->Complexity();
+
+BENCHMARK_MAIN();

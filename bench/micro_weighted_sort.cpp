@@ -1,0 +1,52 @@
+// Microbenchmark: the faithful Figure-7 weighted_sort (in-place
+// rotations, the paper's centralized O(m^2)-class procedure) against
+// the O(m log N) top-down rewrite standing in for the distributed
+// O(m log m) version. Both produce identical output (tested).
+
+#include <benchmark/benchmark.h>
+
+#include "core/weighted_sort.hpp"
+#include "hcube/chain.hpp"
+#include "workload/random_sets.hpp"
+
+namespace {
+
+using namespace hypercast;
+
+std::vector<hcube::NodeId> make_chain(hcube::Dim n, std::size_t m) {
+  const hcube::Topology topo(n);
+  workload::Rng rng(workload::derive_seed(7, m, static_cast<std::uint64_t>(n)));
+  const auto dests = workload::random_destinations(topo, 0, m, rng);
+  return hcube::make_relative_chain(topo, 0, dests);
+}
+
+void faithful(benchmark::State& state) {
+  const hcube::Dim n = 15;
+  const hcube::Topology topo(n);
+  const auto chain = make_chain(n, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto copy = chain;
+    core::weighted_sort_faithful(topo, copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void fast(benchmark::State& state) {
+  const hcube::Dim n = 15;
+  const hcube::Topology topo(n);
+  const auto chain = make_chain(n, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto copy = chain;
+    core::weighted_sort_fast(topo, copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(faithful)->RangeMultiplier(4)->Range(16, 16384)->Complexity();
+BENCHMARK(fast)->RangeMultiplier(4)->Range(16, 16384)->Complexity();
+
+BENCHMARK_MAIN();

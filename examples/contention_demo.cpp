@@ -1,0 +1,63 @@
+// Demonstrates what channel contention physically costs in a wormhole
+// network, using the simulator's trace facility: a naive schedule that
+// funnels messages through shared channels versus the contention-free
+// W-sort tree for the same destination set.
+
+#include <cstdio>
+
+#include "core/contention.hpp"
+#include "core/separate.hpp"
+#include "core/wsort.hpp"
+#include "sim/wormhole_sim.hpp"
+
+int main() {
+  using namespace hypercast;
+  const hcube::Topology topo(4);
+
+  // Every destination lives behind the source's dimension-3 channel:
+  // the worst case for naive separate addressing.
+  const core::MulticastRequest req{topo, 0b0000,
+                                   {0b1000, 0b1010, 0b1100, 0b1110, 0b1111}};
+
+  sim::SimConfig config;
+  config.record_trace = true;
+
+  std::puts("== separate addressing: five worms, one first-hop channel ==");
+  const auto naive = core::separate_addressing(req);
+  const auto naive_result = sim::simulate_multicast(naive, config);
+  std::fputs(naive_result.trace.format(topo).c_str(), stdout);
+  std::printf(
+      "blocked channel acquisitions: %llu, total blocked time: %.1f us\n"
+      "max delay: %.1f us\n\n",
+      static_cast<unsigned long long>(naive_result.stats.blocked_acquisitions),
+      sim::to_microseconds(naive_result.stats.total_blocked_ns),
+      sim::to_microseconds(naive_result.max_delay(req.destinations)));
+
+  std::puts("== W-sort: the tree forwards inside the subcube instead ==");
+  const auto tree = core::wsort(req);
+  const auto tree_result = sim::simulate_multicast(tree, config);
+  std::fputs(tree_result.trace.format(topo).c_str(), stdout);
+  std::printf(
+      "blocked channel acquisitions: %llu\n"
+      "max delay: %.1f us  (%.2fx faster than separate addressing)\n\n",
+      static_cast<unsigned long long>(tree_result.stats.blocked_acquisitions),
+      sim::to_microseconds(tree_result.max_delay(req.destinations)),
+      static_cast<double>(naive_result.max_delay(req.destinations)) /
+          static_cast<double>(tree_result.max_delay(req.destinations)));
+
+  // The formal view: Definition 4 applied to both schedules. Note the
+  // nuance: separate addressing is "contention-free" in the paper's
+  // sense — all its unicasts share a source, so Theorem 3 orders them —
+  // yet the wall clock still pays for that ordering, one message time
+  // per channel reuse. The theory forbids *unresolved* conflicts; it is
+  // the tree structure that removes the serialization itself.
+  const auto naive_report =
+      core::check_contention(naive, core::PortModel::all_port());
+  const auto tree_report =
+      core::check_contention(tree, core::PortModel::all_port());
+  std::printf("Definition-4 check, separate addressing: %s\n",
+              naive_report.summary(topo).c_str());
+  std::printf("Definition-4 check, W-sort:              %s\n",
+              tree_report.summary(topo).c_str());
+  return 0;
+}

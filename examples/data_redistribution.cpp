@@ -1,0 +1,88 @@
+// A realistic end-to-end scenario from the paper's introduction:
+// periodic data redistribution in a data-parallel program. A 64-node
+// hypercube runs an iterative solver; every iteration, each of four
+// producer nodes must multicast its updated boundary block (4 KiB) to
+// the subset of nodes whose subdomains touch it. We build the four
+// multicasts with each algorithm and compare the redistribution phase's
+// completion time (the slowest multicast gates the next iteration).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "workload/patterns.hpp"
+
+int main() {
+  using namespace hypercast;
+  const hcube::Topology topo(6);
+
+  // Four producers, one per quadrant (4-dimensional subcube). Each
+  // multicasts to its own quadrant plus a band of neighbours in the
+  // adjacent quadrant — the overlap that makes redistribution
+  // non-trivial.
+  struct Job {
+    hcube::NodeId producer;
+    std::vector<hcube::NodeId> consumers;
+  };
+  std::vector<Job> jobs;
+  workload::Rng rng(20260705);
+  for (std::uint32_t q = 0; q < 4; ++q) {
+    const hcube::NodeId producer = q << 4;  // first node of quadrant q
+    std::vector<hcube::NodeId> consumers;
+    for (hcube::NodeId u = q << 4; u < ((q + 1) << 4); ++u) {
+      if (u != producer) consumers.push_back(u);
+    }
+    // Six random cross-quadrant neighbours.
+    const auto extra = workload::random_destinations(topo, producer, 20, rng);
+    int added = 0;
+    for (const auto u : extra) {
+      if ((u >> 4) != q && added < 6 &&
+          std::find(consumers.begin(), consumers.end(), u) ==
+              consumers.end()) {
+        consumers.push_back(u);
+        ++added;
+      }
+    }
+    jobs.push_back(Job{producer, std::move(consumers)});
+  }
+
+  std::printf("%zu producers, %zu-%zu consumers each, 4 KiB blocks\n\n",
+              jobs.size(), jobs.front().consumers.size(),
+              jobs.back().consumers.size());
+
+  std::puts(
+      "redistribution completion time, per algorithm\n"
+      "  'isolated'   = slowest multicast, each simulated alone\n"
+      "  'concurrent' = all four multicasts share the network\n");
+  for (const auto& algo : core::all_algorithms()) {
+    sim::SimConfig config;  // all-port, nCUBE-2 costs
+    std::vector<core::MulticastSchedule> schedules;
+    sim::SimTime isolated = 0;
+    for (const Job& job : jobs) {
+      const core::MulticastRequest req{topo, job.producer, job.consumers};
+      schedules.push_back(algo.build(req));
+      isolated = std::max(
+          isolated, sim::simulate_multicast(schedules.back(), config)
+                        .max_delay(req.destinations));
+    }
+    std::vector<sim::CollectiveJob> phase;
+    for (const auto& s : schedules) phase.push_back(sim::CollectiveJob{&s, 0});
+    const auto together = sim::simulate_collectives(phase, config);
+    std::printf(
+        "  %-9s isolated %9.1f us   concurrent %9.1f us   "
+        "(cross-job channel waits: %llu)\n",
+        algo.display.c_str(), sim::to_microseconds(isolated),
+        sim::to_microseconds(together.makespan()),
+        static_cast<unsigned long long>(together.stats.blocked_acquisitions));
+  }
+
+  std::puts(
+      "\nReading: quadrant-local traffic is arc-disjoint across quadrants\n"
+      "(Theorem 2), so concurrency costs little extra for the tree\n"
+      "algorithms — the cross-quadrant band accounts for the small gap —\n"
+      "while separate addressing collapses when all four producers fight\n"
+      "over the same channels.");
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "coll/collectives.hpp"
+
+#include "workload/patterns.hpp"
+
+namespace hypercast::coll {
+
+namespace {
+
+/// Payload of barrier control messages: a few flits.
+constexpr std::size_t kBarrierBytes = 8;
+
+}  // namespace
+
+Collectives::Collectives(Options options)
+    : options_(std::move(options)),
+      algo_(&core::find_algorithm(options_.algorithm)) {}
+
+core::MulticastSchedule Collectives::plan(
+    hcube::NodeId source, std::span<const hcube::NodeId> dests) const {
+  const core::MulticastRequest req{
+      options_.topo, source, std::vector<hcube::NodeId>(dests.begin(),
+                                                        dests.end())};
+  return algo_->build(req);
+}
+
+sim::SimResult Collectives::multicast(hcube::NodeId source,
+                                      std::span<const hcube::NodeId> dests,
+                                      std::size_t bytes) const {
+  const auto schedule = plan(source, dests);
+  sim::SimConfig config;
+  config.cost = options_.cost;
+  config.port = options_.port;
+  config.message_bytes = bytes;
+  return sim::simulate_multicast(schedule, config);
+}
+
+sim::SimResult Collectives::broadcast(hcube::NodeId source,
+                                      std::size_t bytes) const {
+  const auto dests = workload::broadcast_destinations(options_.topo, source);
+  return multicast(source, dests, bytes);
+}
+
+ReduceResult Collectives::reduce(hcube::NodeId root,
+                                 std::span<const hcube::NodeId> participants,
+                                 std::size_t bytes) const {
+  const auto tree = plan(root, participants);
+  ReduceConfig config;
+  config.cost = options_.cost;
+  config.port = options_.port;
+  config.block_bytes = bytes;
+  config.mode = ReduceConfig::Mode::Combine;
+  return simulate_reduce(tree, config);
+}
+
+ReduceResult Collectives::gather(hcube::NodeId root,
+                                 std::span<const hcube::NodeId> participants,
+                                 std::size_t bytes_per_node) const {
+  const auto tree = plan(root, participants);
+  ReduceConfig config;
+  config.cost = options_.cost;
+  config.port = options_.port;
+  config.block_bytes = bytes_per_node;
+  config.mode = ReduceConfig::Mode::Gather;
+  return simulate_reduce(tree, config);
+}
+
+ScatterResult Collectives::scatter(
+    hcube::NodeId root, std::span<const hcube::NodeId> destinations,
+    std::size_t bytes_per_node) const {
+  const auto tree = plan(root, destinations);
+  ScatterConfig config;
+  config.cost = options_.cost;
+  config.port = options_.port;
+  config.block_bytes = bytes_per_node;
+  return simulate_scatter(tree, config);
+}
+
+AllToAllResult Collectives::all_to_all(std::size_t bytes_per_block) const {
+  AllToAllConfig config;
+  config.cost = options_.cost;
+  config.port = options_.port;
+  config.block_bytes = bytes_per_block;
+  return simulate_all_to_all(options_.topo, config);
+}
+
+sim::SimTime Collectives::barrier(
+    hcube::NodeId root, std::span<const hcube::NodeId> participants) const {
+  const auto tree = plan(root, participants);
+
+  ReduceConfig up;
+  up.cost = options_.cost;
+  up.port = options_.port;
+  up.block_bytes = kBarrierBytes;
+  up.combine_ns_per_byte = 0;  // a barrier folds nothing
+  const auto arrive = simulate_reduce(tree, up);
+
+  sim::SimConfig down;
+  down.cost = options_.cost;
+  down.port = options_.port;
+  down.message_bytes = kBarrierBytes;
+  const auto release = sim::simulate_multicast(tree, down);
+
+  return arrive.completion + release.max_delay(participants);
+}
+
+}  // namespace hypercast::coll

@@ -1,0 +1,28 @@
+#include "core/bounds.hpp"
+
+#include <cassert>
+
+namespace hypercast::core {
+
+int one_port_step_lower_bound(std::size_t m) {
+  int steps = 0;
+  std::size_t informed = 1;  // the source
+  while (informed < m + 1) {
+    informed *= 2;
+    ++steps;
+  }
+  return steps;
+}
+
+int all_port_step_lower_bound(std::size_t m, int n) {
+  assert(n >= 1);
+  int steps = 0;
+  std::size_t informed = 1;
+  while (informed < m + 1) {
+    informed *= static_cast<std::size_t>(n) + 1;
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace hypercast::core

@@ -1,0 +1,19 @@
+#ifndef HYPERCAST_CORE_BOUNDS_HPP
+#define HYPERCAST_CORE_BOUNDS_HPP
+
+#include <cstddef>
+
+namespace hypercast::core {
+
+/// ceil(log2(m + 1)): the tight lower bound on steps for reaching m
+/// destinations on a one-port architecture (Section 2), met exactly by
+/// U-cube.
+int one_port_step_lower_bound(std::size_t m);
+
+/// ceil(log_{n+1}(m + 1)): with n ports the number of informed nodes can
+/// at most (n+1)-tuple per step, giving the all-port lower bound.
+int all_port_step_lower_bound(std::size_t m, int n);
+
+}  // namespace hypercast::core
+
+#endif  // HYPERCAST_CORE_BOUNDS_HPP

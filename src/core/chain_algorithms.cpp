@@ -1,0 +1,130 @@
+#include "core/chain_algorithms.hpp"
+
+#include <cassert>
+#include <deque>
+
+#include "hcube/bits.hpp"
+
+namespace hypercast::core {
+
+std::vector<Send> local_sends(const Topology& topo, NodeId local,
+                              std::span<const NodeId> field, NextRule rule) {
+  std::vector<Send> sends;
+  if (field.empty()) return sends;
+
+  // Work on canonical keys: the bit position delta() would return is the
+  // highest differing key bit, for either resolution order. XOR
+  // translation cancels in every comparison, so no global source is
+  // needed — each node runs this on exactly what it received.
+  std::vector<std::uint32_t> key(field.size() + 1);
+  key[0] = topo.key(local);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    key[i + 1] = topo.key(field[i]);
+    assert(key[i + 1] != key[0] && "field must not contain the local node");
+  }
+  const auto chain_at = [&](std::size_t i) {
+    return i == 0 ? local : field[i - 1];
+  };
+
+  std::size_t left = 0;
+  std::size_t right = field.size();
+  while (left < right) {
+    // Step 1: x = delta(d_left, d_right), the first routing dimension
+    // (as a key-space bit) of a message spanning the whole segment.
+    const Dim x = hcube::highest_bit(key[left] ^ key[right]);
+
+    // Step 2: d_highdim — the leftmost node whose route from d_left
+    // starts on channel x. In a cube-ordered segment the far side of
+    // bit x is a contiguous suffix, so this is that suffix's head.
+    std::size_t highdim = left + 1;
+    const bool left_side = hcube::test_bit(key[left], x);
+    while (hcube::test_bit(key[highdim], x) == left_side) ++highdim;
+    assert(highdim <= right);
+
+    // Step 3: the binary-halving midpoint.
+    const std::size_t center = left + (right - left + 1) / 2;
+
+    // Step 4: the single statement the three algorithms differ in.
+    std::size_t next = 0;
+    switch (rule) {
+      case NextRule::Center:
+        next = center;
+        break;
+      case NextRule::HighDim:
+        next = highdim;
+        break;
+      case NextRule::MaxOfBoth:
+        next = std::max(highdim, center);
+        break;
+    }
+
+    // Steps 5-6: transmit to d_next along with the address field
+    // D = {d_next+1, ..., d_right}.
+    Send send;
+    send.to = chain_at(next);
+    send.payload.reserve(right - next);
+    for (std::size_t i = next + 1; i <= right; ++i) {
+      send.payload.push_back(chain_at(i));
+    }
+    sends.push_back(std::move(send));
+
+    // Step 7.
+    right = next - 1;
+  }
+  return sends;
+}
+
+MulticastSchedule build_chain_schedule(const Topology& topo,
+                                       std::span<const NodeId> chain,
+                                       NextRule rule) {
+  assert(!chain.empty());
+  MulticastSchedule schedule(topo, chain[0]);
+  if (chain.size() == 1) return schedule;
+
+  // Execute the distributed recursion: deliver each address field and
+  // let the recipient compute its own sends.
+  struct Delivery {
+    NodeId node;
+    std::vector<NodeId> field;
+  };
+  std::deque<Delivery> inbox;
+  inbox.push_back(
+      Delivery{chain[0], std::vector<NodeId>(chain.begin() + 1, chain.end())});
+  while (!inbox.empty()) {
+    Delivery d = std::move(inbox.front());
+    inbox.pop_front();
+    for (Send& send : local_sends(topo, d.node, d.field, rule)) {
+      if (!send.payload.empty()) {
+        inbox.push_back(Delivery{send.to, send.payload});
+      }
+      schedule.add_send(d.node, std::move(send));
+    }
+  }
+  return schedule;
+}
+
+namespace {
+
+MulticastSchedule run_on_sorted_chain(const MulticastRequest& req,
+                                      NextRule rule) {
+  req.validate();
+  const auto chain =
+      hcube::make_relative_chain(req.topo, req.source, req.destinations);
+  return build_chain_schedule(req.topo, chain, rule);
+}
+
+}  // namespace
+
+MulticastSchedule ucube(const MulticastRequest& req) {
+  return run_on_sorted_chain(req, NextRule::Center);
+}
+
+MulticastSchedule maxport(const MulticastRequest& req) {
+  return run_on_sorted_chain(req, NextRule::HighDim);
+}
+
+MulticastSchedule combine(const MulticastRequest& req) {
+  return run_on_sorted_chain(req, NextRule::MaxOfBoth);
+}
+
+}  // namespace hypercast::core

@@ -1,0 +1,59 @@
+#ifndef HYPERCAST_CORE_CHAIN_ALGORITHMS_HPP
+#define HYPERCAST_CORE_CHAIN_ALGORITHMS_HPP
+
+#include <span>
+
+#include "core/multicast.hpp"
+
+namespace hypercast::core {
+
+/// The family of chain-splitting multicast algorithms of Section 4.1.
+/// All three share the body of Algorithm 1 (the U-cube loop) and differ
+/// only in how `next` is chosen each iteration:
+///
+///   * U-cube:  next = center              (one-port optimal [McKinley'92])
+///   * Maxport: next = highdim             (peel the maximal top subcube)
+///   * Combine: next = max(highdim,center) (Maxport across subcubes,
+///                                          binary halving within one)
+enum class NextRule {
+  Center,
+  HighDim,
+  MaxOfBoth,
+};
+
+/// One node's share of the distributed algorithm: the ordered unicasts
+/// node `local` issues after receiving the address field `field` (the
+/// ordered list of destinations it is responsible for, exactly as
+/// transmitted on the wire). This is the routine a real implementation
+/// runs in the message handler — it needs no knowledge of the global
+/// source, only the field it received. Precondition: {local} + field is
+/// a cube-ordered chain (Definition 5) of distinct nodes.
+std::vector<Send> local_sends(const Topology& topo, NodeId local,
+                              std::span<const NodeId> field, NextRule rule);
+
+/// Run the Algorithm-1 loop over an explicit chain (position 0 is the
+/// source / local node). The chain must be cube-ordered (Definition 5);
+/// dimension-ordered chains always qualify (Theorem 4), and so do
+/// weighted_sort outputs (Theorem 5). Returns the full multicast
+/// schedule obtained by executing the distributed recursion — i.e. by
+/// delivering each address field and invoking local_sends at every
+/// recipient.
+MulticastSchedule build_chain_schedule(const Topology& topo,
+                                       std::span<const NodeId> chain,
+                                       NextRule rule);
+
+/// U-cube (Figure 4): sorts the destinations into the d0-relative
+/// dimension-ordered chain and splits it binarily.
+MulticastSchedule ucube(const MulticastRequest& req);
+
+/// Maxport: one send per outgoing channel, each peeling the whole
+/// highest-dimension subcube that holds destinations.
+MulticastSchedule maxport(const MulticastRequest& req);
+
+/// Combine: Maxport's channel spreading without leaving one node
+/// responsible for more than half the remaining chain.
+MulticastSchedule combine(const MulticastRequest& req);
+
+}  // namespace hypercast::core
+
+#endif  // HYPERCAST_CORE_CHAIN_ALGORITHMS_HPP

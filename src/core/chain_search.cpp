@@ -1,0 +1,157 @@
+#include "core/chain_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "hcube/bits.hpp"
+#include "hcube/chain.hpp"
+
+namespace hypercast::core {
+
+namespace {
+
+/// Recursive block structure over the sorted relative-key array: the
+/// range [first, last] lies in one ns-dimensional subcube; find the
+/// boundary between its halves (as in weighted_sort).
+std::size_t half_boundary(const std::vector<std::uint32_t>& sorted,
+                          std::size_t first, std::size_t last, hcube::Dim ns) {
+  const std::uint32_t prefix = sorted[first] >> ns;
+  const std::uint32_t boundary = (prefix << ns) | (1u << (ns - 1));
+  const auto it = std::lower_bound(
+      sorted.begin() + static_cast<std::ptrdiff_t>(first),
+      sorted.begin() + static_cast<std::ptrdiff_t>(last) + 1, boundary);
+  return static_cast<std::size_t>(it - sorted.begin());
+}
+
+/// Enumerate all admissible orderings of [first, last] (relative keys).
+/// `pinned` forces the half containing key 0 (the source) to lead.
+std::vector<std::vector<std::uint32_t>> orderings(
+    const std::vector<std::uint32_t>& sorted, std::size_t first,
+    std::size_t last, hcube::Dim ns, bool pinned) {
+  const std::size_t count = last - first + 1;
+  if (count <= 1) {
+    return {std::vector<std::uint32_t>(
+        sorted.begin() + static_cast<std::ptrdiff_t>(first),
+        sorted.begin() + static_cast<std::ptrdiff_t>(last) + 1)};
+  }
+  assert(ns >= 1);
+  const std::size_t center = half_boundary(sorted, first, last, ns);
+  if (center == first || center > last) {
+    return orderings(sorted, first, last, ns - 1, pinned);
+  }
+  const auto lower = orderings(sorted, first, center - 1, ns - 1, pinned);
+  const auto upper = orderings(sorted, center, last, ns - 1, false);
+  std::vector<std::vector<std::uint32_t>> out;
+  out.reserve(lower.size() * upper.size() * (pinned ? 1 : 2));
+  for (const auto& a : lower) {
+    for (const auto& b : upper) {
+      std::vector<std::uint32_t> ab;
+      ab.reserve(count);
+      ab.insert(ab.end(), a.begin(), a.end());
+      ab.insert(ab.end(), b.begin(), b.end());
+      out.push_back(std::move(ab));
+      if (!pinned) {
+        std::vector<std::uint32_t> ba;
+        ba.reserve(count);
+        ba.insert(ba.end(), b.begin(), b.end());
+        ba.insert(ba.end(), a.begin(), a.end());
+        out.push_back(std::move(ba));
+      }
+    }
+  }
+  return out;
+}
+
+/// Saturating multiply: the chain space grows as 2^(splits) and can
+/// overflow size_t for large destination sets; saturation keeps the
+/// too-large check sound.
+std::size_t sat_mul(std::size_t a, std::size_t b) {
+  constexpr std::size_t kCap = std::size_t{1} << 62;
+  if (b != 0 && a > kCap / b) return kCap;
+  return a * b;
+}
+
+std::size_t count_orderings(const std::vector<std::uint32_t>& sorted,
+                            std::size_t first, std::size_t last, hcube::Dim ns,
+                            bool pinned) {
+  if (last - first + 1 <= 1) return 1;
+  assert(ns >= 1);
+  const std::size_t center = half_boundary(sorted, first, last, ns);
+  if (center == first || center > last) {
+    return count_orderings(sorted, first, last, ns - 1, pinned);
+  }
+  const std::size_t lower =
+      count_orderings(sorted, first, center - 1, ns - 1, pinned);
+  const std::size_t upper = count_orderings(sorted, center, last, ns - 1, false);
+  return sat_mul(sat_mul(lower, upper), pinned ? 1 : 2);
+}
+
+std::vector<std::uint32_t> sorted_relative_keys(const MulticastRequest& req) {
+  std::vector<std::uint32_t> rel;
+  rel.reserve(req.destinations.size() + 1);
+  rel.push_back(0);
+  for (const NodeId d : req.destinations) {
+    rel.push_back(hcube::relative_key(req.topo, req.source, d));
+  }
+  std::sort(rel.begin(), rel.end());
+  return rel;
+}
+
+}  // namespace
+
+std::size_t count_cube_ordered_chains(const MulticastRequest& req) {
+  req.validate();
+  if (req.destinations.empty()) return 1;
+  const auto rel = sorted_relative_keys(req);
+  return count_orderings(rel, 0, rel.size() - 1, req.topo.dim(), true);
+}
+
+ChainSearchResult best_cube_ordered_chain(const MulticastRequest& req,
+                                          PortModel port,
+                                          std::size_t max_chains) {
+  req.validate();
+  ChainSearchResult result;
+  if (req.destinations.empty()) {
+    result.best_chain = {req.source};
+    result.chains_examined = 1;
+    return result;
+  }
+
+  const std::size_t space = count_cube_ordered_chains(req);
+  if (space > max_chains) {
+    throw std::invalid_argument(
+        "cube-ordered chain space too large for exhaustive search (" +
+        std::to_string(space) + " chains)");
+  }
+
+  const auto rel = sorted_relative_keys(req);
+  const std::uint32_t source_key = req.topo.key(req.source);
+  const auto to_chain = [&](const std::vector<std::uint32_t>& keys) {
+    std::vector<NodeId> chain;
+    chain.reserve(keys.size());
+    for (const std::uint32_t k : keys) {
+      chain.push_back(req.topo.unkey(k ^ source_key));
+    }
+    return chain;
+  };
+
+  result.best_steps = -1;
+  for (const auto& keys :
+       orderings(rel, 0, rel.size() - 1, req.topo.dim(), true)) {
+    ++result.chains_examined;
+    const auto chain = to_chain(keys);
+    const auto schedule =
+        build_chain_schedule(req.topo, chain, NextRule::HighDim);
+    const int steps =
+        assign_steps(schedule, port, req.destinations).total_steps;
+    if (result.best_steps < 0 || steps < result.best_steps) {
+      result.best_steps = steps;
+      result.best_chain = chain;
+    }
+  }
+  assert(result.chains_examined == space);
+  return result;
+}
+
+}  // namespace hypercast::core

@@ -1,0 +1,37 @@
+#ifndef HYPERCAST_CORE_CHAIN_SEARCH_HPP
+#define HYPERCAST_CORE_CHAIN_SEARCH_HPP
+
+#include "core/chain_algorithms.hpp"
+#include "core/stepwise.hpp"
+
+namespace hypercast::core {
+
+/// Exhaustive exploration of the whole input space Theorem 6 admits:
+/// every cube-ordered chain with the source pinned at position 0. Each
+/// populated subcube split contributes a binary choice (which half goes
+/// first), so a destination set with s populated splits has exactly 2^s
+/// admissible chains (2^(s-1) on the spine through the source, where
+/// the pin fixes the order). weighted_sort greedily picks the crowded
+/// half at every split; this search tries both, quantifying how close
+/// the heuristic gets to the best chain-based multicast.
+struct ChainSearchResult {
+  std::vector<NodeId> best_chain;   ///< a minimizer (ties: first found)
+  int best_steps = 0;               ///< its all-port Maxport step count
+  std::size_t chains_examined = 0;  ///< size of the admissible space
+};
+
+/// Enumerate every admissible chain, run Maxport over each, and return
+/// one minimizing the step count to reach the request's destinations
+/// under `port`. Exponential: throws std::invalid_argument if the space
+/// exceeds `max_chains`.
+ChainSearchResult best_cube_ordered_chain(
+    const MulticastRequest& req, PortModel port = PortModel::all_port(),
+    std::size_t max_chains = std::size_t{1} << 20);
+
+/// The number of cube-ordered chains (source pinned) for this request,
+/// without enumerating them.
+std::size_t count_cube_ordered_chains(const MulticastRequest& req);
+
+}  // namespace hypercast::core
+
+#endif  // HYPERCAST_CORE_CHAIN_SEARCH_HPP

@@ -1,0 +1,47 @@
+#include "core/channel_load.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "hcube/ecube.hpp"
+
+namespace hypercast::core {
+
+ChannelLoadReport analyze_channel_load(const MulticastSchedule& schedule,
+                                       const StepResult& steps) {
+  const Topology& topo = schedule.topo();
+  ChannelLoadReport report;
+
+  std::unordered_map<std::size_t, std::size_t> load;        // arc -> count
+  std::map<std::pair<std::size_t, int>, std::size_t> slot;  // (arc, step)
+  for (const TimedUnicast& u : steps.unicasts) {
+    for (const hcube::Arc& a : hcube::ecube_arcs(topo, u.from, u.to)) {
+      const std::size_t arc = topo.arc_index(a);
+      ++load[arc];
+      ++slot[{arc, u.step}];
+    }
+  }
+
+  report.channels_used = load.size();
+  for (const auto& [arc, count] : load) {
+    report.total_crossings += count;
+    report.max_load = std::max(report.max_load, count);
+  }
+  report.avg_load =
+      report.channels_used == 0
+          ? 0.0
+          : static_cast<double>(report.total_crossings) /
+                static_cast<double>(report.channels_used);
+  report.load_histogram.assign(report.max_load + 1, 0);
+  for (const auto& [arc, count] : load) {
+    ++report.load_histogram[count];
+  }
+  for (const auto& [key, count] : slot) {
+    report.max_step_channel_reuse =
+        std::max(report.max_step_channel_reuse, count);
+  }
+  return report;
+}
+
+}  // namespace hypercast::core

@@ -1,0 +1,74 @@
+#include "core/contention.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/reachable.hpp"
+#include "hcube/ecube.hpp"
+
+namespace hypercast::core {
+
+std::string ContentionReport::summary(const Topology& topo) const {
+  std::ostringstream os;
+  os << pairs_checked << " pairs checked, " << pairs_sharing_arcs
+     << " share arcs, " << violations.size() << " violations";
+  for (const ContentionViolation& v : violations) {
+    os << "\n  (" << topo.format(v.a.from) << " -> " << topo.format(v.a.to)
+       << ", step " << v.a.step << ") vs (" << topo.format(v.b.from) << " -> "
+       << topo.format(v.b.to) << ", step " << v.b.step << ") share arc "
+       << topo.format(v.shared_arc.from) << " dim " << v.shared_arc.dim;
+  }
+  return os.str();
+}
+
+ContentionReport check_contention(const MulticastSchedule& schedule,
+                                  const StepResult& steps) {
+  const Topology& topo = schedule.topo();
+  ContentionReport report;
+  const auto reach = all_reachable_sets(schedule);
+
+  // Precompute every unicast's arc list once.
+  std::vector<std::vector<hcube::Arc>> arcs;
+  arcs.reserve(steps.unicasts.size());
+  for (const TimedUnicast& u : steps.unicasts) {
+    arcs.push_back(hcube::ecube_arcs(topo, u.from, u.to));
+  }
+
+  const auto shared_arc = [&](std::size_t i, std::size_t j)
+      -> std::optional<hcube::Arc> {
+    for (const hcube::Arc& a : arcs[i]) {
+      if (std::find(arcs[j].begin(), arcs[j].end(), a) != arcs[j].end()) {
+        return a;
+      }
+    }
+    return std::nullopt;
+  };
+
+  for (std::size_t i = 0; i < steps.unicasts.size(); ++i) {
+    for (std::size_t j = i + 1; j < steps.unicasts.size(); ++j) {
+      ++report.pairs_checked;
+      // Order the pair so that `first` is the earlier unicast.
+      const bool i_first = steps.unicasts[i].step <= steps.unicasts[j].step;
+      const TimedUnicast& first = i_first ? steps.unicasts[i] : steps.unicasts[j];
+      const TimedUnicast& second = i_first ? steps.unicasts[j] : steps.unicasts[i];
+
+      const auto arc = shared_arc(i, j);
+      if (!arc.has_value()) continue;
+      ++report.pairs_sharing_arcs;
+
+      const bool strictly_later = first.step < second.step;
+      const bool causally_ordered =
+          reach.contains(first.from) && reach.at(first.from).contains(second.from);
+      if (strictly_later && causally_ordered) continue;
+      report.violations.push_back(ContentionViolation{first, second, *arc});
+    }
+  }
+  return report;
+}
+
+ContentionReport check_contention(const MulticastSchedule& schedule,
+                                  PortModel port) {
+  return check_contention(schedule, assign_steps(schedule, port));
+}
+
+}  // namespace hypercast::core

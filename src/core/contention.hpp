@@ -1,0 +1,46 @@
+#ifndef HYPERCAST_CORE_CONTENTION_HPP
+#define HYPERCAST_CORE_CONTENTION_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/stepwise.hpp"
+
+namespace hypercast::core {
+
+/// A pair of unicasts that violate Definition 4.
+struct ContentionViolation {
+  TimedUnicast a;
+  TimedUnicast b;
+  hcube::Arc shared_arc;
+};
+
+struct ContentionReport {
+  std::vector<ContentionViolation> violations;
+  std::size_t pairs_checked = 0;
+  std::size_t pairs_sharing_arcs = 0;  ///< overlapping but possibly legal
+
+  bool contention_free() const { return violations.empty(); }
+  std::string summary(const Topology& topo) const;
+};
+
+/// Check Definition 4 over a timed multicast: two unicasts
+/// (u, v, P(u,v), t) and (x, y, P(x,y), tau) with t <= tau are
+/// contention-free iff their paths are arc-disjoint, or t < tau and x is
+/// in the reachable set R_u (the later unicast's sender learns of the
+/// message through the earlier unicast's sender, so the earlier message
+/// has necessarily left the shared channels behind).
+///
+/// Exact but quadratic in the number of unicasts — intended for tests,
+/// verification passes and examples, not the hot path.
+ContentionReport check_contention(const MulticastSchedule& schedule,
+                                  const StepResult& steps);
+
+/// Convenience: evaluate the schedule under `port` and check Definition 4
+/// on the resulting step assignment.
+ContentionReport check_contention(const MulticastSchedule& schedule,
+                                  PortModel port);
+
+}  // namespace hypercast::core
+
+#endif  // HYPERCAST_CORE_CONTENTION_HPP

@@ -1,0 +1,141 @@
+#include "core/multicast.hpp"
+
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hypercast::core {
+
+void MulticastRequest::validate() const {
+  if (!topo.contains(source)) {
+    throw std::invalid_argument("multicast source outside the cube");
+  }
+  std::unordered_set<NodeId> seen;
+  for (const NodeId d : destinations) {
+    if (!topo.contains(d)) {
+      throw std::invalid_argument("multicast destination outside the cube");
+    }
+    if (d == source) {
+      throw std::invalid_argument("source listed as a destination");
+    }
+    if (!seen.insert(d).second) {
+      throw std::invalid_argument("duplicate destination");
+    }
+  }
+}
+
+void MulticastSchedule::add_send(NodeId from, Send send) {
+  sends_[from].push_back(std::move(send));
+  ++num_sends_;
+}
+
+std::span<const Send> MulticastSchedule::sends_from(NodeId u) const {
+  const auto it = sends_.find(u);
+  if (it == sends_.end()) return {};
+  return it->second;
+}
+
+std::vector<Unicast> MulticastSchedule::unicasts() const {
+  std::vector<Unicast> out;
+  out.reserve(num_sends_);
+  std::deque<NodeId> frontier{source_};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    int issue = 0;
+    for (const Send& s : sends_from(u)) {
+      out.push_back(Unicast{u, s.to, issue++});
+      frontier.push_back(s.to);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> MulticastSchedule::recipients() const {
+  std::vector<NodeId> out;
+  out.reserve(num_sends_);
+  for (const Unicast& u : unicasts()) out.push_back(u.to);
+  return out;
+}
+
+std::vector<NodeId> MulticastSchedule::senders() const {
+  std::vector<NodeId> out;
+  out.reserve(sends_.size());
+  for (const auto& [node, list] : sends_) {
+    if (!list.empty()) out.push_back(node);
+  }
+  return out;
+}
+
+void MulticastSchedule::validate() const {
+  std::unordered_set<NodeId> received;
+  received.insert(source_);
+  std::size_t tree_sends = 0;
+  std::deque<NodeId> frontier{source_};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const Send& s : sends_from(u)) {
+      ++tree_sends;
+      if (!topo_.contains(s.to)) {
+        throw std::logic_error("schedule sends outside the cube");
+      }
+      if (s.to == u) {
+        throw std::logic_error("schedule contains a self-send");
+      }
+      if (!received.insert(s.to).second) {
+        throw std::logic_error("node " + topo_.format(s.to) +
+                               " receives the message more than once");
+      }
+      frontier.push_back(s.to);
+    }
+  }
+  if (tree_sends != num_sends_) {
+    throw std::logic_error(
+        "schedule contains sends from nodes that never receive the message");
+  }
+}
+
+bool MulticastSchedule::covers(std::span<const NodeId> dests) const {
+  const auto recv = recipients();
+  const std::unordered_set<NodeId> got(recv.begin(), recv.end());
+  for (const NodeId d : dests) {
+    if (d != source_ && !got.contains(d)) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> MulticastSchedule::relay_processors(
+    std::span<const NodeId> dests) const {
+  const std::unordered_set<NodeId> want(dests.begin(), dests.end());
+  std::vector<NodeId> relays;
+  for (const NodeId r : recipients()) {
+    if (!want.contains(r)) relays.push_back(r);
+  }
+  return relays;
+}
+
+std::string MulticastSchedule::format_tree() const {
+  std::ostringstream os;
+  // Depth-first rendering with indentation; children in issue order.
+  struct Frame {
+    NodeId node;
+    int depth;
+  };
+  std::vector<Frame> stack{{source_, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < f.depth; ++i) os << "  ";
+    os << topo_.format(f.node) << '\n';
+    const auto sends = sends_from(f.node);
+    // Push in reverse so that issue order renders top-to-bottom.
+    for (auto it = sends.rbegin(); it != sends.rend(); ++it) {
+      stack.push_back(Frame{it->to, f.depth + 1});
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hypercast::core

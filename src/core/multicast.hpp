@@ -1,0 +1,111 @@
+#ifndef HYPERCAST_CORE_MULTICAST_HPP
+#define HYPERCAST_CORE_MULTICAST_HPP
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hcube/chain.hpp"
+#include "hcube/ecube.hpp"
+#include "hcube/topology.hpp"
+
+namespace hypercast::core {
+
+using hcube::Dim;
+using hcube::NodeId;
+using hcube::Resolution;
+using hcube::Topology;
+
+/// A multicast to perform: deliver one message from `source` to every
+/// node in `destinations` (distinct, source excluded).
+struct MulticastRequest {
+  Topology topo;
+  NodeId source = 0;
+  std::vector<NodeId> destinations;
+
+  /// Throws std::invalid_argument on malformed requests (duplicate or
+  /// out-of-range destinations, source listed as a destination).
+  void validate() const;
+};
+
+/// One unicast a node issues as part of a unicast-based multicast: the
+/// message goes to `to`, accompanied by the address field `payload` — the
+/// destinations `to` becomes responsible for delivering (Definition 3's
+/// reachable set of `to`, minus `to` itself).
+struct Send {
+  NodeId to = 0;
+  std::vector<NodeId> payload;
+};
+
+/// A unicast flattened out of a schedule, tagged with its sender's
+/// issue position (the order the sender's software would transmit).
+struct Unicast {
+  NodeId from = 0;
+  NodeId to = 0;
+  int issue_index = 0;  ///< 0-based position in the sender's send list
+};
+
+/// The product of a multicast algorithm: for every participating node,
+/// the *ordered* list of unicasts it issues after receiving the message.
+/// The order matters — it is the serialization order on a one-port node
+/// and the per-channel serialization order on an all-port node.
+///
+/// A schedule forms a tree rooted at the source: each non-source
+/// recipient receives exactly once (validate() enforces this).
+class MulticastSchedule {
+ public:
+  MulticastSchedule(Topology topo, NodeId source)
+      : topo_(std::move(topo)), source_(source) {}
+
+  const Topology& topo() const { return topo_; }
+  NodeId source() const { return source_; }
+
+  /// Append a send to `from`'s issue list.
+  void add_send(NodeId from, Send send);
+
+  /// The ordered sends issued by node u (empty list if u sends nothing).
+  std::span<const Send> sends_from(NodeId u) const;
+
+  /// Every node that receives the message (excludes the source), in
+  /// breadth-first tree order. Deterministic.
+  std::vector<NodeId> recipients() const;
+
+  /// All unicasts in breadth-first tree order (parents before children).
+  std::vector<Unicast> unicasts() const;
+
+  /// Total number of unicast messages in the schedule.
+  std::size_t num_unicasts() const { return num_sends_; }
+
+  /// Nodes with at least one outgoing send, including the source if it
+  /// sends. Unordered.
+  std::vector<NodeId> senders() const;
+
+  /// Structural validation: all endpoints in the cube, no self-sends,
+  /// every non-source recipient receives exactly once, every sender is
+  /// the source or a recipient (i.e. the schedule is a tree rooted at
+  /// the source). Throws std::logic_error with a description otherwise.
+  void validate() const;
+
+  /// True iff every node of `dests` receives the message.
+  bool covers(std::span<const NodeId> dests) const;
+
+  /// Intermediate routers relay worms without processor involvement, but
+  /// a *recipient* that is not a requested destination has its processor
+  /// handle the message (the cost the paper's Figure 3(a) vs 3(c)
+  /// comparison highlights). Returns the recipients not in `dests`.
+  std::vector<NodeId> relay_processors(std::span<const NodeId> dests) const;
+
+  /// Multi-line human-readable tree rendering (for examples/debugging).
+  std::string format_tree() const;
+
+ private:
+  Topology topo_;
+  NodeId source_;
+  std::size_t num_sends_ = 0;
+  std::unordered_map<NodeId, std::vector<Send>> sends_;
+};
+
+}  // namespace hypercast::core
+
+#endif  // HYPERCAST_CORE_MULTICAST_HPP

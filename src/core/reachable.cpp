@@ -1,0 +1,56 @@
+#include "core/reachable.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace hypercast::core {
+
+TreeInfo tree_info(const MulticastSchedule& schedule) {
+  TreeInfo info;
+  info.depth[schedule.source()] = 0;
+  std::deque<NodeId> frontier{schedule.source()};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const int d = info.depth.at(u);
+    for (const Send& s : schedule.sends_from(u)) {
+      info.parent[s.to] = u;
+      info.depth[s.to] = d + 1;
+      info.height = std::max(info.height, d + 1);
+      frontier.push_back(s.to);
+    }
+  }
+  return info;
+}
+
+std::unordered_set<NodeId> reachable_set(const MulticastSchedule& schedule,
+                                         NodeId u) {
+  std::unordered_set<NodeId> out{u};
+  std::deque<NodeId> frontier{u};
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const Send& s : schedule.sends_from(v)) {
+      if (out.insert(s.to).second) frontier.push_back(s.to);
+    }
+  }
+  return out;
+}
+
+std::unordered_map<NodeId, std::unordered_set<NodeId>> all_reachable_sets(
+    const MulticastSchedule& schedule) {
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> out;
+  // Post-order accumulation: children before parents. unicasts() yields
+  // parents before children, so walk it in reverse.
+  const auto unis = schedule.unicasts();
+  out[schedule.source()].insert(schedule.source());
+  for (const Unicast& u : unis) out[u.to].insert(u.to);
+  for (auto it = unis.rbegin(); it != unis.rend(); ++it) {
+    auto& parent_set = out[it->from];
+    const auto& child_set = out[it->to];
+    parent_set.insert(child_set.begin(), child_set.end());
+  }
+  return out;
+}
+
+}  // namespace hypercast::core

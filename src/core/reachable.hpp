@@ -1,0 +1,32 @@
+#ifndef HYPERCAST_CORE_REACHABLE_HPP
+#define HYPERCAST_CORE_REACHABLE_HPP
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/multicast.hpp"
+
+namespace hypercast::core {
+
+/// Tree-shape queries over a multicast schedule.
+struct TreeInfo {
+  std::unordered_map<NodeId, NodeId> parent;  ///< absent for the source
+  std::unordered_map<NodeId, int> depth;      ///< source at 0
+  int height = 0;                             ///< max depth over recipients
+};
+
+TreeInfo tree_info(const MulticastSchedule& schedule);
+
+/// The reachable set R_u (Definition 3): the nodes that receive the
+/// message directly or indirectly through u — the subtree rooted at u,
+/// including u itself. Nodes not in the schedule yield {u}.
+std::unordered_set<NodeId> reachable_set(const MulticastSchedule& schedule,
+                                         NodeId u);
+
+/// Reachable sets for every participant at once (one tree walk).
+std::unordered_map<NodeId, std::unordered_set<NodeId>> all_reachable_sets(
+    const MulticastSchedule& schedule);
+
+}  // namespace hypercast::core
+
+#endif  // HYPERCAST_CORE_REACHABLE_HPP

@@ -1,0 +1,16 @@
+#include "core/separate.hpp"
+
+namespace hypercast::core {
+
+MulticastSchedule separate_addressing(const MulticastRequest& req) {
+  req.validate();
+  MulticastSchedule schedule(req.topo, req.source);
+  const auto chain =
+      hcube::make_relative_chain(req.topo, req.source, req.destinations);
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    schedule.add_send(req.source, Send{chain[i], {}});
+  }
+  return schedule;
+}
+
+}  // namespace hypercast::core

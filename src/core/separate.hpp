@@ -1,0 +1,16 @@
+#ifndef HYPERCAST_CORE_SEPARATE_HPP
+#define HYPERCAST_CORE_SEPARATE_HPP
+
+#include "core/multicast.hpp"
+
+namespace hypercast::core {
+
+/// Separate addressing: the source sends an individual unicast to every
+/// destination (Section 2's naive alternative to multicast trees). The
+/// sends are issued in d0-relative dimension order, which at least lets
+/// an all-port source overlap messages that leave on distinct channels.
+MulticastSchedule separate_addressing(const MulticastRequest& req);
+
+}  // namespace hypercast::core
+
+#endif  // HYPERCAST_CORE_SEPARATE_HPP

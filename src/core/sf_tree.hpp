@@ -1,0 +1,19 @@
+#ifndef HYPERCAST_CORE_SF_TREE_HPP
+#define HYPERCAST_CORE_SF_TREE_HPP
+
+#include "core/multicast.hpp"
+
+namespace hypercast::core {
+
+/// The store-and-forward era multicast of Figure 3(a): the message is
+/// relayed hop by hop through a dimension-ordered spanning (binomial)
+/// tree pruned to the branches that contain destinations. Every hop is a
+/// single-channel unicast handled by the relay node's *processor* — the
+/// scheme early hypercubes used before wormhole routing, kept here as the
+/// historical baseline the paper motivates against. Relay nodes that are
+/// not destinations still receive and forward the message.
+MulticastSchedule sf_tree(const MulticastRequest& req);
+
+}  // namespace hypercast::core
+
+#endif  // HYPERCAST_CORE_SF_TREE_HPP

@@ -1,0 +1,62 @@
+#include "core/stepwise.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+#include "hcube/ecube.hpp"
+
+namespace hypercast::core {
+
+StepResult assign_steps(const MulticastSchedule& schedule, PortModel port,
+                        std::span<const NodeId> targets) {
+  const Topology& topo = schedule.topo();
+  const int concurrency = std::max(1, port.concurrency(topo.dim()));
+
+  StepResult result;
+  result.arrival_step[schedule.source()] = 0;
+
+  std::deque<NodeId> frontier{schedule.source()};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const int ready = result.arrival_step.at(u);
+
+    // Next free step per outgoing channel, and per-step send counts.
+    std::unordered_map<Dim, int> chan_free;
+    std::unordered_map<int, int> step_load;
+    for (const Send& s : schedule.sends_from(u)) {
+      const Dim d = hcube::delta_distinct(topo, u, s.to);
+      int dep = std::max(ready + 1, [&] {
+        const auto it = chan_free.find(d);
+        return it == chan_free.end() ? 0 : it->second;
+      }());
+      while (step_load[dep] >= concurrency) ++dep;
+      chan_free[d] = dep + 1;
+      ++step_load[dep];
+
+      result.unicasts.push_back(TimedUnicast{u, s.to, dep});
+      result.arrival_step[s.to] = dep;
+      frontier.push_back(s.to);
+    }
+  }
+
+  if (targets.empty()) {
+    for (const auto& [node, step] : result.arrival_step) {
+      result.total_steps = std::max(result.total_steps, step);
+    }
+  } else {
+    for (const NodeId t : targets) {
+      const auto it = result.arrival_step.find(t);
+      assert(it != result.arrival_step.end() &&
+             "stepwise target never receives the message");
+      if (it != result.arrival_step.end()) {
+        result.total_steps = std::max(result.total_steps, it->second);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hypercast::core

@@ -1,0 +1,79 @@
+#ifndef HYPERCAST_CORE_STEPWISE_HPP
+#define HYPERCAST_CORE_STEPWISE_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/multicast.hpp"
+
+namespace hypercast::core {
+
+/// Port model of a node (Section 1): how many internal channel pairs
+/// connect the processor to its router, i.e. how many messages a node
+/// can be transmitting (receiving) simultaneously.
+struct PortModel {
+  enum class Kind : std::uint8_t {
+    OnePort,  ///< one internal pair: sends fully serialize
+    AllPort,  ///< one internal pair per external channel
+    KPort,    ///< k internal pairs, any k concurrent transmissions
+  };
+  Kind kind = Kind::AllPort;
+  int k = 1;  ///< only meaningful for KPort
+
+  static constexpr PortModel one_port() { return {Kind::OnePort, 1}; }
+  static constexpr PortModel all_port() { return {Kind::AllPort, 0}; }
+  static constexpr PortModel k_port(int k) { return {Kind::KPort, k}; }
+
+  /// Max concurrent sends for a node of degree n.
+  int concurrency(int n) const {
+    switch (kind) {
+      case Kind::OnePort: return 1;
+      case Kind::AllPort: return n;
+      case Kind::KPort: return k;
+    }
+    return 1;
+  }
+
+  const char* name() const {
+    switch (kind) {
+      case Kind::OnePort: return "one-port";
+      case Kind::AllPort: return "all-port";
+      case Kind::KPort: return "k-port";
+    }
+    return "?";
+  }
+};
+
+/// A unicast stamped with the logical time step of its transmission
+/// (the (u, v, P(u, v), t) tuples of Section 3.4).
+struct TimedUnicast {
+  NodeId from = 0;
+  NodeId to = 0;
+  int step = 0;  ///< 1-based: the source's first sends occupy step 1
+};
+
+/// Result of stepwise evaluation of a schedule.
+struct StepResult {
+  std::vector<TimedUnicast> unicasts;
+  std::unordered_map<NodeId, int> arrival_step;  ///< per recipient
+  int total_steps = 0;  ///< max arrival step over the *requested* targets
+};
+
+/// Assign each unicast of the schedule its transmission step under the
+/// paper's stepwise model (Section 5.1, and the step labels of Figures
+/// 3/5/6/8): a message occupies exactly one step; a node that receives
+/// in step t issues its sends starting at step t+1 in issue order;
+/// sends from one node serialize per outgoing channel (two sends with
+/// equal delta share their first arc and cannot overlap; distinct deltas
+/// are arc-disjoint by Theorem 1) and at most `concurrency` of them may
+/// occupy the same step.
+///
+/// `targets` selects the nodes whose arrival defines total_steps (the
+/// requested destinations; relays en route do not count). If empty, all
+/// recipients count.
+StepResult assign_steps(const MulticastSchedule& schedule, PortModel port,
+                        std::span<const NodeId> targets = {});
+
+}  // namespace hypercast::core
+
+#endif  // HYPERCAST_CORE_STEPWISE_HPP

@@ -1,0 +1,18 @@
+#include "core/wsort.hpp"
+
+namespace hypercast::core {
+
+std::vector<NodeId> wsort_chain(const MulticastRequest& req,
+                                WeightedSortImpl impl) {
+  req.validate();
+  auto chain = hcube::make_relative_chain(req.topo, req.source, req.destinations);
+  weighted_sort(req.topo, chain, impl);
+  return chain;
+}
+
+MulticastSchedule wsort(const MulticastRequest& req, WeightedSortImpl impl) {
+  const auto chain = wsort_chain(req, impl);
+  return build_chain_schedule(req.topo, chain, NextRule::HighDim);
+}
+
+}  // namespace hypercast::core

@@ -1,0 +1,91 @@
+#include "harness/experiment.hpp"
+
+#include <cassert>
+
+#include "workload/random_sets.hpp"
+
+namespace hypercast::harness {
+
+namespace {
+
+/// Draw the (source, destinations) instance for a sweep point/trial.
+/// Seeds derive from (experiment seed, m, trial) so every instance is
+/// identical across algorithms and independent of sweep order.
+std::pair<hcube::NodeId, std::vector<hcube::NodeId>> draw_instance(
+    const SweepBase& config, const hcube::Topology& topo, std::size_t m,
+    std::size_t trial) {
+  workload::Rng rng(workload::derive_seed(config.seed, m, trial));
+  std::uniform_int_distribution<hcube::NodeId> src_dist(
+      0, static_cast<hcube::NodeId>(topo.num_nodes() - 1));
+  const hcube::NodeId source = src_dist(rng);
+  auto dests = workload::random_destinations(topo, source, m, rng);
+  return {source, std::move(dests)};
+}
+
+}  // namespace
+
+metrics::Series run_step_sweep(const StepSweepConfig& config) {
+  const hcube::Topology topo(config.n, config.resolution);
+  metrics::Series series(config.title, "destinations", "steps");
+  for (const std::size_t m : config.sizes) {
+    assert(m <= topo.num_nodes() - 1);
+    for (std::size_t trial = 0; trial < config.sets_per_point; ++trial) {
+      const auto [source, dests] = draw_instance(config, topo, m, trial);
+      const core::MulticastRequest req{topo, source, dests};
+      for (const std::string& name : config.algorithms) {
+        const auto& algo = core::find_algorithm(name);
+        const auto schedule = algo.build(req);
+        const auto steps =
+            core::assign_steps(schedule, config.port, req.destinations);
+        series.add_sample(algo.display, static_cast<double>(m),
+                          static_cast<double>(steps.total_steps));
+      }
+    }
+  }
+  return series;
+}
+
+DelaySweepResult run_delay_sweep(const DelaySweepConfig& config) {
+  const hcube::Topology topo(config.n, config.resolution);
+  DelaySweepResult result{
+      metrics::Series(config.title + " (average)", "destinations",
+                      "avg delay (us)"),
+      metrics::Series(config.title + " (maximum)", "destinations",
+                      "max delay (us)"),
+      0};
+
+  sim::SimConfig sim_config;
+  sim_config.cost = config.cost;
+  sim_config.port = config.port;
+  sim_config.message_bytes = config.message_bytes;
+
+  for (const std::size_t m : config.sizes) {
+    assert(m <= topo.num_nodes() - 1);
+    for (std::size_t trial = 0; trial < config.sets_per_point; ++trial) {
+      const auto [source, dests] = draw_instance(config, topo, m, trial);
+      const core::MulticastRequest req{topo, source, dests};
+      for (const std::string& name : config.algorithms) {
+        const auto& algo = core::find_algorithm(name);
+        const auto schedule = algo.build(req);
+        const auto sim_result = sim::simulate_multicast(schedule, sim_config);
+        result.blocked_acquisitions += sim_result.stats.blocked_acquisitions;
+        result.avg.add_sample(algo.display, static_cast<double>(m),
+                              sim_result.avg_delay(req.destinations) / 1000.0);
+        result.max.add_sample(algo.display, static_cast<double>(m),
+                              sim::to_microseconds(
+                                  sim_result.max_delay(req.destinations)));
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::size_t> size_range(std::size_t from, std::size_t to,
+                                    std::size_t step) {
+  assert(step > 0 && from <= to);
+  std::vector<std::size_t> out;
+  for (std::size_t m = from; m <= to; m += step) out.push_back(m);
+  return out;
+}
+
+}  // namespace hypercast::harness

@@ -1,0 +1,101 @@
+#include "harness/figures.hpp"
+
+#include <cstdio>
+
+#include "metrics/table.hpp"
+
+namespace hypercast::harness {
+
+namespace {
+
+/// Sweep sizes mirroring the paper's x axes: every size in small cubes,
+/// a uniform grid plus the broadcast point in the 10-cube.
+std::vector<std::size_t> six_cube_sizes() { return size_range(1, 63, 2); }
+
+std::vector<std::size_t> ten_cube_sizes() {
+  auto sizes = size_range(50, 1000, 50);
+  sizes.push_back(1023);  // broadcast
+  return sizes;
+}
+
+std::vector<std::size_t> five_cube_sizes() { return size_range(1, 31, 1); }
+
+}  // namespace
+
+StepSweepConfig fig9_config(bool quick) {
+  StepSweepConfig config;
+  config.title = "Figure 9: stepwise comparisons on a 6-cube";
+  config.n = 6;
+  config.sizes = quick ? size_range(4, 60, 8) : six_cube_sizes();
+  config.sets_per_point = quick ? 10 : 100;
+  return config;
+}
+
+StepSweepConfig fig10_config(bool quick) {
+  StepSweepConfig config;
+  config.title = "Figure 10: stepwise comparisons on a 10-cube";
+  config.n = 10;
+  config.sizes = quick ? size_range(100, 1000, 300) : ten_cube_sizes();
+  config.sets_per_point = quick ? 5 : 100;
+  return config;
+}
+
+DelaySweepConfig fig11_12_config(bool quick) {
+  DelaySweepConfig config;
+  config.title = "Figures 11/12: 4096-byte multicast delay on a 5-cube";
+  config.n = 5;
+  config.sizes = quick ? size_range(4, 28, 8) : five_cube_sizes();
+  config.sets_per_point = quick ? 5 : 20;
+  return config;
+}
+
+DelaySweepConfig fig13_14_config(bool quick) {
+  DelaySweepConfig config;
+  config.title = "Figures 13/14: 4096-byte multicast delay on a 10-cube";
+  config.n = 10;
+  config.sizes = quick ? size_range(100, 1000, 300) : ten_cube_sizes();
+  config.sets_per_point = quick ? 5 : 100;
+  return config;
+}
+
+void run_and_report_steps(const StepSweepConfig& config,
+                          const std::string& csv_path) {
+  const auto series = run_step_sweep(config);
+  std::fputs(metrics::format_table(series).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(metrics::format_ascii_plot(series).c_str(), stdout);
+  if (!csv_path.empty()) {
+    metrics::write_csv(series, csv_path);
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+}
+
+void run_and_report_delays(const DelaySweepConfig& config,
+                           const std::string& which,
+                           const std::string& csv_base) {
+  const auto result = run_delay_sweep(config);
+  const bool want_avg = which == "avg" || which == "both";
+  const bool want_max = which == "max" || which == "both";
+  if (want_avg) {
+    std::fputs(metrics::format_table(result.avg).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(metrics::format_ascii_plot(result.avg).c_str(), stdout);
+    if (!csv_base.empty()) {
+      metrics::write_csv(result.avg, csv_base + "-avg.csv");
+      std::printf("wrote %s-avg.csv\n", csv_base.c_str());
+    }
+  }
+  if (want_max) {
+    std::fputs(metrics::format_table(result.max).c_str(), stdout);
+    std::fputs("\n", stdout);
+    std::fputs(metrics::format_ascii_plot(result.max).c_str(), stdout);
+    if (!csv_base.empty()) {
+      metrics::write_csv(result.max, csv_base + "-max.csv");
+      std::printf("wrote %s-max.csv\n", csv_base.c_str());
+    }
+  }
+  std::printf("total blocked channel acquisitions across runs: %llu\n",
+              static_cast<unsigned long long>(result.blocked_acquisitions));
+}
+
+}  // namespace hypercast::harness

@@ -1,0 +1,42 @@
+#ifndef HYPERCAST_HARNESS_FIGURES_HPP
+#define HYPERCAST_HARNESS_FIGURES_HPP
+
+#include "harness/experiment.hpp"
+
+namespace hypercast::harness {
+
+/// Ready-made configurations for every evaluation figure of the paper
+/// (Section 5). `quick` shrinks trial counts for use in tests; the bench
+/// binaries run the full configuration.
+
+/// Figure 9: average (over 100 random sets) of the max steps to reach
+/// all destinations in a 6-cube, all-port stepwise model.
+StepSweepConfig fig9_config(bool quick = false);
+
+/// Figure 10: the same on a 10-cube.
+StepSweepConfig fig10_config(bool quick = false);
+
+/// Figures 11/12: average/maximum delay of a 4096-byte multicast in a
+/// 5-cube under the nCUBE-2 cost model, 20 random sets per point.
+/// One delay sweep produces both figures.
+DelaySweepConfig fig11_12_config(bool quick = false);
+
+/// Figures 13/14: average/maximum delay in a 10-cube, 100 sets per
+/// point (the paper's MultiSim experiment).
+DelaySweepConfig fig13_14_config(bool quick = false);
+
+/// Shared driver used by the bench binaries: run the sweep, print the
+/// paper-style table plus an ASCII shape plot, and write `csv_path`
+/// (skipped when empty).
+void run_and_report_steps(const StepSweepConfig& config,
+                          const std::string& csv_path);
+
+/// As above for delay sweeps; `which` selects avg ("avg"), max ("max")
+/// or both ("both") for reporting, and csv files get -avg/-max suffixes.
+void run_and_report_delays(const DelaySweepConfig& config,
+                           const std::string& which,
+                           const std::string& csv_base);
+
+}  // namespace hypercast::harness
+
+#endif  // HYPERCAST_HARNESS_FIGURES_HPP

@@ -1,0 +1,107 @@
+#include "harness/options.hpp"
+
+#include <stdexcept>
+
+namespace hypercast::harness {
+
+Options Options::parse(int argc, const char* const* argv, int first) {
+  Options out;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      throw std::invalid_argument("expected --option, got '" + arg + "'");
+    }
+    const std::string key = arg.substr(2);
+    std::string value = "true";  // bare flag
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    if (!out.values_.emplace(key, value).second) {
+      throw std::invalid_argument("duplicate option --" + key);
+    }
+  }
+  return out;
+}
+
+std::string Options::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    throw std::invalid_argument("missing required option --" + key);
+  }
+  return it->second;
+}
+
+std::string Options::get_or(const std::string& key,
+                            std::string fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+long Options::get_int(const std::string& key) const {
+  const std::string v = get(key);
+  std::size_t pos = 0;
+  const long out = std::stol(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("--" + key + " expects an integer, got '" +
+                                v + "'");
+  }
+  return out;
+}
+
+long Options::get_int_or(const std::string& key, long fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+std::vector<hcube::NodeId> Options::get_nodes(const std::string& key) const {
+  const std::string v = get(key);
+  std::vector<hcube::NodeId> out;
+  std::size_t start = 0;
+  while (start <= v.size()) {
+    const std::size_t comma = v.find(',', start);
+    const std::string token =
+        v.substr(start, comma == std::string::npos ? std::string::npos
+                                                   : comma - start);
+    if (token.empty()) {
+      throw std::invalid_argument("--" + key + ": empty node in list '" + v +
+                                  "'");
+    }
+    std::size_t pos = 0;
+    const unsigned long node = std::stoul(token, &pos);
+    if (pos != token.size()) {
+      throw std::invalid_argument("--" + key + ": bad node '" + token + "'");
+    }
+    out.push_back(static_cast<hcube::NodeId>(node));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+hcube::Resolution Options::resolution() const {
+  const std::string v = get_or("res", "high");
+  if (v == "high") return hcube::Resolution::HighToLow;
+  if (v == "low") return hcube::Resolution::LowToHigh;
+  throw std::invalid_argument("--res expects 'high' or 'low', got '" + v +
+                              "'");
+}
+
+core::PortModel Options::port() const {
+  const std::string v = get_or("port", "all");
+  if (v == "all") return core::PortModel::all_port();
+  if (v == "one") return core::PortModel::one_port();
+  if (v.rfind("k:", 0) == 0) {
+    const int k = static_cast<int>(std::stol(v.substr(2)));
+    if (k < 1) throw std::invalid_argument("--port k:<n> needs n >= 1");
+    return core::PortModel::k_port(k);
+  }
+  throw std::invalid_argument("--port expects 'one', 'all' or 'k:<n>'");
+}
+
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace hypercast::harness

@@ -1,0 +1,49 @@
+#ifndef HYPERCAST_HARNESS_OPTIONS_HPP
+#define HYPERCAST_HARNESS_OPTIONS_HPP
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stepwise.hpp"
+#include "hcube/types.hpp"
+
+namespace hypercast::harness {
+
+/// Minimal --key value / --flag command-line parser shared by the CLI
+/// tool; kept in the library so it is unit-testable.
+class Options {
+ public:
+  /// Parse argv[first..argc). Throws std::invalid_argument on malformed
+  /// input (an option without the leading "--", duplicate keys).
+  static Options parse(int argc, const char* const* argv, int first = 1);
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+  /// Value lookups; `get` throws std::invalid_argument when the key is
+  /// missing, the *_or forms substitute a default.
+  std::string get(const std::string& key) const;
+  std::string get_or(const std::string& key, std::string fallback) const;
+  long get_int(const std::string& key) const;
+  long get_int_or(const std::string& key, long fallback) const;
+
+  /// Comma-separated node list, e.g. "3,5,12".
+  std::vector<hcube::NodeId> get_nodes(const std::string& key) const;
+
+  /// "high" / "low" -> Resolution. Defaults to HighToLow.
+  hcube::Resolution resolution() const;
+
+  /// "one", "all" or "k:<n>" -> PortModel. Defaults to all-port.
+  core::PortModel port() const;
+
+  /// Keys the caller never consumed (typo detection).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace hypercast::harness
+
+#endif  // HYPERCAST_HARNESS_OPTIONS_HPP

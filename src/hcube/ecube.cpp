@@ -1,0 +1,72 @@
+#include "hcube/ecube.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hypercast::hcube {
+
+std::optional<Dim> delta(const Topology& topo, NodeId u, NodeId v) {
+  assert(topo.contains(u) && topo.contains(v));
+  if (u == v) return std::nullopt;
+  const std::uint32_t diff = u ^ v;
+  return topo.resolution() == Resolution::HighToLow ? highest_bit(diff)
+                                                    : lowest_bit(diff);
+}
+
+Dim delta_distinct(const Topology& topo, NodeId u, NodeId v) {
+  const auto d = delta(topo, u, v);
+  assert(d.has_value());
+  return *d;
+}
+
+std::vector<Dim> route_dims(const Topology& topo, NodeId u, NodeId v) {
+  assert(topo.contains(u) && topo.contains(v));
+  std::vector<Dim> dims;
+  dims.reserve(static_cast<std::size_t>(hamming(u, v)));
+  const std::uint32_t diff = u ^ v;
+  if (topo.resolution() == Resolution::HighToLow) {
+    for (Dim d = topo.dim() - 1; d >= 0; --d) {
+      if (test_bit(diff, d)) dims.push_back(d);
+    }
+  } else {
+    for (Dim d = 0; d < topo.dim(); ++d) {
+      if (test_bit(diff, d)) dims.push_back(d);
+    }
+  }
+  return dims;
+}
+
+std::vector<NodeId> ecube_path(const Topology& topo, NodeId u, NodeId v) {
+  std::vector<NodeId> path;
+  path.reserve(static_cast<std::size_t>(hamming(u, v)) + 1);
+  path.push_back(u);
+  NodeId cur = u;
+  for (const Dim d : route_dims(topo, u, v)) {
+    cur = topo.neighbor(cur, d);
+    path.push_back(cur);
+  }
+  assert(cur == v);
+  return path;
+}
+
+std::vector<Arc> ecube_arcs(const Topology& topo, NodeId u, NodeId v) {
+  std::vector<Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(hamming(u, v)));
+  NodeId cur = u;
+  for (const Dim d : route_dims(topo, u, v)) {
+    arcs.push_back(Arc{cur, d});
+    cur = topo.neighbor(cur, d);
+  }
+  return arcs;
+}
+
+bool arc_disjoint(const Topology& topo, NodeId u, NodeId v, NodeId x, NodeId y) {
+  const auto a = ecube_arcs(topo, u, v);
+  const auto b = ecube_arcs(topo, x, y);
+  for (const Arc& p : a) {
+    if (std::find(b.begin(), b.end(), p) != b.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace hypercast::hcube

@@ -1,0 +1,42 @@
+#ifndef HYPERCAST_HCUBE_ECUBE_HPP
+#define HYPERCAST_HCUBE_ECUBE_HPP
+
+#include <optional>
+#include <vector>
+
+#include "hcube/topology.hpp"
+
+namespace hypercast::hcube {
+
+/// Deterministic dimension-ordered (E-cube) routing: the unique shortest
+/// path P(u, v) that corrects differing address bits in the topology's
+/// resolution order (Section 3.1 of the paper).
+
+/// delta(u, v): the first dimension in which an E-cube route from u to v
+/// travels — Definition 1 of the paper (the highest-ordered differing bit
+/// for HighToLow resolution, the lowest for LowToHigh). Undefined when
+/// u == v, represented here as std::nullopt.
+std::optional<Dim> delta(const Topology& topo, NodeId u, NodeId v);
+
+/// delta for nodes known to be distinct; asserts u != v.
+Dim delta_distinct(const Topology& topo, NodeId u, NodeId v);
+
+/// The ordered list of dimensions an E-cube route from u to v traverses.
+std::vector<Dim> route_dims(const Topology& topo, NodeId u, NodeId v);
+
+/// The node sequence (u; w1; ...; wp; v) of P(u, v). Size = distance + 1.
+std::vector<NodeId> ecube_path(const Topology& topo, NodeId u, NodeId v);
+
+/// The directed external channels P(u, v) occupies, in traversal order.
+/// Size = distance(u, v).
+std::vector<Arc> ecube_arcs(const Topology& topo, NodeId u, NodeId v);
+
+/// True iff P(u, v) and P(x, y) share no directed external channel. The
+/// theorems of Section 3.3 give cheap sufficient conditions for this;
+/// this function is the exact (brute-force) predicate the theorems are
+/// tested against, and the workhorse of the contention checker.
+bool arc_disjoint(const Topology& topo, NodeId u, NodeId v, NodeId x, NodeId y);
+
+}  // namespace hypercast::hcube
+
+#endif  // HYPERCAST_HCUBE_ECUBE_HPP

@@ -1,0 +1,76 @@
+#include "hcube/embeddings.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace hypercast::hcube {
+
+std::uint32_t gray_decode(std::uint32_t g) {
+  std::uint32_t out = 0;
+  while (g != 0) {
+    out ^= g;
+    g >>= 1;
+  }
+  return out;
+}
+
+std::vector<NodeId> gray_ring(const Topology& topo) {
+  std::vector<NodeId> ring;
+  ring.reserve(topo.num_nodes());
+  for (std::uint32_t i = 0; i < topo.num_nodes(); ++i) {
+    ring.push_back(static_cast<NodeId>(gray_code(i)));
+  }
+  return ring;
+}
+
+std::vector<NodeId> embed_ring(const Topology& topo, std::size_t length) {
+  if (length < 2 || length > topo.num_nodes() || length % 2 != 0) {
+    throw std::invalid_argument(
+        "ring length must be even and within the cube (hypercubes are "
+        "bipartite: odd cycles cannot embed)");
+  }
+  // A cycle of even length 2k embeds as a "reflected" walk: take the
+  // Gray ring of the smallest subcube holding k pairs... The classic
+  // construction: walk the Gray code of ceil(log2(length)) dimensions,
+  // using the sequence for length values; for length < 2^d the reflected
+  // Gray code of the first length/2 values in dimension d-1, mirrored
+  // with the top bit set, forms a cycle.
+  const Dim d = [&] {
+    Dim out = 1;
+    while ((std::size_t{1} << out) < length) ++out;
+    return out;
+  }();
+  std::vector<NodeId> ring;
+  ring.reserve(length);
+  const std::size_t half = length / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    ring.push_back(static_cast<NodeId>(gray_code(static_cast<std::uint32_t>(i))));
+  }
+  for (std::size_t i = half; i-- > 0;) {
+    ring.push_back(static_cast<NodeId>(
+        gray_code(static_cast<std::uint32_t>(i)) | (1u << (d - 1))));
+  }
+  return ring;
+}
+
+std::vector<NodeId> embed_grid(const Topology& topo, std::size_t rows,
+                               std::size_t cols) {
+  if (rows == 0 || cols == 0 || !std::has_single_bit(rows) ||
+      !std::has_single_bit(cols) || rows * cols > topo.num_nodes()) {
+    throw std::invalid_argument(
+        "grid dimensions must be powers of two with rows*cols <= N");
+  }
+  const int col_bits = std::countr_zero(cols);
+  std::vector<NodeId> grid;
+  grid.reserve(rows * cols);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      grid.push_back(static_cast<NodeId>((gray_code(r) << col_bits) |
+                                         gray_code(c)));
+    }
+  }
+  return grid;
+}
+
+}  // namespace hypercast::hcube

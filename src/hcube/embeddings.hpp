@@ -1,0 +1,41 @@
+#ifndef HYPERCAST_HCUBE_EMBEDDINGS_HPP
+#define HYPERCAST_HCUBE_EMBEDDINGS_HPP
+
+#include <vector>
+
+#include "hcube/topology.hpp"
+
+namespace hypercast::hcube {
+
+/// Gray-code machinery and classic topology embeddings. The paper's
+/// introduction motivates collective communication with data-parallel
+/// programs; those programs reach the hypercube through exactly these
+/// maps — a logical ring or grid of processes laid onto cube nodes so
+/// that logical neighbours are physical neighbours.
+
+/// The i-th binary reflected Gray code value, i in [0, 2^n).
+constexpr std::uint32_t gray_code(std::uint32_t i) { return i ^ (i >> 1); }
+
+/// Inverse of gray_code for values below 2^n.
+std::uint32_t gray_decode(std::uint32_t g);
+
+/// The Gray-code ring of an n-cube: a Hamiltonian cycle visiting every
+/// node exactly once, consecutive nodes (and last/first) adjacent.
+std::vector<NodeId> gray_ring(const Topology& topo);
+
+/// Embed a ring of `length` processes (2 <= length <= N, length even) so
+/// that ring neighbours are cube neighbours. Even lengths are exactly
+/// the embeddable ones (the hypercube is bipartite). Throws
+/// std::invalid_argument otherwise.
+std::vector<NodeId> embed_ring(const Topology& topo, std::size_t length);
+
+/// Embed a rows x cols grid (both powers of two, rows*cols <= N) with
+/// grid neighbours mapped to cube neighbours (product of Gray codes).
+/// result[r * cols + c] is the node hosting grid position (r, c).
+/// Wrap-around neighbours are also adjacent (it embeds the torus).
+std::vector<NodeId> embed_grid(const Topology& topo, std::size_t rows,
+                               std::size_t cols);
+
+}  // namespace hypercast::hcube
+
+#endif  // HYPERCAST_HCUBE_EMBEDDINGS_HPP

@@ -1,0 +1,41 @@
+#include "hcube/subcube.hpp"
+
+#include <cassert>
+
+namespace hypercast::hcube {
+
+Subcube smallest_common_subcube_keys(const Topology& topo, std::uint32_t a,
+                                     std::uint32_t b) {
+  Dim ns = 0;
+  while (ns < topo.dim() && (a >> ns) != (b >> ns)) ++ns;
+  return Subcube{ns, a >> ns};
+}
+
+Subcube smallest_common_subcube(const Topology& topo, NodeId u, NodeId v) {
+  assert(topo.contains(u) && topo.contains(v));
+  return smallest_common_subcube_keys(topo, topo.key(u), topo.key(v));
+}
+
+std::vector<NodeId> subcube_members(const Topology& topo, const Subcube& s) {
+  assert(s.ns >= 0 && s.ns <= topo.dim());
+  assert((s.mask >> (topo.dim() - s.ns)) == 0);
+  std::vector<NodeId> members;
+  members.reserve(s.size());
+  for (std::uint32_t low = 0; low < (std::uint32_t{1} << s.ns); ++low) {
+    members.push_back(topo.unkey(s.first_key() | low));
+  }
+  return members;
+}
+
+std::vector<Subcube> all_subcubes(const Topology& topo, Dim ns) {
+  assert(ns >= 0 && ns <= topo.dim());
+  std::vector<Subcube> out;
+  const std::uint32_t count = std::uint32_t{1} << (topo.dim() - ns);
+  out.reserve(count);
+  for (std::uint32_t mask = 0; mask < count; ++mask) {
+    out.push_back(Subcube{ns, mask});
+  }
+  return out;
+}
+
+}  // namespace hypercast::hcube

@@ -1,0 +1,72 @@
+#ifndef HYPERCAST_HCUBE_SUBCUBE_HPP
+#define HYPERCAST_HCUBE_SUBCUBE_HPP
+
+#include <span>
+#include <vector>
+
+#include "hcube/topology.hpp"
+
+namespace hypercast::hcube {
+
+/// A subcube S = (n_S, M_S) — Definition 2 of the paper: the set of nodes
+/// whose earliest-resolved (n - n_S) address bits equal the mask M_S, with
+/// the remaining n_S bits ranging freely.
+///
+/// The paper states the definition for high-to-low resolution ("the
+/// explicitly-stated address bits are the high order bits"). We state it
+/// in *key space* (Topology::key) so the same structure serves both
+/// resolution orders: a subcube always fixes the bits that E-cube routing
+/// resolves first. Membership of an address u is tested on key(u).
+struct Subcube {
+  Dim ns = 0;             ///< free dimensions (subcube dimensionality)
+  std::uint32_t mask = 0; ///< value of the fixed earliest-resolved bits
+
+  /// Membership in key space.
+  constexpr bool contains_key(std::uint32_t key) const {
+    return (key >> ns) == mask;
+  }
+
+  /// Membership of a node address under the given topology.
+  bool contains(const Topology& topo, NodeId u) const {
+    return contains_key(topo.key(u));
+  }
+
+  /// Number of member nodes, 2^ns.
+  std::size_t size() const { return std::size_t{1} << ns; }
+
+  /// The smallest member key; member keys are exactly
+  /// [first_key(), first_key() + size()) — Lemma 2 (contiguity).
+  std::uint32_t first_key() const { return mask << ns; }
+
+  /// The (ns-1)-dimensional half with bit (ns-1) clear / set.
+  /// Precondition: ns >= 1.
+  Subcube lower_half() const { return Subcube{ns - 1, mask << 1}; }
+  Subcube upper_half() const { return Subcube{ns - 1, (mask << 1) | 1u}; }
+
+  /// The (ns+1)-dimensional subcube containing this one.
+  Subcube parent() const { return Subcube{ns + 1, mask >> 1}; }
+
+  friend constexpr bool operator==(const Subcube&, const Subcube&) = default;
+};
+
+/// The whole n-cube as a subcube.
+inline Subcube whole_cube(const Topology& topo) {
+  return Subcube{topo.dim(), 0};
+}
+
+/// The smallest subcube containing both keys.
+Subcube smallest_common_subcube_keys(const Topology& topo, std::uint32_t a,
+                                     std::uint32_t b);
+
+/// The smallest subcube containing both node addresses.
+Subcube smallest_common_subcube(const Topology& topo, NodeId u, NodeId v);
+
+/// All member addresses of a subcube, in ascending key order.
+std::vector<NodeId> subcube_members(const Topology& topo, const Subcube& s);
+
+/// All subcubes of the given dimensionality (2^(n - ns) of them).
+std::vector<Subcube> all_subcubes(const Topology& topo, Dim ns);
+
+}  // namespace hypercast::hcube
+
+#endif  // HYPERCAST_HCUBE_SUBCUBE_HPP

@@ -1,0 +1,15 @@
+#include "hcube/topology.hpp"
+
+namespace hypercast::hcube {
+
+std::string Topology::format(NodeId u) const {
+  assert(contains(u));
+  if (n_ == 0) return "0";
+  std::string out(static_cast<std::size_t>(n_), '0');
+  for (Dim d = 0; d < n_; ++d) {
+    if (test_bit(u, d)) out[static_cast<std::size_t>(n_ - 1 - d)] = '1';
+  }
+  return out;
+}
+
+}  // namespace hypercast::hcube

@@ -1,0 +1,113 @@
+#ifndef HYPERCAST_HCUBE_TOPOLOGY_HPP
+#define HYPERCAST_HCUBE_TOPOLOGY_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hcube/bits.hpp"
+#include "hcube/types.hpp"
+
+namespace hypercast::hcube {
+
+/// A directed external channel of the hypercube network: the physical arc
+/// leaving node `from` along dimension `dim` (towards `from ^ (1 << dim)`).
+/// Each undirected hypercube link carries two such arcs, one per
+/// direction, which may be used simultaneously (Section 1 of the paper).
+struct Arc {
+  NodeId from = 0;
+  Dim dim = 0;
+
+  friend constexpr bool operator==(const Arc&, const Arc&) = default;
+};
+
+/// Static description of an n-dimensional hypercube together with the
+/// address-resolution order used by its deterministic E-cube router.
+///
+/// The topology is purely arithmetic (no O(N) tables): neighbours, arcs
+/// and distances are all bit operations on addresses. It still carries a
+/// canonical dense numbering for arcs so that simulators and checkers can
+/// index per-channel state in flat arrays.
+class Topology {
+ public:
+  explicit Topology(Dim n, Resolution res = Resolution::HighToLow)
+      : n_(n), res_(res) {
+    assert(n >= 0 && n <= kMaxDim);
+  }
+
+  Dim dim() const { return n_; }
+  Resolution resolution() const { return res_; }
+
+  /// Number of nodes, N = 2^n.
+  std::size_t num_nodes() const { return std::size_t{1} << n_; }
+
+  /// Number of directed external channels, N * n.
+  std::size_t num_arcs() const { return num_nodes() * static_cast<std::size_t>(n_); }
+
+  bool contains(NodeId u) const { return (u >> n_) == 0; }
+
+  bool valid_dim(Dim d) const { return d >= 0 && d < n_; }
+
+  /// The neighbour of u along dimension d.
+  NodeId neighbor(NodeId u, Dim d) const {
+    assert(contains(u) && valid_dim(d));
+    return u ^ (NodeId{1} << d);
+  }
+
+  bool adjacent(NodeId u, NodeId v) const {
+    assert(contains(u) && contains(v));
+    return hamming(u, v) == 1;
+  }
+
+  /// Hop distance of the (unique shortest) E-cube route.
+  int distance(NodeId u, NodeId v) const {
+    assert(contains(u) && contains(v));
+    return hamming(u, v);
+  }
+
+  /// Dense index of a directed arc, in [0, num_arcs()).
+  std::size_t arc_index(Arc a) const {
+    assert(contains(a.from) && valid_dim(a.dim));
+    return static_cast<std::size_t>(a.from) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(a.dim);
+  }
+
+  Arc arc_at(std::size_t index) const {
+    assert(index < num_arcs());
+    return Arc{static_cast<NodeId>(index / static_cast<std::size_t>(n_)),
+               static_cast<Dim>(index % static_cast<std::size_t>(n_))};
+  }
+
+  /// The canonical key of an address: the value whose plain binary order
+  /// matches this topology's dimension order. For HighToLow resolution
+  /// the key is the address itself; for LowToHigh it is the bit-reversed
+  /// address. All chain sorting and subcube reasoning in the core library
+  /// happens in key space, which makes the two resolution orders exact
+  /// mirror images.
+  NodeId key(NodeId u) const {
+    assert(contains(u));
+    return res_ == Resolution::HighToLow ? u : bit_reverse(u, n_);
+  }
+
+  /// Inverse of key() (bit reversal is an involution).
+  NodeId unkey(NodeId k) const {
+    assert(contains(k));
+    return res_ == Resolution::HighToLow ? k : bit_reverse(k, n_);
+  }
+
+  /// Zero-padded binary rendering of an address, e.g. "0101" in a 4-cube.
+  std::string format(NodeId u) const;
+
+  friend bool operator==(const Topology& a, const Topology& b) {
+    return a.n_ == b.n_ && a.res_ == b.res_;
+  }
+
+ private:
+  Dim n_;
+  Resolution res_;
+};
+
+}  // namespace hypercast::hcube
+
+#endif  // HYPERCAST_HCUBE_TOPOLOGY_HPP

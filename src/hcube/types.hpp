@@ -1,0 +1,39 @@
+#ifndef HYPERCAST_HCUBE_TYPES_HPP
+#define HYPERCAST_HCUBE_TYPES_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace hypercast::hcube {
+
+/// A node address in an n-cube. Bit d of the address selects the node's
+/// coordinate along dimension d; two nodes are neighbours iff their
+/// addresses differ in exactly one bit.
+using NodeId = std::uint32_t;
+
+/// A dimension index in [0, n).
+using Dim = int;
+
+/// Largest cube dimensionality the library supports (2^20 nodes). The
+/// limit exists only so that address arithmetic stays comfortably inside
+/// 32 bits; every structure scales as O(N) or better.
+inline constexpr Dim kMaxDim = 20;
+
+/// Order in which E-cube routing resolves address bits.
+///
+/// The paper's examples resolve from the high-order bit down; the nCUBE-2
+/// hardware resolves from the low-order bit up. The paper notes (and our
+/// tests verify) that the two are exact isomorphisms under bit reversal,
+/// so all results hold for either choice.
+enum class Resolution : std::uint8_t {
+  HighToLow,  ///< route the highest differing dimension first (paper's examples)
+  LowToHigh,  ///< route the lowest differing dimension first (nCUBE-2)
+};
+
+constexpr std::string_view to_string(Resolution r) {
+  return r == Resolution::HighToLow ? "high-to-low" : "low-to-high";
+}
+
+}  // namespace hypercast::hcube
+
+#endif  // HYPERCAST_HCUBE_TYPES_HPP

@@ -1,0 +1,52 @@
+#include "metrics/series.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hypercast::metrics {
+
+const Point* Curve::find(double x) const {
+  for (const Point& p : points) {
+    if (p.x == x) return &p;
+  }
+  return nullptr;
+}
+
+void Series::add_sample(const std::string& name, double x, double y) {
+  Curve* curve = nullptr;
+  for (Curve& c : curves_) {
+    if (c.name == name) {
+      curve = &c;
+      break;
+    }
+  }
+  if (curve == nullptr) {
+    curves_.push_back(Curve{name, {}});
+    curve = &curves_.back();
+  }
+  for (Point& p : curve->points) {
+    if (p.x == x) {
+      p.stats.add(y);
+      return;
+    }
+  }
+  curve->points.push_back(Point{x, {}});
+  curve->points.back().stats.add(y);
+}
+
+const Curve* Series::find_curve(const std::string& name) const {
+  for (const Curve& c : curves_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<double> Series::xs() const {
+  std::set<double> xs;
+  for (const Curve& c : curves_) {
+    for (const Point& p : c.points) xs.insert(p.x);
+  }
+  return {xs.begin(), xs.end()};
+}
+
+}  // namespace hypercast::metrics

@@ -1,0 +1,57 @@
+#ifndef HYPERCAST_METRICS_SERIES_HPP
+#define HYPERCAST_METRICS_SERIES_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.hpp"
+
+namespace hypercast::metrics {
+
+/// One measured point of a sweep curve.
+struct Point {
+  double x = 0.0;
+  OnlineStats stats;  ///< samples across trials at this x
+};
+
+/// A named curve over a sweep variable (e.g. "W-sort" over #destinations).
+struct Curve {
+  std::string name;
+  std::vector<Point> points;
+
+  const Point* find(double x) const;
+};
+
+/// A family of curves sharing x values — the content of one paper figure.
+class Series {
+ public:
+  Series(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  const std::string& title() const { return title_; }
+  const std::string& x_label() const { return x_label_; }
+  const std::string& y_label() const { return y_label_; }
+
+  /// Record one sample for curve `name` at sweep position x, creating
+  /// curve/point on first use.
+  void add_sample(const std::string& name, double x, double y);
+
+  const std::vector<Curve>& curves() const { return curves_; }
+  const Curve* find_curve(const std::string& name) const;
+
+  /// All distinct x values in ascending order.
+  std::vector<double> xs() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Curve> curves_;
+};
+
+}  // namespace hypercast::metrics
+
+#endif  // HYPERCAST_METRICS_SERIES_HPP

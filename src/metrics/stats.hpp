@@ -1,0 +1,39 @@
+#ifndef HYPERCAST_METRICS_STATS_HPP
+#define HYPERCAST_METRICS_STATS_HPP
+
+#include <cstddef>
+
+namespace hypercast::metrics {
+
+/// Numerically stable running summary (Welford) of a sample stream.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Half-width of the ~95% confidence interval for the mean under the
+  /// normal approximation (1.96 * stderr); 0 for fewer than two samples.
+  double ci95_half_width() const;
+
+  /// Merge another summary into this one (parallel reduction friendly).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hypercast::metrics
+
+#endif  // HYPERCAST_METRICS_STATS_HPP

@@ -1,0 +1,134 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace hypercast::metrics {
+
+std::string format_table(const Series& series, const TableOptions& opts) {
+  std::ostringstream os;
+  os << series.title() << '\n';
+  os << std::left << std::setw(opts.column_width) << series.x_label();
+  for (const Curve& c : series.curves()) {
+    os << std::right << std::setw(opts.column_width) << c.name;
+    if (opts.show_ci) {
+      os << std::right << std::setw(opts.column_width) << "+-95%";
+    }
+  }
+  os << "    (" << series.y_label() << ")\n";
+
+  os << std::fixed << std::setprecision(opts.precision);
+  for (const double x : series.xs()) {
+    os << std::left << std::setw(opts.column_width) << x;
+    for (const Curve& c : series.curves()) {
+      const Point* p = c.find(x);
+      if (p == nullptr) {
+        os << std::right << std::setw(opts.column_width) << "-";
+        if (opts.show_ci) {
+          os << std::right << std::setw(opts.column_width) << "-";
+        }
+        continue;
+      }
+      os << std::right << std::setw(opts.column_width) << p->stats.mean();
+      if (opts.show_ci) {
+        os << std::right << std::setw(opts.column_width)
+           << p->stats.ci95_half_width();
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string format_csv(const Series& series, bool include_ci) {
+  std::ostringstream os;
+  os << "x";
+  for (const Curve& c : series.curves()) {
+    os << ',' << c.name;
+    if (include_ci) os << ',' << c.name << "_ci95";
+  }
+  os << '\n';
+  os << std::setprecision(10);
+  for (const double x : series.xs()) {
+    os << x;
+    for (const Curve& c : series.curves()) {
+      const Point* p = c.find(x);
+      if (p == nullptr) {
+        os << ',';
+        if (include_ci) os << ',';
+        continue;
+      }
+      os << ',' << p->stats.mean();
+      if (include_ci) os << ',' << p->stats.ci95_half_width();
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void write_csv(const Series& series, const std::string& path,
+               bool include_ci) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best effort
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path + " for writing");
+  }
+  out << format_csv(series, include_ci);
+  if (!out) {
+    throw std::runtime_error("write failed for " + path);
+  }
+}
+
+std::string format_ascii_plot(const Series& series, int height) {
+  const auto xs = series.xs();
+  if (xs.empty() || height < 2) return "";
+
+  double y_max = 0.0;
+  for (const Curve& c : series.curves()) {
+    for (const Point& p : c.points) y_max = std::max(y_max, p.stats.mean());
+  }
+  if (y_max <= 0.0) y_max = 1.0;
+
+  const int width = static_cast<int>(xs.size());
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  const char* glyphs = "ABCDEFGH";
+  for (std::size_t ci = 0; ci < series.curves().size(); ++ci) {
+    const Curve& c = series.curves()[ci];
+    const char glyph = glyphs[ci % 8];
+    for (int xi = 0; xi < width; ++xi) {
+      const Point* p = c.find(xs[static_cast<std::size_t>(xi)]);
+      if (p == nullptr) continue;
+      int row = height - 1 -
+                static_cast<int>(std::lround((p->stats.mean() / y_max) *
+                                             (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      auto& cell = grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(xi)];
+      cell = (cell == ' ') ? glyph : '*';  // '*' marks overlapping curves
+    }
+  }
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << series.y_label() << " (max " << y_max << ")\n";
+  for (const std::string& row : grid) {
+    os << '|' << row << '\n';
+  }
+  os << '+' << std::string(static_cast<std::size_t>(width), '-') << "> "
+     << series.x_label() << '\n';
+  for (std::size_t ci = 0; ci < series.curves().size(); ++ci) {
+    os << "  " << glyphs[ci % 8] << " = " << series.curves()[ci].name << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hypercast::metrics

@@ -1,0 +1,36 @@
+#ifndef HYPERCAST_METRICS_TABLE_HPP
+#define HYPERCAST_METRICS_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/series.hpp"
+
+namespace hypercast::metrics {
+
+/// Rendering options for figure series.
+struct TableOptions {
+  int precision = 2;       ///< fractional digits for means
+  bool show_ci = false;    ///< append the +-ci95 column per curve
+  int column_width = 12;
+};
+
+/// Fixed-width text table: one row per x, one column per curve mean.
+/// This is the "same rows/series the paper reports" output every bench
+/// binary prints.
+std::string format_table(const Series& series, const TableOptions& opts = {});
+
+/// Comma-separated values with a header row, for plotting externally.
+std::string format_csv(const Series& series, bool include_ci = true);
+
+/// Write CSV to a file path; throws std::runtime_error on I/O failure.
+void write_csv(const Series& series, const std::string& path,
+               bool include_ci = true);
+
+/// A rough ASCII plot (y mean vs x) for quick visual shape checks in
+/// terminal output; one character column per x position.
+std::string format_ascii_plot(const Series& series, int height = 18);
+
+}  // namespace hypercast::metrics
+
+#endif  // HYPERCAST_METRICS_TABLE_HPP

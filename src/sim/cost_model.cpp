@@ -1,0 +1,14 @@
+#include "sim/cost_model.hpp"
+
+// CostModel is header-only arithmetic; this translation unit exists so the
+// library has a home for future out-of-line additions and so that the
+// header's constexpr definitions are compiled at least once.
+
+namespace hypercast::sim {
+
+static_assert(CostModel{}.unicast_latency(0, 0) ==
+              CostModel{}.send_startup + CostModel{}.recv_overhead);
+static_assert(CostModel::ncube2().body_time(4096) ==
+              4096 * CostModel::ncube2().ns_per_byte);
+
+}  // namespace hypercast::sim

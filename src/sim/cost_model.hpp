@@ -1,0 +1,57 @@
+#ifndef HYPERCAST_SIM_COST_MODEL_HPP
+#define HYPERCAST_SIM_COST_MODEL_HPP
+
+#include <cstdint>
+
+namespace hypercast::sim {
+
+/// Simulated time in nanoseconds. All latencies are integral to keep the
+/// discrete-event simulation exactly deterministic.
+using SimTime = std::int64_t;
+
+constexpr SimTime microseconds(std::int64_t us) { return us * 1000; }
+constexpr double to_microseconds(SimTime t) {
+  return static_cast<double>(t) / 1000.0;
+}
+
+/// Communication cost parameters of a wormhole-routed machine.
+///
+/// The defaults approximate published nCUBE-2 figures (the machine of
+/// Section 5.2): software send startup on the order of 160 us, receive
+/// overhead of tens of us, a ~2 us per-hop router latency, and DMA link
+/// bandwidth around 2.2 MB/s (~0.45 us/byte). Absolute values are
+/// configurable; the paper's observed *shapes* — startup-dominated
+/// steps, distance-insensitive unicast latency, serialization penalties —
+/// depend only on their ratios.
+struct CostModel {
+  SimTime send_startup = microseconds(160);  ///< CPU cost per send call
+  SimTime recv_overhead = microseconds(80);  ///< CPU cost per receive
+  SimTime per_hop = microseconds(2);         ///< header routing per channel
+  std::int64_t ns_per_byte = 450;            ///< link streaming rate
+
+  /// Time for the message body to stream across the path once the
+  /// header has arrived (wormhole pipelining: one link's worth).
+  constexpr SimTime body_time(std::size_t bytes) const {
+    return static_cast<SimTime>(bytes) * ns_per_byte;
+  }
+
+  /// Closed-form latency of a contention-free unicast over `hops`
+  /// channels: startup + header walk + body streaming + receive.
+  /// The DES reproduces this exactly when nothing blocks (tested).
+  constexpr SimTime unicast_latency(int hops, std::size_t bytes) const {
+    return send_startup + hops * per_hop + body_time(bytes) + recv_overhead;
+  }
+
+  static constexpr CostModel ncube2() { return CostModel{}; }
+
+  /// A hypothetical fast-network machine (low startup, fast links);
+  /// useful in ablations to show which conclusions survive different
+  /// cost regimes.
+  static constexpr CostModel fast_network() {
+    return CostModel{microseconds(10), microseconds(5), 500, 10};
+  }
+};
+
+}  // namespace hypercast::sim
+
+#endif  // HYPERCAST_SIM_COST_MODEL_HPP

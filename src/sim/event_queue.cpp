@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hypercast::sim {
+
+void EventQueue::schedule(SimTime at, Action action) {
+  assert(at >= now_ && "cannot schedule an event in the past");
+  heap_.push(Item{at, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; the action must be moved out
+  // before pop. const_cast is contained here and safe: the item is
+  // removed immediately after.
+  Item item = std::move(const_cast<Item&>(heap_.top()));
+  heap_.pop();
+  now_ = item.at;
+  ++processed_;
+  item.action();
+  return true;
+}
+
+void EventQueue::run_to_completion(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (run_next()) {
+    if (++fired > max_events) {
+      throw std::runtime_error("event budget exhausted: runaway simulation?");
+    }
+  }
+}
+
+}  // namespace hypercast::sim

@@ -1,0 +1,61 @@
+#ifndef HYPERCAST_SIM_EVENT_QUEUE_HPP
+#define HYPERCAST_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+
+namespace hypercast::sim {
+
+/// A deterministic discrete-event queue: events fire in (time, insertion
+/// order). Scheduling in the past is a programming error (asserted).
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time: the firing time of the event being
+  /// processed, 0 before the first event.
+  SimTime now() const { return now_; }
+
+  std::uint64_t events_processed() const { return processed_; }
+
+  bool empty() const { return heap_.empty(); }
+
+  void schedule(SimTime at, Action action);
+
+  /// Convenience: schedule relative to now().
+  void schedule_in(SimTime delay, Action action) {
+    schedule(now_ + delay, std::move(action));
+  }
+
+  /// Pop and run the earliest event. Returns false when empty.
+  bool run_next();
+
+  /// Drain the queue. Throws std::runtime_error if more than
+  /// `max_events` fire (runaway-simulation guard).
+  void run_to_completion(std::uint64_t max_events = 100'000'000);
+
+ private:
+  struct Item {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace hypercast::sim
+
+#endif  // HYPERCAST_SIM_EVENT_QUEUE_HPP

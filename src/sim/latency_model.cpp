@@ -1,0 +1,43 @@
+#include "sim/latency_model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "hcube/ecube.hpp"
+
+namespace hypercast::sim {
+
+std::optional<LatencyPrediction> predict_delays(
+    const core::MulticastSchedule& schedule, const CostModel& cost,
+    std::size_t message_bytes, bool allow_blocking_schedules) {
+  const hcube::Topology& topo = schedule.topo();
+  LatencyPrediction out;
+
+  std::unordered_map<hcube::NodeId, SimTime> ready;
+  ready[schedule.source()] = 0;
+  std::deque<hcube::NodeId> frontier{schedule.source()};
+  while (!frontier.empty()) {
+    const hcube::NodeId u = frontier.front();
+    frontier.pop_front();
+    std::set<hcube::Dim> channels;
+    SimTime cpu = ready.at(u);
+    for (const core::Send& send : schedule.sends_from(u)) {
+      if (!channels.insert(hcube::delta_distinct(topo, u, send.to)).second &&
+          !allow_blocking_schedules) {
+        return std::nullopt;  // channel reuse: the closed form may lie
+      }
+      cpu += cost.send_startup;
+      const SimTime done = cpu + topo.distance(u, send.to) * cost.per_hop +
+                           cost.body_time(message_bytes) +
+                           cost.recv_overhead;
+      out.delivery.emplace(send.to, done);
+      out.max_delay = std::max(out.max_delay, done);
+      ready[send.to] = done;
+      frontier.push_back(send.to);
+    }
+  }
+  return out;
+}
+
+}  // namespace hypercast::sim

@@ -1,0 +1,41 @@
+#ifndef HYPERCAST_SIM_LATENCY_MODEL_HPP
+#define HYPERCAST_SIM_LATENCY_MODEL_HPP
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/multicast.hpp"
+#include "sim/cost_model.hpp"
+
+namespace hypercast::sim {
+
+/// Closed-form per-destination latency of a multicast tree on an
+/// all-port machine, computable in O(m) without running the simulator:
+///
+///   done(source) = 0
+///   done(v)      = done(parent) + (k+1) * send_startup   (k = issue idx)
+///                  + hops(parent, v) * per_hop
+///                  + body_time(bytes) + recv_overhead
+///
+/// The formula is *exact* (tested against the DES) whenever no worm of
+/// the schedule ever waits for a channel or port, which Theorem 6
+/// guarantees for Maxport and W-sort trees on all-port nodes. For
+/// schedules that can block (U-cube or Combine on all-port, anything on
+/// one-port) it is a lower bound; predict_delays then returns nullopt
+/// unless `allow_blocking_schedules` is set. This is what a runtime
+/// system would use to choose trees at multicast-issue time.
+struct LatencyPrediction {
+  std::unordered_map<hcube::NodeId, SimTime> delivery;
+  SimTime max_delay = 0;
+};
+
+/// Predict per-recipient completion times. Returns nullopt when the
+/// schedule reuses an outgoing channel at some sender (the tell-tale
+/// for possible blocking) and `allow_blocking_schedules` is false.
+std::optional<LatencyPrediction> predict_delays(
+    const core::MulticastSchedule& schedule, const CostModel& cost,
+    std::size_t message_bytes, bool allow_blocking_schedules = false);
+
+}  // namespace hypercast::sim
+
+#endif  // HYPERCAST_SIM_LATENCY_MODEL_HPP

@@ -1,0 +1,60 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+
+namespace hypercast::sim {
+
+Network::Network(const Topology& topo, PortModel port)
+    : topo_(topo),
+      num_external_(static_cast<std::uint32_t>(topo.num_arcs())) {
+  const std::size_t total = topo.num_arcs() + 2 * topo.num_nodes();
+  const int pool_capacity = std::max(1, port.concurrency(topo.dim()));
+  capacity_.assign(total, 1);
+  for (std::size_t i = topo.num_arcs(); i < total; ++i) {
+    capacity_[i] = pool_capacity;
+  }
+  in_use_.assign(total, 0);
+  waiters_.resize(total);
+}
+
+std::vector<ResourceId> Network::path_resources(NodeId from, NodeId to) const {
+  assert(from != to);
+  std::vector<ResourceId> out;
+  const auto arcs = hcube::ecube_arcs(topo_, from, to);
+  out.reserve(arcs.size() + 2);
+  out.push_back(injection_pool(from));
+  for (const hcube::Arc& a : arcs) out.push_back(external_arc(a));
+  out.push_back(consumption_pool(to));
+  return out;
+}
+
+void Network::take(ResourceId r) {
+  assert(available(r));
+  ++in_use_[r.index];
+}
+
+void Network::enqueue(ResourceId r, MessageId m) {
+  assert(!available(r));
+  waiters_[r.index].push_back(m);
+}
+
+std::optional<MessageId> Network::release(ResourceId r) {
+  assert(in_use_[r.index] > 0);
+  --in_use_[r.index];
+  if (!waiters_[r.index].empty()) {
+    const MessageId m = waiters_[r.index].front();
+    waiters_[r.index].pop_front();
+    ++in_use_[r.index];  // re-grant the freed unit to the head waiter
+    return m;
+  }
+  return std::nullopt;
+}
+
+bool Network::quiescent() const {
+  for (std::size_t i = 0; i < in_use_.size(); ++i) {
+    if (in_use_[i] != 0 || !waiters_[i].empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace hypercast::sim

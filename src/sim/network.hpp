@@ -1,0 +1,99 @@
+#ifndef HYPERCAST_SIM_NETWORK_HPP
+#define HYPERCAST_SIM_NETWORK_HPP
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/stepwise.hpp"
+#include "hcube/ecube.hpp"
+
+namespace hypercast::sim {
+
+using core::PortModel;
+using hcube::NodeId;
+using hcube::Topology;
+
+/// Index of a message inside one simulation run.
+using MessageId = std::uint32_t;
+
+/// Index into the network's flat resource table.
+struct ResourceId {
+  std::uint32_t index = 0;
+};
+
+/// The contended hardware of a wormhole-routed hypercube, reduced to
+/// FIFO-granted resources:
+///
+///  * every directed external channel (capacity 1) — the arcs worms
+///    acquire hop by hop and hold while blocked;
+///  * per node, an injection pool and a consumption pool modelling the
+///    internal processor<->router channels of the port model (Section 1):
+///    capacity 1 for one-port, k for k-port, and n for all-port. An
+///    all-port pool never actually binds — two worms sharing an internal
+///    channel necessarily share the adjacent external channel too — but
+///    is kept for uniformity.
+///
+/// The Network knows nothing about time; the simulator drives it and
+/// interprets grants.
+class Network {
+ public:
+  Network(const Topology& topo, PortModel port);
+
+  const Topology& topo() const { return topo_; }
+
+  /// The ordered resources a unicast from `from` to `to` must acquire:
+  /// injection slot, each E-cube arc in traversal order, consumption
+  /// slot. Precondition: from != to.
+  std::vector<ResourceId> path_resources(NodeId from, NodeId to) const;
+
+  /// True iff an ext-channel resource (whose acquisition costs a header
+  /// hop) as opposed to an internal pool slot.
+  bool is_external(ResourceId r) const {
+    return r.index < num_external_;
+  }
+
+  bool available(ResourceId r) const {
+    return in_use_[r.index] < capacity_[r.index];
+  }
+
+  /// Take one unit. Precondition: available(r).
+  void take(ResourceId r);
+
+  /// Enqueue a message waiting for one unit of r.
+  void enqueue(ResourceId r, MessageId m);
+
+  /// Release one unit of r. If a message is waiting, one unit is
+  /// immediately re-granted to the head waiter, which is returned so the
+  /// simulator can resume it.
+  std::optional<MessageId> release(ResourceId r);
+
+  std::size_t waiting_count(ResourceId r) const {
+    return waiters_[r.index].size();
+  }
+
+  /// All units idle and no waiters — the invariant at the end of a run.
+  bool quiescent() const;
+
+ private:
+  ResourceId external_arc(hcube::Arc a) const {
+    return ResourceId{static_cast<std::uint32_t>(topo_.arc_index(a))};
+  }
+  ResourceId injection_pool(NodeId u) const {
+    return ResourceId{static_cast<std::uint32_t>(num_external_ + u)};
+  }
+  ResourceId consumption_pool(NodeId u) const {
+    return ResourceId{static_cast<std::uint32_t>(num_external_ +
+                                                 topo_.num_nodes() + u)};
+  }
+
+  Topology topo_;
+  std::uint32_t num_external_;
+  std::vector<int> capacity_;
+  std::vector<int> in_use_;
+  std::vector<std::deque<MessageId>> waiters_;
+};
+
+}  // namespace hypercast::sim
+
+#endif  // HYPERCAST_SIM_NETWORK_HPP

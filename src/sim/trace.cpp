@@ -1,0 +1,35 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace hypercast::sim {
+
+std::string Trace::format(const hcube::Topology& topo) const {
+  std::vector<const MessageTrace*> order;
+  order.reserve(messages.size());
+  for (const MessageTrace& m : messages) order.push_back(&m);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const MessageTrace* a, const MessageTrace* b) {
+                     return a->issue < b->issue;
+                   });
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  for (const MessageTrace* m : order) {
+    os << topo.format(m->from) << " -> " << topo.format(m->to) << "  ("
+       << m->hops << " hop" << (m->hops == 1 ? "" : "s") << ")"
+       << "  issue " << std::setw(9) << to_microseconds(m->issue)
+       << "  inject " << std::setw(9) << to_microseconds(m->header_start)
+       << "  path " << std::setw(9) << to_microseconds(m->path_acquired)
+       << "  tail " << std::setw(9) << to_microseconds(m->tail)
+       << "  done " << std::setw(9) << to_microseconds(m->done);
+    if (m->blocked_ns > 0) {
+      os << "  BLOCKED " << to_microseconds(m->blocked_ns) << " us";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hypercast::sim

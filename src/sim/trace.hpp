@@ -1,0 +1,35 @@
+#ifndef HYPERCAST_SIM_TRACE_HPP
+#define HYPERCAST_SIM_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "hcube/topology.hpp"
+#include "sim/cost_model.hpp"
+
+namespace hypercast::sim {
+
+/// Per-message timeline recorded by the simulator when tracing is on.
+struct MessageTrace {
+  hcube::NodeId from = 0;
+  hcube::NodeId to = 0;
+  int hops = 0;
+  SimTime issue = 0;          ///< send call begins (startup starts)
+  SimTime header_start = 0;   ///< startup done, header enters the network
+  SimTime path_acquired = 0;  ///< header reached the destination router
+  SimTime tail = 0;           ///< body fully streamed (channels released)
+  SimTime done = 0;           ///< receive overhead finished at the target
+  SimTime blocked_ns = 0;     ///< total time spent waiting on busy channels
+  int blocked_times = 0;      ///< number of acquisitions that had to wait
+};
+
+struct Trace {
+  std::vector<MessageTrace> messages;
+
+  /// Multi-line rendering, one message per line, ordered by issue time.
+  std::string format(const hcube::Topology& topo) const;
+};
+
+}  // namespace hypercast::sim
+
+#endif  // HYPERCAST_SIM_TRACE_HPP

@@ -1,0 +1,84 @@
+#include "sim/worm_engine.hpp"
+
+#include <cassert>
+
+namespace hypercast::sim {
+
+MessageId WormEngine::inject(hcube::NodeId from, hcube::NodeId to,
+                             std::size_t bytes, SimTime header_start,
+                             DeliveryCallback on_delivered) {
+  const MessageId id = static_cast<MessageId>(worms_.size());
+  Worm w;
+  w.to = to;
+  w.bytes = bytes;
+  w.path = net_.path_resources(from, to);
+  w.on_delivered = std::move(on_delivered);
+  w.trace.from = from;
+  w.trace.to = to;
+  w.trace.hops = static_cast<int>(w.path.size()) - 2;
+  w.trace.header_start = header_start;
+  worms_.push_back(std::move(w));
+  queue_.schedule(header_start, [this, id] { advance(id); });
+  return id;
+}
+
+void WormEngine::advance(MessageId id) {
+  Worm& w = worms_[id];
+  while (true) {
+    if (w.next == w.path.size()) {
+      header_arrived(id);
+      return;
+    }
+    const ResourceId r = w.path[w.next];
+    if (!net_.available(r)) {
+      net_.enqueue(r, id);
+      w.block_start = queue_.now();
+      ++w.trace.blocked_times;
+      ++blocked_;
+      return;
+    }
+    net_.take(r);
+    ++w.next;
+    if (net_.is_external(r)) {
+      queue_.schedule_in(cost_.per_hop, [this, id] { advance(id); });
+      return;
+    }
+  }
+}
+
+void WormEngine::resume(MessageId id) {
+  Worm& w = worms_[id];
+  const SimTime waited = queue_.now() - w.block_start;
+  w.trace.blocked_ns += waited;
+  total_blocked_ += waited;
+  const ResourceId r = w.path[w.next];
+  ++w.next;  // release() already took the unit on our behalf
+  if (net_.is_external(r)) {
+    queue_.schedule_in(cost_.per_hop, [this, id] { advance(id); });
+  } else {
+    advance(id);
+  }
+}
+
+void WormEngine::header_arrived(MessageId id) {
+  Worm& w = worms_[id];
+  w.trace.path_acquired = queue_.now();
+  queue_.schedule_in(cost_.body_time(w.bytes),
+                     [this, id] { tail_arrived(id); });
+}
+
+void WormEngine::tail_arrived(MessageId id) {
+  Worm& w = worms_[id];
+  w.trace.tail = queue_.now();
+  for (const ResourceId r : w.path) {
+    if (const auto granted = net_.release(r)) {
+      const MessageId g = *granted;
+      queue_.schedule_in(0, [this, g] { resume(g); });
+    }
+  }
+  ++delivered_;
+  assert(w.on_delivered);
+  w.on_delivered(id, queue_.now());
+}
+
+}  // namespace hypercast::sim

@@ -1,0 +1,80 @@
+#ifndef HYPERCAST_SIM_WORM_ENGINE_HPP
+#define HYPERCAST_SIM_WORM_ENGINE_HPP
+
+#include <functional>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace hypercast::sim {
+
+/// Low-level wormhole transport shared by the multicast and reduction
+/// simulators: callers inject unicast worms; the engine walks each worm
+/// through injection slot -> E-cube arcs -> consumption slot (FIFO
+/// blocking, path held while blocked, whole path released when the tail
+/// arrives) and invokes the caller's callback at tail time.
+///
+/// The engine owns the network resources and shares the caller's event
+/// queue; processor modelling (startups, receive overheads) is the
+/// caller's business.
+class WormEngine {
+ public:
+  /// Called at tail-arrival time; the network path has been released.
+  using DeliveryCallback = std::function<void(MessageId, SimTime)>;
+
+  WormEngine(const Topology& topo, const CostModel& cost, PortModel port,
+             EventQueue& queue)
+      : cost_(cost), net_(topo, port), queue_(queue) {}
+
+  /// Launch a worm: the header enters the network at `header_start`
+  /// (callers account for send startup) carrying `bytes` of payload.
+  MessageId inject(hcube::NodeId from, hcube::NodeId to, std::size_t bytes,
+                   SimTime header_start, DeliveryCallback on_delivered);
+
+  /// Per-message timeline. from/to/hops/header_start/path_acquired/
+  /// tail/blocked_ns are filled by the engine; issue/done belong to the
+  /// caller's processor model.
+  MessageTrace& trace(MessageId id) { return worms_[id].trace; }
+  const MessageTrace& trace(MessageId id) const { return worms_[id].trace; }
+
+  std::size_t num_messages() const { return worms_.size(); }
+  std::uint64_t blocked_acquisitions() const { return blocked_; }
+  SimTime total_blocked_ns() const { return total_blocked_; }
+
+  /// True when every injected worm has delivered and every resource is
+  /// free — the end-of-run invariant.
+  bool quiescent() const {
+    return delivered_ == worms_.size() && net_.quiescent();
+  }
+
+ private:
+  struct Worm {
+    hcube::NodeId to = 0;
+    std::size_t bytes = 0;
+    std::vector<ResourceId> path;
+    std::size_t next = 0;
+    SimTime block_start = 0;
+    DeliveryCallback on_delivered;
+    MessageTrace trace;
+  };
+
+  void advance(MessageId id);
+  void resume(MessageId id);
+  void header_arrived(MessageId id);
+  void tail_arrived(MessageId id);
+
+  CostModel cost_;
+  Network net_;
+  EventQueue& queue_;
+  std::vector<Worm> worms_;
+  std::uint64_t blocked_ = 0;
+  SimTime total_blocked_ = 0;
+  std::size_t delivered_ = 0;
+};
+
+}  // namespace hypercast::sim
+
+#endif  // HYPERCAST_SIM_WORM_ENGINE_HPP

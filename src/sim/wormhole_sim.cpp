@@ -1,0 +1,180 @@
+#include "sim/wormhole_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/worm_engine.hpp"
+
+namespace hypercast::sim {
+
+namespace {
+
+/// Replays multicast schedules over a shared WormEngine, adding the
+/// processor model: send startups and receive overheads serialize on
+/// each node's CPU across every job it participates in.
+class Engine {
+ public:
+  Engine(std::span<const CollectiveJob> jobs, const SimConfig& config)
+      : jobs_(jobs),
+        config_(config),
+        topo_(jobs.empty() ? Topology(0) : jobs.front().schedule->topo()),
+        worms_(topo_, config.cost, config.port, queue_) {
+    result_.per_job.resize(jobs.size());
+    cpu_free_.assign(topo_.num_nodes(), 0);
+#ifndef NDEBUG
+    for (const CollectiveJob& job : jobs_) {
+      assert(job.schedule != nullptr);
+      assert(job.schedule->topo() == topo_ &&
+             "all jobs must share one topology");
+      assert(job.start >= 0);
+    }
+#endif
+  }
+
+  MultiSimResult run() {
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const SimTime start = jobs_[j].start;
+      queue_.schedule(start, [this, j, start] {
+        start_node(j, jobs_[j].schedule->source(), start);
+      });
+    }
+    queue_.run_to_completion();
+    finish();
+    return std::move(result_);
+  }
+
+ private:
+  /// The node's processor issues this job's sends, startup by startup,
+  /// beginning no earlier than `ready` and no earlier than the CPU is
+  /// free from other work.
+  void start_node(std::size_t job, hcube::NodeId node, SimTime ready) {
+    SimTime cpu = std::max(cpu_free_[node], ready);
+    for (const core::Send& send : jobs_[job].schedule->sends_from(node)) {
+      const SimTime issue = cpu;
+      cpu += config_.cost.send_startup;
+      const MessageId id = worms_.inject(
+          node, send.to, config_.message_bytes, cpu,
+          [this, job](MessageId m, SimTime tail) { delivered(job, m, tail); });
+      worms_.trace(id).issue = issue;
+      job_of_.push_back(job);
+      ++result_.stats.messages;
+      ++result_.per_job[job].stats.messages;
+    }
+    cpu_free_[node] = cpu;
+  }
+
+  void delivered(std::size_t job, MessageId id, SimTime tail) {
+    // The receiving processor copies the message out of the network
+    // (serialized with whatever else that CPU is doing), then continues
+    // this job's forwarding.
+    const hcube::NodeId node = worms_.trace(id).to;
+    const SimTime done =
+        std::max(cpu_free_[node], tail) + config_.cost.recv_overhead;
+    cpu_free_[node] = done;
+    worms_.trace(id).done = done;
+    const auto [it, inserted] =
+        result_.per_job[job].delivery.emplace(node, done);
+    (void)it;
+    assert(inserted && "schedule delivers to a node twice");
+    queue_.schedule(done, [this, job, node, done] {
+      start_node(job, node, done);
+    });
+  }
+
+  void finish() {
+    result_.stats.events = queue_.events_processed();
+    result_.stats.blocked_acquisitions = worms_.blocked_acquisitions();
+    result_.stats.total_blocked_ns = worms_.total_blocked_ns();
+    std::size_t delivered_total = 0;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      delivered_total += result_.per_job[j].delivery.size();
+      result_.per_job[j].stats.events = result_.stats.events;
+    }
+    if (delivered_total != result_.stats.messages || !worms_.quiescent()) {
+      throw std::logic_error(
+          "simulation drained with undelivered messages (deadlock?)");
+    }
+    // Per-job blocking stats and traces come from the worm timelines.
+    for (MessageId id = 0; id < worms_.num_messages(); ++id) {
+      const MessageTrace& t = worms_.trace(id);
+      const std::size_t job = job_of_[id];
+      result_.per_job[job].stats.blocked_acquisitions +=
+          static_cast<std::uint64_t>(t.blocked_times);
+      result_.per_job[job].stats.total_blocked_ns += t.blocked_ns;
+      if (config_.record_trace) {
+        result_.trace.messages.push_back(t);
+        result_.per_job[job].trace.messages.push_back(t);
+      }
+    }
+    return;
+  }
+
+  std::span<const CollectiveJob> jobs_;
+  SimConfig config_;
+  Topology topo_;
+  EventQueue queue_;
+  WormEngine worms_;
+  std::vector<std::size_t> job_of_;  ///< indexed by MessageId
+  std::vector<SimTime> cpu_free_;
+  MultiSimResult result_;
+};
+
+}  // namespace
+
+SimTime SimResult::max_delay(std::span<const hcube::NodeId> targets) const {
+  SimTime worst = 0;
+  if (targets.empty()) {
+    for (const auto& [node, t] : delivery) worst = std::max(worst, t);
+  } else {
+    for (const hcube::NodeId n : targets) worst = std::max(worst, delivery.at(n));
+  }
+  return worst;
+}
+
+double SimResult::avg_delay(std::span<const hcube::NodeId> targets) const {
+  if (targets.empty()) {
+    if (delivery.empty()) return 0.0;
+    double sum = 0;
+    for (const auto& [node, t] : delivery) sum += static_cast<double>(t);
+    return sum / static_cast<double>(delivery.size());
+  }
+  double sum = 0;
+  for (const hcube::NodeId n : targets) {
+    sum += static_cast<double>(delivery.at(n));
+  }
+  return sum / static_cast<double>(targets.size());
+}
+
+SimTime MultiSimResult::makespan() const {
+  SimTime worst = 0;
+  for (const SimResult& r : per_job) {
+    worst = std::max(worst, r.max_delay());
+  }
+  return worst;
+}
+
+MultiSimResult simulate_collectives(std::span<const CollectiveJob> jobs,
+                                    const SimConfig& config) {
+  return Engine(jobs, config).run();
+}
+
+SimResult simulate_multicast(const core::MulticastSchedule& schedule,
+                             const SimConfig& config) {
+  const CollectiveJob job{&schedule, 0};
+  auto multi = simulate_collectives(std::span<const CollectiveJob>(&job, 1),
+                                    config);
+  SimResult out = std::move(multi.per_job.front());
+  out.stats.events = multi.stats.events;
+  return out;
+}
+
+SimTime simulate_unicast(const hcube::Topology& topo, const SimConfig& config,
+                         hcube::NodeId from, hcube::NodeId to) {
+  core::MulticastSchedule schedule(topo, from);
+  schedule.add_send(from, core::Send{to, {}});
+  return simulate_multicast(schedule, config).delay(to);
+}
+
+}  // namespace hypercast::sim

@@ -1,0 +1,96 @@
+#include "workload/patterns.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "hcube/bits.hpp"
+
+namespace hypercast::workload {
+
+std::vector<NodeId> broadcast_destinations(const Topology& topo,
+                                           NodeId source) {
+  std::vector<NodeId> out;
+  out.reserve(topo.num_nodes() - 1);
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    if (u != source) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<NodeId> subcube_destinations(const Topology& topo, NodeId source,
+                                         hcube::Dim ns, std::size_t m,
+                                         Rng& rng) {
+  assert(ns >= 0 && ns <= topo.dim());
+  const auto cubes = hcube::all_subcubes(topo, ns);
+  // Prefer a subcube not containing the source so every member is a
+  // legal destination; fall back to the source's own subcube (and skip
+  // the source) when the subcube is the whole cube.
+  std::vector<hcube::Subcube> eligible;
+  for (const auto& s : cubes) {
+    if (!s.contains(topo, source)) eligible.push_back(s);
+  }
+  const hcube::Subcube chosen = [&] {
+    if (eligible.empty()) return cubes.front();
+    std::uniform_int_distribution<std::size_t> dist(0, eligible.size() - 1);
+    return eligible[dist(rng)];
+  }();
+
+  auto members = hcube::subcube_members(topo, chosen);
+  std::erase(members, source);
+  assert(m <= members.size());
+  std::shuffle(members.begin(), members.end(), rng);
+  members.resize(m);
+  return members;
+}
+
+std::vector<NodeId> clustered_destinations(const Topology& topo, NodeId source,
+                                           std::size_t k, int radius,
+                                           std::size_t m, Rng& rng) {
+  assert(k >= 1 && radius >= 0);
+  std::uniform_int_distribution<NodeId> node_dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  std::vector<NodeId> centres;
+  centres.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) centres.push_back(node_dist(rng));
+
+  std::uniform_int_distribution<std::size_t> centre_dist(0, k - 1);
+  std::uniform_int_distribution<int> flips_dist(0, radius);
+  std::uniform_int_distribution<int> dim_dist(0, topo.dim() - 1);
+
+  std::unordered_set<NodeId> chosen;
+  std::vector<NodeId> out;
+  out.reserve(m);
+  // Rejection sampling; the loop bound protects against degenerate
+  // parameter choices (e.g. m larger than the union of the balls).
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 1000 * (m + 1) + topo.num_nodes();
+  while (out.size() < m && attempts++ < max_attempts) {
+    NodeId u = centres[centre_dist(rng)];
+    const int flips = flips_dist(rng);
+    for (int f = 0; f < flips; ++f) {
+      u = topo.neighbor(u, dim_dist(rng));
+    }
+    if (u == source || !chosen.insert(u).second) continue;
+    out.push_back(u);
+  }
+  // Top up uniformly if the clusters could not supply m distinct nodes.
+  while (out.size() < m) {
+    const NodeId u = node_dist(rng);
+    if (u == source || !chosen.insert(u).second) continue;
+    out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<NodeId> sphere_destinations(const Topology& topo, NodeId source,
+                                        int d) {
+  assert(d >= 1 && d <= topo.dim());
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    if (hcube::hamming(u, source) == d) out.push_back(u);
+  }
+  return out;
+}
+
+}  // namespace hypercast::workload

@@ -1,0 +1,41 @@
+#ifndef HYPERCAST_WORKLOAD_PATTERNS_HPP
+#define HYPERCAST_WORKLOAD_PATTERNS_HPP
+
+#include <vector>
+
+#include "hcube/subcube.hpp"
+#include "workload/random_sets.hpp"
+
+namespace hypercast::workload {
+
+/// Structured destination patterns beyond Section 5's uniform-random
+/// sets. These stress different corners of the algorithms (dense
+/// subcubes reward W-sort's crowding heuristic; scattered singletons
+/// reward Maxport's channel spreading) and feed the extra ablations.
+
+/// Every node except the source: broadcast (the rightmost point of
+/// Figures 9-12).
+std::vector<NodeId> broadcast_destinations(const Topology& topo, NodeId source);
+
+/// All destinations confined to one ns-dimensional subcube (chosen at
+/// random among those not containing the source when possible); m
+/// destinations sampled inside it.
+std::vector<NodeId> subcube_destinations(const Topology& topo, NodeId source,
+                                         hcube::Dim ns, std::size_t m,
+                                         Rng& rng);
+
+/// Clustered pattern: k cluster centres chosen uniformly, destinations
+/// sampled within Hamming distance `radius` of a centre. Models the
+/// locality of data-parallel neighbourhoods.
+std::vector<NodeId> clustered_destinations(const Topology& topo, NodeId source,
+                                           std::size_t k, int radius,
+                                           std::size_t m, Rng& rng);
+
+/// Every node at exactly Hamming distance d from the source (a "sphere";
+/// adversarial for channel reuse since many routes share early arcs).
+std::vector<NodeId> sphere_destinations(const Topology& topo, NodeId source,
+                                        int d);
+
+}  // namespace hypercast::workload
+
+#endif  // HYPERCAST_WORKLOAD_PATTERNS_HPP

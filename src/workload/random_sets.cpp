@@ -1,0 +1,52 @@
+#include "workload/random_sets.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace hypercast::workload {
+
+std::vector<NodeId> random_destinations(const Topology& topo, NodeId source,
+                                        std::size_t m, Rng& rng) {
+  const std::size_t n_nodes = topo.num_nodes();
+  assert(topo.contains(source));
+  assert(m <= n_nodes - 1 && "more destinations than non-source nodes");
+
+  // Floyd's sampling over the N-1 candidates (all nodes except the
+  // source). Candidate index c in [0, N-2] maps to node c, skipping the
+  // source by shifting indices at and above it up by one.
+  const auto candidate = [&](std::uint64_t c) -> NodeId {
+    return static_cast<NodeId>(c >= source ? c + 1 : c);
+  };
+
+  const std::uint64_t pool = static_cast<std::uint64_t>(n_nodes) - 1;
+  std::unordered_set<NodeId> chosen;
+  std::vector<NodeId> out;
+  out.reserve(m);
+  for (std::uint64_t j = pool - m; j < pool; ++j) {
+    std::uniform_int_distribution<std::uint64_t> dist(0, j);
+    const NodeId t = candidate(dist(rng));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      const NodeId u = candidate(j);
+      chosen.insert(u);
+      out.push_back(u);
+    }
+  }
+  // Shuffle so the insertion bias of Floyd's algorithm never leaks into
+  // order-sensitive consumers.
+  std::shuffle(out.begin(), out.end(), rng);
+  return out;
+}
+
+std::uint64_t derive_seed(std::uint64_t experiment_seed, std::uint64_t m,
+                          std::uint64_t trial) {
+  // SplitMix64-style mixing: cheap, well-distributed, endian-free.
+  std::uint64_t z = experiment_seed + 0x9E3779B97F4A7C15ull * (m * 1'000'003ull + trial + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace hypercast::workload

@@ -1,0 +1,33 @@
+#ifndef HYPERCAST_WORKLOAD_RANDOM_SETS_HPP
+#define HYPERCAST_WORKLOAD_RANDOM_SETS_HPP
+
+#include <random>
+#include <vector>
+
+#include "hcube/topology.hpp"
+
+namespace hypercast::workload {
+
+using hcube::NodeId;
+using hcube::Topology;
+
+/// Deterministic RNG for workload generation. All experiments seed
+/// explicitly so every figure is exactly reproducible.
+using Rng = std::mt19937_64;
+
+/// Section 5's workload: m destinations "randomly distributed throughout
+/// the hypercube", distinct, excluding the source. Sampled with Floyd's
+/// algorithm — O(m) memory regardless of cube size. The returned order
+/// is randomized (algorithms sort internally anyway).
+/// Precondition: m <= N - 1.
+std::vector<NodeId> random_destinations(const Topology& topo, NodeId source,
+                                        std::size_t m, Rng& rng);
+
+/// A deterministic per-point seed derived from an experiment-level seed
+/// and the sweep coordinates, so points are independent of sweep order.
+std::uint64_t derive_seed(std::uint64_t experiment_seed, std::uint64_t m,
+                          std::uint64_t trial);
+
+}  // namespace hypercast::workload
+
+#endif  // HYPERCAST_WORKLOAD_RANDOM_SETS_HPP

@@ -1,0 +1,82 @@
+#include "coll/all_to_all.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypercast::coll {
+namespace {
+
+using hcube::Topology;
+
+TEST(AllToAll, MatchesTheClosedForm) {
+  for (const hcube::Dim n : {1, 2, 4, 6}) {
+    const Topology topo(n);
+    const AllToAllConfig config;
+    const auto result = simulate_all_to_all(topo, config);
+    EXPECT_EQ(result.completion, all_to_all_latency(topo, config)) << n;
+  }
+}
+
+TEST(AllToAll, DimensionExchangeIsContentionFree) {
+  for (const auto res :
+       {hcube::Resolution::HighToLow, hcube::Resolution::LowToHigh}) {
+    const Topology topo(5, res);
+    const auto result = simulate_all_to_all(topo, AllToAllConfig{});
+    EXPECT_EQ(result.stats.blocked_acquisitions, 0u);
+  }
+}
+
+TEST(AllToAll, EveryNodeFinishesSimultaneously) {
+  const Topology topo(4);
+  const auto result = simulate_all_to_all(topo, AllToAllConfig{});
+  ASSERT_EQ(result.finish.size(), topo.num_nodes());
+  for (const auto& [node, t] : result.finish) {
+    EXPECT_EQ(t, result.completion) << "node " << node;
+  }
+}
+
+TEST(AllToAll, MessageCountIsNRounds) {
+  const Topology topo(5);
+  const auto result = simulate_all_to_all(topo, AllToAllConfig{});
+  EXPECT_EQ(result.stats.messages, topo.num_nodes() * 5);
+}
+
+TEST(AllToAll, BlockSizeScalesRoundCost) {
+  const Topology topo(4);
+  AllToAllConfig small;
+  small.block_bytes = 256;
+  AllToAllConfig large;
+  large.block_bytes = 4096;
+  const auto a = simulate_all_to_all(topo, small);
+  const auto b = simulate_all_to_all(topo, large);
+  EXPECT_EQ(b.completion - a.completion,
+            4 * small.cost.body_time((16 / 2) * (4096 - 256)));
+}
+
+TEST(AllToAll, TrivialCubes) {
+  const Topology topo0(0);
+  const auto r0 = simulate_all_to_all(topo0, AllToAllConfig{});
+  EXPECT_EQ(r0.completion, 0);
+  const Topology topo1(1);
+  const AllToAllConfig config;
+  const auto r1 = simulate_all_to_all(topo1, config);
+  // One round, one block each way.
+  EXPECT_EQ(r1.completion,
+            config.cost.send_startup + config.cost.per_hop +
+                config.cost.body_time(config.block_bytes) +
+                config.cost.recv_overhead);
+}
+
+TEST(AllToAll, TraceRecordsEveryExchange) {
+  const Topology topo(3);
+  AllToAllConfig config;
+  config.record_trace = true;
+  const auto result = simulate_all_to_all(topo, config);
+  EXPECT_EQ(result.trace.messages.size(), 8u * 3u);
+  for (const auto& m : result.trace.messages) {
+    EXPECT_TRUE(topo.adjacent(m.from, m.to));
+    EXPECT_EQ(m.blocked_ns, 0);
+  }
+}
+
+}  // namespace
+}  // namespace hypercast::coll

@@ -1,0 +1,129 @@
+// Property tests for the arc-disjointness theorems of Section 3.3,
+// checked against the brute-force arc-set predicate.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "hcube/chain.hpp"
+#include "hcube/ecube.hpp"
+#include "hcube/subcube.hpp"
+
+namespace hypercast::hcube {
+namespace {
+
+class TheoremProperty
+    : public ::testing::TestWithParam<std::tuple<Dim, Resolution>> {
+ protected:
+  Topology topo() const {
+    return Topology(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+/// Theorem 1: paths leaving a common source on different channels are
+/// arc-disjoint.
+TEST_P(TheoremProperty, TheoremOne) {
+  const Topology topo = this->topo();
+  std::mt19937 rng(43);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  int applicable = 0;
+  for (int i = 0; i < 2000 && applicable < 400; ++i) {
+    const NodeId x = dist(rng);
+    const NodeId y = dist(rng);
+    const NodeId v = dist(rng);
+    if (x == y || x == v) continue;
+    if (delta_distinct(topo, x, y) == delta_distinct(topo, x, v)) continue;
+    ++applicable;
+    EXPECT_TRUE(arc_disjoint(topo, x, y, x, v))
+        << topo.format(x) << "->" << topo.format(y) << " vs "
+        << topo.format(x) << "->" << topo.format(v);
+  }
+  EXPECT_GT(applicable, 0);
+}
+
+/// Theorem 2: a path with both endpoints inside subcube S is
+/// arc-disjoint from any path with both endpoints outside S.
+TEST_P(TheoremProperty, TheoremTwo) {
+  const Topology topo = this->topo();
+  const Dim n = topo.dim();
+  if (n < 2) GTEST_SKIP() << "needs at least a 2-cube";
+  std::mt19937 rng(47);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  std::uniform_int_distribution<Dim> ns_dist(0, n);
+  int applicable = 0;
+  for (int i = 0; i < 4000 && applicable < 400; ++i) {
+    const Dim ns = ns_dist(rng);
+    std::uniform_int_distribution<std::uint32_t> mask_dist(
+        0, (1u << (n - ns)) - 1);
+    const Subcube s{ns, mask_dist(rng)};
+    const NodeId u = dist(rng);
+    const NodeId v = dist(rng);
+    const NodeId x = dist(rng);
+    const NodeId y = dist(rng);
+    if (u == v || x == y) continue;
+    if (!s.contains(topo, u) || !s.contains(topo, v)) continue;
+    if (s.contains(topo, x) || s.contains(topo, y)) continue;
+    ++applicable;
+    EXPECT_TRUE(arc_disjoint(topo, u, v, x, y));
+  }
+  EXPECT_GT(applicable, 0);
+}
+
+/// Theorem 2 corollary used throughout Section 4: traffic within one
+/// half of the cube never contends with traffic within the other half.
+TEST_P(TheoremProperty, HalfCubeSeparation) {
+  const Topology topo = this->topo();
+  const Dim n = topo.dim();
+  if (n < 2) GTEST_SKIP();
+  const Subcube lower = whole_cube(topo).lower_half();
+  std::mt19937 rng(53);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  int applicable = 0;
+  for (int i = 0; i < 2000 && applicable < 300; ++i) {
+    const NodeId u = dist(rng);
+    const NodeId v = dist(rng);
+    const NodeId x = dist(rng);
+    const NodeId y = dist(rng);
+    if (u == v || x == y) continue;
+    if (!lower.contains(topo, u) || !lower.contains(topo, v)) continue;
+    if (lower.contains(topo, x) || lower.contains(topo, y)) continue;
+    ++applicable;
+    EXPECT_TRUE(arc_disjoint(topo, u, v, x, y));
+  }
+}
+
+/// The E-cube path between two subcube members stays inside the subcube
+/// (the containment that makes Theorem 2 work).
+TEST_P(TheoremProperty, EcubePathStaysInsideSubcube) {
+  const Topology topo = this->topo();
+  const Dim n = topo.dim();
+  std::mt19937 rng(59);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  std::uniform_int_distribution<Dim> ns_dist(0, n);
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId u = dist(rng);
+    const NodeId v = dist(rng);
+    const Subcube s = smallest_common_subcube(topo, u, v);
+    for (const NodeId w : ecube_path(topo, u, v)) {
+      EXPECT_TRUE(s.contains(topo, w));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cubes, TheoremProperty,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8),
+                       ::testing::Values(Resolution::HighToLow,
+                                         Resolution::LowToHigh)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == Resolution::HighToLow ? "_HighToLow"
+                                                               : "_LowToHigh");
+    });
+
+}  // namespace
+}  // namespace hypercast::hcube

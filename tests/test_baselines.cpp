@@ -1,0 +1,150 @@
+// Tests for the two baseline schemes: separate addressing and the
+// store-and-forward relay tree.
+
+#include <gtest/gtest.h>
+
+#include "core/separate.hpp"
+#include "core/sf_tree.hpp"
+#include "test_util.hpp"
+
+namespace hypercast::core {
+namespace {
+
+using namespace testutil;
+
+TEST(SeparateAddressing, OneUnicastPerDestination) {
+  const Topology topo(5);
+  workload::Rng rng(601);
+  const auto req = random_request(topo, 12, rng);
+  const auto s = separate_addressing(req);
+  EXPECT_TRUE(covers_exactly(s, req));
+  EXPECT_EQ(s.num_unicasts(), req.destinations.size());
+  // Every unicast originates at the source.
+  for (const Unicast& u : s.unicasts()) {
+    EXPECT_EQ(u.from, req.source);
+  }
+}
+
+TEST(SeparateAddressing, OnePortStepsEqualDestinationCount) {
+  const Topology topo(5);
+  workload::Rng rng(607);
+  const auto req = random_request(topo, 9, rng);
+  const auto steps = assign_steps(separate_addressing(req),
+                                  PortModel::one_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 9);
+}
+
+TEST(SeparateAddressing, AllPortStepsBoundedByChannelLoad) {
+  // On all-port, the steps equal the maximum number of destinations
+  // sharing one initial channel.
+  const Topology topo(4);
+  const MulticastRequest req{topo, 0, {8, 9, 10, 4, 2}};
+  // delta: 8,9,10 -> channel 3; 4 -> 2; 2 -> 1. Max load 3.
+  const auto steps = assign_steps(separate_addressing(req),
+                                  PortModel::all_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 3);
+}
+
+TEST(SeparateAddressing, EmptyAndSingle) {
+  const Topology topo(3);
+  EXPECT_EQ(separate_addressing(MulticastRequest{topo, 1, {}}).num_unicasts(),
+            0u);
+  EXPECT_EQ(separate_addressing(MulticastRequest{topo, 1, {6}}).num_unicasts(),
+            1u);
+}
+
+class SfTreeProperty
+    : public ::testing::TestWithParam<std::tuple<hcube::Dim, Resolution>> {
+ protected:
+  Topology topo() const {
+    return Topology(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(SfTreeProperty, CoversAllDestinations) {
+  const Topology topo = this->topo();
+  workload::Rng rng(611);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 30);
+    const auto req = random_request(topo, m, rng);
+    EXPECT_TRUE(covers_at_least(sf_tree(req), req));
+  }
+}
+
+TEST_P(SfTreeProperty, EveryHopIsOneChannel) {
+  // Store-and-forward: the message never rides through a router; every
+  // unicast is between neighbours.
+  const Topology topo = this->topo();
+  workload::Rng rng(613);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 30);
+    const auto req = random_request(topo, m, rng);
+    for (const Unicast& u : sf_tree(req).unicasts()) {
+      EXPECT_EQ(topo.distance(u.from, u.to), 1);
+    }
+  }
+}
+
+TEST_P(SfTreeProperty, DepthBoundedByDimension) {
+  const Topology topo = this->topo();
+  workload::Rng rng(617);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 30);
+    const auto req = random_request(topo, m, rng);
+    const auto steps = assign_steps(sf_tree(req), PortModel::one_port(),
+                                    req.destinations);
+    // The relay tree corrects one dimension per level; with one-port
+    // serialization a node sends at most n messages, so total steps are
+    // bounded by 2n for any destination set on these sizes.
+    EXPECT_LE(steps.total_steps, 2 * topo.dim());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cubes, SfTreeProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6),
+                       ::testing::Values(Resolution::HighToLow,
+                                         Resolution::LowToHigh)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == Resolution::HighToLow ? "_HighToLow"
+                                                               : "_LowToHigh");
+    });
+
+TEST(SfTree, RelaysOnlyWhenNeeded) {
+  // A destination adjacent to the source needs no relay.
+  const Topology topo(4);
+  const MulticastRequest req{topo, 0, {1}};
+  const auto s = sf_tree(req);
+  EXPECT_TRUE(s.relay_processors(req.destinations).empty());
+  EXPECT_EQ(s.num_unicasts(), 1u);
+}
+
+TEST(SfTree, DistantSingletonUsesRelays) {
+  // One destination at distance 4: three relay processors en route.
+  const Topology topo(4);
+  const MulticastRequest req{topo, 0b0000, {0b1111}};
+  const auto s = sf_tree(req);
+  EXPECT_TRUE(covers_at_least(s, req));
+  EXPECT_EQ(s.relay_processors(req.destinations).size(), 3u);
+  EXPECT_EQ(s.num_unicasts(), 4u);
+}
+
+TEST(SfTree, BroadcastIsTheBinomialTree) {
+  const Topology topo(4);
+  std::vector<NodeId> dests;
+  for (NodeId u = 1; u < 16; ++u) dests.push_back(u);
+  const MulticastRequest req{topo, 0, dests};
+  const auto s = sf_tree(req);
+  EXPECT_TRUE(covers_exactly(s, req));  // broadcast: no extra relays
+  EXPECT_EQ(s.num_unicasts(), 15u);
+  const auto steps =
+      assign_steps(s, PortModel::one_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 4);
+}
+
+}  // namespace
+}  // namespace hypercast::core

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/registry.hpp"
+#include "test_util.hpp"
+
+namespace hypercast::core {
+namespace {
+
+using namespace testutil;
+
+TEST(Bounds, OnePortLowerBound) {
+  EXPECT_EQ(one_port_step_lower_bound(0), 0);
+  EXPECT_EQ(one_port_step_lower_bound(1), 1);
+  EXPECT_EQ(one_port_step_lower_bound(2), 2);
+  EXPECT_EQ(one_port_step_lower_bound(3), 2);
+  EXPECT_EQ(one_port_step_lower_bound(4), 3);
+  EXPECT_EQ(one_port_step_lower_bound(7), 3);
+  EXPECT_EQ(one_port_step_lower_bound(8), 4);
+  EXPECT_EQ(one_port_step_lower_bound(1023), 10);
+}
+
+TEST(Bounds, AllPortLowerBound) {
+  // n = 1 degenerates to the one-port bound.
+  for (const std::size_t m : {0u, 1u, 5u, 31u}) {
+    EXPECT_EQ(all_port_step_lower_bound(m, 1), one_port_step_lower_bound(m));
+  }
+  // n = 3: informed nodes quadruple per step.
+  EXPECT_EQ(all_port_step_lower_bound(3, 3), 1);
+  EXPECT_EQ(all_port_step_lower_bound(4, 3), 2);
+  EXPECT_EQ(all_port_step_lower_bound(15, 3), 2);
+  EXPECT_EQ(all_port_step_lower_bound(16, 3), 3);
+  // 10-cube broadcast: ceil(log_11(1024)) = 3.
+  EXPECT_EQ(all_port_step_lower_bound(1023, 10), 3);
+}
+
+TEST(Bounds, AllAlgorithmsRespectTheAllPortBound) {
+  const Topology topo(6);
+  workload::Rng rng(1103);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 1 + rng() % 63;
+    const auto req = random_request(topo, m, rng);
+    for (const auto& algo : paper_algorithms()) {
+      const int steps = assign_steps(algo.build(req), PortModel::all_port(),
+                                     req.destinations)
+                            .total_steps;
+      EXPECT_GE(steps, all_port_step_lower_bound(m, 6))
+          << algo.name << " m=" << m;
+      EXPECT_LE(steps, static_cast<int>(m)) << algo.name;
+    }
+  }
+}
+
+TEST(Registry, PaperAlgorithmsInCurveOrder) {
+  const auto algos = paper_algorithms();
+  ASSERT_EQ(algos.size(), 4u);
+  EXPECT_EQ(algos[0].name, "ucube");
+  EXPECT_EQ(algos[1].name, "maxport");
+  EXPECT_EQ(algos[2].name, "combine");
+  EXPECT_EQ(algos[3].name, "wsort");
+  EXPECT_EQ(algos[3].display, "W-sort");
+}
+
+TEST(Registry, AllAlgorithmsIncludeBaselines) {
+  const auto algos = all_algorithms();
+  ASSERT_EQ(algos.size(), 6u);
+  EXPECT_EQ(algos[4].name, "separate");
+  EXPECT_EQ(algos[5].name, "sftree");
+}
+
+TEST(Registry, FindByNameAndUnknownThrows) {
+  EXPECT_EQ(find_algorithm("wsort").display, "W-sort");
+  EXPECT_EQ(find_algorithm("sftree").display, "SF-tree");
+  EXPECT_THROW(find_algorithm("nope"), std::invalid_argument);
+}
+
+TEST(Registry, EveryEntryBuildsAWorkingSchedule) {
+  const Topology topo(5);
+  workload::Rng rng(1109);
+  const auto req = random_request(topo, 10, rng);
+  for (const auto& algo : all_algorithms()) {
+    const auto s = algo.build(req);
+    EXPECT_NO_THROW(s.validate()) << algo.name;
+    EXPECT_TRUE(s.covers(req.destinations)) << algo.name;
+  }
+}
+
+}  // namespace
+}  // namespace hypercast::core

@@ -1,0 +1,156 @@
+#include "hcube/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "workload/random_sets.hpp"
+
+namespace hypercast::hcube {
+namespace {
+
+TEST(Chain, DimensionOrderExamplesFromSection41) {
+  // High-to-low resolution: dimension order == numeric order.
+  // "dimension ordering of 10100, 00110, and 10010 results in the chain:
+  //  00110, 10010, 10100."
+  const Topology high(5, Resolution::HighToLow);
+  std::vector<NodeId> nodes{0b10100, 0b00110, 0b10010};
+  std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return dimension_order_less(high, a, b);
+  });
+  EXPECT_EQ(nodes, (std::vector<NodeId>{0b00110, 0b10010, 0b10100}));
+
+  // Low-to-high resolution: "a dimension-ordered chain is:
+  //  10100, 10010, 00110."
+  const Topology low(5, Resolution::LowToHigh);
+  std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return dimension_order_less(low, a, b);
+  });
+  EXPECT_EQ(nodes, (std::vector<NodeId>{0b10100, 0b10010, 0b00110}));
+}
+
+TEST(Chain, RelativeKeyIsXorOfKeys) {
+  const Topology topo(4, Resolution::HighToLow);
+  EXPECT_EQ(relative_key(topo, 0b0100, 0b0001), 0b0101u);
+  EXPECT_EQ(relative_key(topo, 0b0100, 0b0100), 0u);
+  const Topology low(4, Resolution::LowToHigh);
+  EXPECT_EQ(relative_key(low, 0b0100, 0b0001),
+            bit_reverse(0b0100, 4) ^ bit_reverse(0b0001, 4));
+}
+
+TEST(Chain, MakeRelativeChainMatchesFigure5) {
+  // Source 0100, destinations {0001, 0011, 0101, 0111, 1000, 1010,
+  // 1011, 1111}; relative keys sort to {1,3,5,7,11,12,14,15}, i.e. the
+  // paper's chain PHI = {0000, 0001, 0011, 0101, 0111, 1011, 1100,
+  // 1110, 1111} in relative terms.
+  const Topology topo(4, Resolution::HighToLow);
+  const std::vector<NodeId> dests{0b0001, 0b0011, 0b0101, 0b0111,
+                                  0b1000, 0b1010, 0b1011, 0b1111};
+  const auto chain = make_relative_chain(topo, 0b0100, dests);
+  const std::vector<NodeId> expected{0b0100, 0b0101, 0b0111, 0b0001, 0b0011,
+                                     0b1111, 0b1000, 0b1010, 0b1011};
+  EXPECT_EQ(chain, expected);
+  std::vector<std::uint32_t> rel;
+  for (const NodeId u : chain) rel.push_back(relative_key(topo, 0b0100, u));
+  EXPECT_EQ(rel, (std::vector<std::uint32_t>{0, 1, 3, 5, 7, 11, 12, 14, 15}));
+}
+
+TEST(Chain, MakeRelativeChainIsDimensionOrdered) {
+  std::mt19937_64 rng(13);
+  for (const Resolution res : {Resolution::HighToLow, Resolution::LowToHigh}) {
+    const Topology topo(6, res);
+    workload::Rng wrng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+      const NodeId source = static_cast<NodeId>(rng() % topo.num_nodes());
+      const auto dests =
+          workload::random_destinations(topo, source, 20, wrng);
+      const auto chain = make_relative_chain(topo, source, dests);
+      EXPECT_EQ(chain.size(), dests.size() + 1);
+      EXPECT_EQ(chain.front(), source);
+      EXPECT_TRUE(is_relative_dimension_ordered(topo, chain));
+    }
+  }
+}
+
+/// Theorem 4: every dimension-ordered chain is cube-ordered.
+TEST(Chain, TheoremFourDimensionOrderedImpliesCubeOrdered) {
+  std::mt19937_64 rng(17);
+  for (const Resolution res : {Resolution::HighToLow, Resolution::LowToHigh}) {
+    for (const Dim n : {3, 5, 7}) {
+      const Topology topo(n, res);
+      workload::Rng wrng(1234);
+      for (int trial = 0; trial < 30; ++trial) {
+        const NodeId source = static_cast<NodeId>(rng() % topo.num_nodes());
+        const std::size_t m =
+            1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 20);
+        const auto dests = workload::random_destinations(topo, source, m, wrng);
+        const auto chain = make_relative_chain(topo, source, dests);
+        EXPECT_TRUE(is_cube_ordered(topo, chain));
+        EXPECT_TRUE(is_cube_ordered_reference(topo, chain));
+      }
+    }
+  }
+}
+
+TEST(Chain, CubeOrderDetectsViolations) {
+  const Topology topo(3, Resolution::HighToLow);
+  // {0, 1, 4, 3}: subcube (2, 0) = {0,1,2,3} holds positions 0, 1 and 3
+  // with position 2 (node 4) outside — not contiguous.
+  const std::vector<NodeId> bad{0, 1, 4, 3};
+  EXPECT_FALSE(is_cube_ordered(topo, bad));
+  EXPECT_FALSE(is_cube_ordered_reference(topo, bad));
+  // {0, 4, 5, 1}: subcube {4,5} contiguous, but {0,1} split by it.
+  const std::vector<NodeId> bad2{0, 4, 5, 1};
+  EXPECT_FALSE(is_cube_ordered(topo, bad2));
+  EXPECT_FALSE(is_cube_ordered_reference(topo, bad2));
+  // Swapping whole halves preserves cube order: {0, 1, 6, 7, 4, 5}.
+  const std::vector<NodeId> good{0, 1, 6, 7, 4, 5};
+  EXPECT_TRUE(is_cube_ordered(topo, good));
+  EXPECT_TRUE(is_cube_ordered_reference(topo, good));
+}
+
+TEST(Chain, FastCubeOrderAgreesWithReference) {
+  std::mt19937_64 rng(23);
+  const Topology topo(4, Resolution::HighToLow);
+  for (int trial = 0; trial < 400; ++trial) {
+    // Random chains of random distinct nodes — mostly NOT cube ordered.
+    std::vector<NodeId> pool(16);
+    for (NodeId u = 0; u < 16; ++u) pool[u] = u;
+    std::shuffle(pool.begin(), pool.end(), rng);
+    const std::size_t len = 2 + rng() % 10;
+    std::vector<NodeId> chain(pool.begin(),
+                              pool.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_EQ(is_cube_ordered(topo, chain),
+              is_cube_ordered_reference(topo, chain))
+        << "trial " << trial;
+  }
+}
+
+TEST(Chain, FastCubeOrderAgreesWithReferenceLowToHigh) {
+  std::mt19937_64 rng(29);
+  const Topology topo(4, Resolution::LowToHigh);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<NodeId> pool(16);
+    for (NodeId u = 0; u < 16; ++u) pool[u] = u;
+    std::shuffle(pool.begin(), pool.end(), rng);
+    const std::size_t len = 2 + rng() % 10;
+    std::vector<NodeId> chain(pool.begin(),
+                              pool.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_EQ(is_cube_ordered(topo, chain),
+              is_cube_ordered_reference(topo, chain))
+        << "trial " << trial;
+  }
+}
+
+TEST(Chain, TrivialChainsAreOrdered) {
+  const Topology topo(4);
+  EXPECT_TRUE(is_cube_ordered(topo, std::vector<NodeId>{}));
+  EXPECT_TRUE(is_cube_ordered(topo, std::vector<NodeId>{5}));
+  EXPECT_TRUE(is_cube_ordered(topo, std::vector<NodeId>{5, 9}));
+  EXPECT_TRUE(is_relative_dimension_ordered(topo, std::vector<NodeId>{}));
+  EXPECT_TRUE(is_relative_dimension_ordered(topo, std::vector<NodeId>{3}));
+}
+
+}  // namespace
+}  // namespace hypercast::hcube

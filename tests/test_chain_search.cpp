@@ -1,0 +1,142 @@
+#include "core/chain_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/wsort.hpp"
+#include "hcube/chain.hpp"
+#include "test_util.hpp"
+
+namespace hypercast::core {
+namespace {
+
+using namespace testutil;
+
+TEST(ChainSearch, EmptyAndSingleton) {
+  const Topology topo(4);
+  const MulticastRequest none{topo, 3, {}};
+  const auto r0 = best_cube_ordered_chain(none);
+  EXPECT_EQ(r0.best_chain, (std::vector<NodeId>{3}));
+  EXPECT_EQ(r0.chains_examined, 1u);
+
+  const MulticastRequest one{topo, 3, {12}};
+  const auto r1 = best_cube_ordered_chain(one);
+  EXPECT_EQ(r1.best_steps, 1);
+  EXPECT_EQ(r1.chains_examined, 1u);
+}
+
+TEST(ChainSearch, CountMatchesEnumeration) {
+  const Topology topo(5);
+  workload::Rng rng(6001);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto req = random_request(topo, 2 + rng() % 8, rng);
+    const auto result = best_cube_ordered_chain(req);
+    EXPECT_EQ(result.chains_examined, count_cube_ordered_chains(req));
+  }
+}
+
+TEST(ChainSearch, EnumerationCoversAllCubeOrderedPermutations) {
+  // Brute-force cross-check on tiny instances: the enumerated space
+  // must equal the set of source-first cube-ordered permutations.
+  const Topology topo(3);
+  workload::Rng rng(6007);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t m = 2 + rng() % 3;  // 2..4 destinations
+    const auto req = random_request(topo, m, rng);
+    const std::size_t enumerated = count_cube_ordered_chains(req);
+
+    // All permutations of the destinations, source fixed first.
+    std::vector<NodeId> perm = req.destinations;
+    std::sort(perm.begin(), perm.end());
+    std::size_t valid = 0;
+    do {
+      std::vector<NodeId> chain{req.source};
+      chain.insert(chain.end(), perm.begin(), perm.end());
+      if (hcube::is_cube_ordered_reference(topo, chain)) ++valid;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(enumerated, valid) << "m=" << m;
+  }
+}
+
+TEST(ChainSearch, EveryEnumeratedChainIsAdmissible) {
+  const Topology topo(4);
+  const MulticastRequest req{topo, 0, {1, 3, 5, 7, 11, 12, 14, 15}};
+  const auto result = best_cube_ordered_chain(req);
+  // The best chain itself must be cube-ordered with the source first.
+  EXPECT_EQ(result.best_chain.front(), 0u);
+  EXPECT_TRUE(hcube::is_cube_ordered(topo, result.best_chain));
+}
+
+TEST(ChainSearch, Figure3OptimumIsTwoSteps) {
+  // W-sort finds the 2-step tree of Figure 3(e); the exhaustive search
+  // confirms no cube-ordered chain does better.
+  const Topology topo(4);
+  const MulticastRequest req{
+      topo, 0, {1, 3, 5, 7, 11, 12, 14, 15}};
+  const auto result = best_cube_ordered_chain(req);
+  EXPECT_EQ(result.best_steps, 2);
+  const auto wsort_steps =
+      assign_steps(wsort(req), PortModel::all_port(), req.destinations)
+          .total_steps;
+  EXPECT_EQ(wsort_steps, result.best_steps);
+}
+
+TEST(ChainSearch, WsortNeverBeatsTheOptimum) {
+  workload::Rng rng(6011);
+  for (const hcube::Dim n : {4, 5}) {
+    const Topology topo(n);
+    for (int trial = 0; trial < 25; ++trial) {
+      const std::size_t m = 2 + rng() % 8;
+      const auto req = random_request(topo, m, rng);
+      const auto best = best_cube_ordered_chain(req);
+      const auto heuristic =
+          assign_steps(wsort(req), PortModel::all_port(), req.destinations)
+              .total_steps;
+      EXPECT_GE(heuristic, best.best_steps) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(ChainSearch, HeuristicIsUsuallyOptimalOnSmallCubes) {
+  workload::Rng rng(6029);
+  const Topology topo(5);
+  int optimal = 0;
+  const int trials = 40;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::size_t m = 3 + rng() % 8;
+    const auto req = random_request(topo, m, rng);
+    const auto best = best_cube_ordered_chain(req);
+    const auto heuristic =
+        assign_steps(wsort(req), PortModel::all_port(), req.destinations)
+            .total_steps;
+    if (heuristic == best.best_steps) ++optimal;
+  }
+  // The crowding heuristic should hit the optimum in the large
+  // majority of small instances.
+  EXPECT_GE(optimal, trials * 3 / 4);
+}
+
+TEST(ChainSearch, ThrowsWhenSpaceTooLarge) {
+  const Topology topo(8);
+  workload::Rng rng(6037);
+  const auto req = random_request(topo, 120, rng);
+  EXPECT_THROW(best_cube_ordered_chain(req, PortModel::all_port(), 1024),
+               std::invalid_argument);
+}
+
+TEST(ChainSearch, SearchRespectsPortModel) {
+  // Under one-port the chain ordering cannot change the step count
+  // (it is always ceil stepwise serialization over the same tree
+  // sizes)? Not exactly — but the search must at least return a count
+  // within [lower bound, m].
+  const Topology topo(4);
+  const MulticastRequest req{topo, 0, {1, 3, 5, 7, 11, 12, 14, 15}};
+  const auto result =
+      best_cube_ordered_chain(req, PortModel::one_port());
+  EXPECT_GE(result.best_steps, 4);  // ceil(log2(9))
+  EXPECT_LE(result.best_steps, 8);
+}
+
+}  // namespace
+}  // namespace hypercast::core

@@ -1,0 +1,133 @@
+#include "core/chain_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/contention.hpp"
+#include "test_util.hpp"
+
+namespace hypercast::core {
+namespace {
+
+using namespace testutil;
+
+class CombineProperty
+    : public ::testing::TestWithParam<std::tuple<hcube::Dim, Resolution>> {
+ protected:
+  Topology topo() const {
+    return Topology(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(CombineProperty, CoversExactlyTheDestinations) {
+  const Topology topo = this->topo();
+  workload::Rng rng(301);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 40);
+    const auto req = random_request(topo, m, rng);
+    EXPECT_TRUE(covers_exactly(combine(req), req));
+  }
+}
+
+TEST_P(CombineProperty, NoNodeResponsibleForMoreThanHalf) {
+  // Combine's defining guarantee: next >= center, so the subtree handed
+  // to each recipient never exceeds what U-cube's binary halving would
+  // hand over: with r nodes remaining at the sender (itself included),
+  // the handoff covers at most floor((r-1)/2) + 1 nodes.
+  const Topology topo = this->topo();
+  workload::Rng rng(307);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 40);
+    const auto req = random_request(topo, m, rng);
+    const auto s = combine(req);
+    for (const NodeId sender : s.senders()) {
+      // Remaining responsibility before the first send: the sender plus
+      // everything in its subtree.
+      std::size_t remaining = 1;
+      for (const Send& send : s.sends_from(sender)) {
+        remaining += send.payload.size() + 1;
+      }
+      for (const Send& send : s.sends_from(sender)) {
+        const std::size_t handoff = send.payload.size() + 1;
+        EXPECT_LE(handoff, (remaining - 1) / 2 + 1)
+            << "sender " << topo.format(sender) << " m=" << m;
+        remaining -= handoff;
+      }
+    }
+  }
+}
+
+TEST_P(CombineProperty, ScheduleIsContentionFreeOnAllPort) {
+  const Topology topo = this->topo();
+  workload::Rng rng(311);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 25);
+    const auto req = random_request(topo, m, rng);
+    const auto report = check_contention(combine(req), PortModel::all_port());
+    EXPECT_TRUE(report.contention_free()) << report.summary(topo);
+  }
+}
+
+TEST_P(CombineProperty, AllPortStepsAtMostUCube) {
+  // Combine dominates U-cube under the all-port step model on random
+  // sets: it spreads across channels whenever that does not inflate
+  // any node's responsibility. (Equality is common at small m.)
+  const Topology topo = this->topo();
+  if (topo.dim() < 3) GTEST_SKIP();
+  workload::Rng rng(313);
+  int combine_wins = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 40);
+    const auto req = random_request(topo, m, rng);
+    const int c =
+        assign_steps(combine(req), PortModel::all_port(), req.destinations)
+            .total_steps;
+    const int u =
+        assign_steps(ucube(req), PortModel::all_port(), req.destinations)
+            .total_steps;
+    EXPECT_LE(c, u) << "m=" << m;
+    if (c < u) ++combine_wins;
+  }
+  if (topo.dim() >= 6) {
+    EXPECT_GT(combine_wins, 0) << "Combine should beat U-cube somewhere";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cubes, CombineProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8),
+                       ::testing::Values(Resolution::HighToLow,
+                                         Resolution::LowToHigh)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == Resolution::HighToLow ? "_HighToLow"
+                                                               : "_LowToHigh");
+    });
+
+TEST(Combine, AvoidsTheMaxportPathology) {
+  // Figure 6's case plus deeper variants: when all destinations live in
+  // one far subcube, Combine halves instead of chaining.
+  const Topology topo(5);
+  const MulticastRequest req{topo, 0, {17, 18, 19, 20, 21, 22, 23}};
+  const int c = assign_steps(combine(req), PortModel::all_port(),
+                             req.destinations)
+                    .total_steps;
+  const int mp = assign_steps(maxport(req), PortModel::all_port(),
+                              req.destinations)
+                     .total_steps;
+  EXPECT_LT(c, mp);
+  EXPECT_EQ(c, 3);  // ceil(log2(7+1)) within the subcube chain
+}
+
+TEST(Combine, SingleDestination) {
+  const Topology topo(4);
+  const MulticastRequest req{topo, 1, {14}};
+  EXPECT_EQ(combine(req).num_unicasts(), 1u);
+}
+
+}  // namespace
+}  // namespace hypercast::core

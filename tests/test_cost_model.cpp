@@ -1,0 +1,58 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypercast::sim {
+namespace {
+
+TEST(CostModel, MicrosecondConversionsRoundTrip) {
+  EXPECT_EQ(microseconds(0), 0);
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(microseconds(160), 160000);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(42)), 42.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(1500), 1.5);
+}
+
+TEST(CostModel, BodyTimeIsLinearInBytes) {
+  const CostModel c = CostModel::ncube2();
+  EXPECT_EQ(c.body_time(0), 0);
+  EXPECT_EQ(c.body_time(1), c.ns_per_byte);
+  EXPECT_EQ(c.body_time(4096), 4096 * c.ns_per_byte);
+  EXPECT_EQ(c.body_time(8192), 2 * c.body_time(4096));
+}
+
+TEST(CostModel, UnicastLatencyDecomposition) {
+  const CostModel c = CostModel::ncube2();
+  EXPECT_EQ(c.unicast_latency(0, 0), c.send_startup + c.recv_overhead);
+  EXPECT_EQ(c.unicast_latency(3, 1024),
+            c.send_startup + 3 * c.per_hop + 1024 * c.ns_per_byte +
+                c.recv_overhead);
+  // Distance insensitivity: extra hops cost only per_hop each.
+  EXPECT_EQ(c.unicast_latency(10, 4096) - c.unicast_latency(1, 4096),
+            9 * c.per_hop);
+}
+
+TEST(CostModel, Ncube2DefaultsAreTheDocumentedApproximations) {
+  const CostModel c = CostModel::ncube2();
+  EXPECT_EQ(c.send_startup, microseconds(160));
+  EXPECT_EQ(c.recv_overhead, microseconds(80));
+  EXPECT_EQ(c.per_hop, microseconds(2));
+  EXPECT_EQ(c.ns_per_byte, 450);
+  // 4 KiB body ~ 1.84 ms: the regime where the body dominates startup,
+  // i.e. where the paper's 4096-byte measurements live.
+  EXPECT_GT(c.body_time(4096), 10 * c.send_startup);
+}
+
+TEST(CostModel, FastNetworkIsUniformlyCheaper) {
+  const CostModel slow = CostModel::ncube2();
+  const CostModel fast = CostModel::fast_network();
+  for (const int hops : {1, 5, 10}) {
+    for (const std::size_t bytes : {64u, 4096u}) {
+      EXPECT_LT(fast.unicast_latency(hops, bytes),
+                slow.unicast_latency(hops, bytes));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypercast::sim

@@ -1,0 +1,221 @@
+#include "hcube/ecube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace hypercast::hcube {
+namespace {
+
+/// Parameterized over (dimension, resolution order): the E-cube
+/// invariants must hold in every configuration.
+class ECubeProperty
+    : public ::testing::TestWithParam<std::tuple<Dim, Resolution>> {
+ protected:
+  Topology topo() const {
+    return Topology(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(ECubeProperty, PathEndpointsAndLength) {
+  const Topology topo = this->topo();
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  for (int i = 0; i < 300; ++i) {
+    const NodeId u = dist(rng);
+    const NodeId v = dist(rng);
+    const auto path = ecube_path(topo, u, v);
+    ASSERT_GE(path.size(), 1u);
+    EXPECT_EQ(path.front(), u);
+    EXPECT_EQ(path.back(), v);
+    EXPECT_EQ(path.size(), static_cast<std::size_t>(hamming(u, v)) + 1);
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      EXPECT_TRUE(topo.adjacent(path[k], path[k + 1]));
+    }
+  }
+}
+
+TEST_P(ECubeProperty, RouteDimsAreMonotoneInResolutionOrder) {
+  const Topology topo = this->topo();
+  std::mt19937 rng(23);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  for (int i = 0; i < 300; ++i) {
+    const NodeId u = dist(rng);
+    const NodeId v = dist(rng);
+    const auto dims = route_dims(topo, u, v);
+    for (std::size_t k = 0; k + 1 < dims.size(); ++k) {
+      if (topo.resolution() == Resolution::HighToLow) {
+        EXPECT_GT(dims[k], dims[k + 1]);
+      } else {
+        EXPECT_LT(dims[k], dims[k + 1]);
+      }
+    }
+    // Each dimension is used at most once (part of Lemma 1): strict
+    // monotonicity already implies it, but check the set explicitly.
+    std::uint32_t used = 0;
+    for (const Dim d : dims) {
+      EXPECT_FALSE(test_bit(used, d));
+      used |= 1u << d;
+    }
+    EXPECT_EQ(used, u ^ v);
+  }
+}
+
+/// Lemma 1: along P(x, y), before travelling dimension d the address
+/// agrees with x on every later-resolved dimension <= d already matching
+/// x, and after travelling d it agrees with y on all earlier-resolved
+/// dimensions; and x, y differ in d itself.
+TEST_P(ECubeProperty, LemmaOne) {
+  const Topology topo = this->topo();
+  std::mt19937 rng(29);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  const bool high_first = topo.resolution() == Resolution::HighToLow;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId x = dist(rng);
+    const NodeId y = dist(rng);
+    const auto path = ecube_path(topo, x, y);
+    for (std::size_t hop = 0; hop + 1 < path.size(); ++hop) {
+      const Dim d = static_cast<Dim>(highest_bit(path[hop] ^ path[hop + 1]));
+      EXPECT_NE(test_bit(x, d), test_bit(y, d)) << "condition 3";
+      // Condition 1: w_j (j <= hop) agrees with x in every dimension not
+      // yet resolved at this point.
+      for (std::size_t j = 0; j <= hop; ++j) {
+        for (Dim k = 0; k < topo.dim(); ++k) {
+          const bool not_yet = high_first ? (k <= d) : (k >= d);
+          if (not_yet) {
+            EXPECT_EQ(test_bit(path[j], k), test_bit(x, k));
+          }
+        }
+      }
+      // Condition 2: w_j (j > hop) agrees with y in every dimension
+      // already resolved.
+      for (std::size_t j = hop + 1; j < path.size(); ++j) {
+        for (Dim k = 0; k < topo.dim(); ++k) {
+          const bool resolved = high_first ? (k > d) : (k < d);
+          if (resolved) {
+            EXPECT_EQ(test_bit(path[j], k), test_bit(y, k));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ECubeProperty, DeltaIsFirstRouteDim) {
+  const Topology topo = this->topo();
+  std::mt19937 rng(31);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  for (int i = 0; i < 300; ++i) {
+    const NodeId u = dist(rng);
+    const NodeId v = dist(rng);
+    const auto d = delta(topo, u, v);
+    if (u == v) {
+      EXPECT_FALSE(d.has_value());
+      continue;
+    }
+    ASSERT_TRUE(d.has_value());
+    const auto dims = route_dims(topo, u, v);
+    ASSERT_FALSE(dims.empty());
+    EXPECT_EQ(*d, dims.front());
+    EXPECT_EQ(*d, delta_distinct(topo, u, v));
+  }
+}
+
+TEST_P(ECubeProperty, ArcsMatchPath) {
+  const Topology topo = this->topo();
+  std::mt19937 rng(37);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  for (int i = 0; i < 200; ++i) {
+    const NodeId u = dist(rng);
+    const NodeId v = dist(rng);
+    const auto path = ecube_path(topo, u, v);
+    const auto arcs = ecube_arcs(topo, u, v);
+    ASSERT_EQ(arcs.size() + 1, path.size());
+    for (std::size_t k = 0; k < arcs.size(); ++k) {
+      EXPECT_EQ(arcs[k].from, path[k]);
+      EXPECT_EQ(topo.neighbor(arcs[k].from, arcs[k].dim), path[k + 1]);
+    }
+  }
+}
+
+/// The two resolution orders are isomorphic under bit reversal:
+/// P_lowhigh(u, v) = rev(P_highlow(rev(u), rev(v))).
+TEST_P(ECubeProperty, ResolutionOrdersAreBitReverseIsomorphic) {
+  const Dim n = std::get<0>(GetParam());
+  const Topology low(n, Resolution::LowToHigh);
+  const Topology high(n, Resolution::HighToLow);
+  std::mt19937 rng(41);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(low.num_nodes() - 1));
+  for (int i = 0; i < 200; ++i) {
+    const NodeId u = dist(rng);
+    const NodeId v = dist(rng);
+    const auto p_low = ecube_path(low, u, v);
+    const auto p_high =
+        ecube_path(high, bit_reverse(u, n), bit_reverse(v, n));
+    ASSERT_EQ(p_low.size(), p_high.size());
+    for (std::size_t k = 0; k < p_low.size(); ++k) {
+      EXPECT_EQ(bit_reverse(p_low[k], n), p_high[k]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cubes, ECubeProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8, 10),
+                       ::testing::Values(Resolution::HighToLow,
+                                         Resolution::LowToHigh)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == Resolution::HighToLow ? "_HighToLow"
+                                                               : "_LowToHigh");
+    });
+
+TEST(ECube, PaperPathExample) {
+  // Section 3.1: P(0101, 1110) = (0101; 1101; 1111; 1110) under
+  // high-to-low resolution.
+  const Topology topo(4, Resolution::HighToLow);
+  const auto path = ecube_path(topo, 0b0101, 0b1110);
+  const std::vector<NodeId> expected{0b0101, 0b1101, 0b1111, 0b1110};
+  EXPECT_EQ(path, expected);
+}
+
+TEST(ECube, DeltaDefinitionExamples) {
+  const Topology topo(4, Resolution::HighToLow);
+  // delta = floor(log2(u xor v)) under high-to-low resolution.
+  EXPECT_EQ(delta_distinct(topo, 0b0000, 0b0001), 0);
+  EXPECT_EQ(delta_distinct(topo, 0b0000, 0b1000), 3);
+  EXPECT_EQ(delta_distinct(topo, 0b0101, 0b1110), 3);
+  EXPECT_EQ(delta_distinct(topo, 0b0111, 0b1011), 3);
+  const Topology low(4, Resolution::LowToHigh);
+  EXPECT_EQ(delta_distinct(low, 0b0101, 0b1110), 0);
+  EXPECT_EQ(delta_distinct(low, 0b0110, 0b0010), 2);
+}
+
+TEST(ECube, ArcDisjointBruteForce) {
+  const Topology topo(4);
+  // P(0000, 0011) = 0000 -> 0010 -> 0011; P(0100, 0111) uses different
+  // arcs entirely (different subcube).
+  EXPECT_TRUE(arc_disjoint(topo, 0b0000, 0b0011, 0b0100, 0b0111));
+  // Same path twice is trivially not disjoint.
+  EXPECT_FALSE(arc_disjoint(topo, 0b0000, 0b0011, 0b0000, 0b0011));
+  // P(0111, 1100) and P(0111, 1011) share the arc 0111 -> 1111
+  // (Figure 3(d)'s conflict).
+  EXPECT_FALSE(arc_disjoint(topo, 0b0111, 0b1100, 0b0111, 0b1011));
+  // Opposite directions over the same link are distinct channels.
+  EXPECT_TRUE(arc_disjoint(topo, 0b0000, 0b0001, 0b0001, 0b0000));
+}
+
+TEST(ECube, EmptyPathsAreDisjoint) {
+  const Topology topo(3);
+  EXPECT_TRUE(arc_disjoint(topo, 1, 1, 2, 2));
+  EXPECT_TRUE(arc_disjoint(topo, 1, 1, 0, 7));
+}
+
+}  // namespace
+}  // namespace hypercast::hcube

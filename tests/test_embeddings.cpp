@@ -1,0 +1,105 @@
+#include "hcube/embeddings.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hypercast::hcube {
+namespace {
+
+TEST(GrayCode, FirstValues) {
+  EXPECT_EQ(gray_code(0), 0u);
+  EXPECT_EQ(gray_code(1), 1u);
+  EXPECT_EQ(gray_code(2), 3u);
+  EXPECT_EQ(gray_code(3), 2u);
+  EXPECT_EQ(gray_code(4), 6u);
+  EXPECT_EQ(gray_code(7), 4u);
+}
+
+TEST(GrayCode, DecodeInvertsEncode) {
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(gray_decode(gray_code(i)), i);
+  }
+}
+
+TEST(GrayCode, ConsecutiveValuesDifferInOneBit) {
+  for (std::uint32_t i = 0; i + 1 < 4096; ++i) {
+    EXPECT_EQ(popcount(gray_code(i) ^ gray_code(i + 1)), 1) << i;
+  }
+}
+
+TEST(GrayRing, IsAHamiltonianCycle) {
+  for (const Dim n : {1, 2, 3, 5, 8}) {
+    const Topology topo(n);
+    const auto ring = gray_ring(topo);
+    ASSERT_EQ(ring.size(), topo.num_nodes());
+    std::set<NodeId> distinct(ring.begin(), ring.end());
+    EXPECT_EQ(distinct.size(), topo.num_nodes());
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const NodeId a = ring[i];
+      const NodeId b = ring[(i + 1) % ring.size()];
+      EXPECT_TRUE(topo.adjacent(a, b)) << "position " << i;
+    }
+  }
+}
+
+TEST(EmbedRing, EveryEvenLengthEmbeds) {
+  const Topology topo(5);
+  for (std::size_t length = 2; length <= 32; length += 2) {
+    const auto ring = embed_ring(topo, length);
+    ASSERT_EQ(ring.size(), length) << length;
+    std::set<NodeId> distinct(ring.begin(), ring.end());
+    EXPECT_EQ(distinct.size(), length) << length;
+    for (std::size_t i = 0; i < length; ++i) {
+      EXPECT_TRUE(topo.adjacent(ring[i], ring[(i + 1) % length]))
+          << "length " << length << " position " << i;
+    }
+  }
+}
+
+TEST(EmbedRing, RejectsOddAndOversized) {
+  const Topology topo(4);
+  EXPECT_THROW(embed_ring(topo, 3), std::invalid_argument);
+  EXPECT_THROW(embed_ring(topo, 7), std::invalid_argument);
+  EXPECT_THROW(embed_ring(topo, 1), std::invalid_argument);
+  EXPECT_THROW(embed_ring(topo, 18), std::invalid_argument);
+  EXPECT_NO_THROW(embed_ring(topo, 16));
+}
+
+TEST(EmbedGrid, NeighboursAndTorusWraparound) {
+  const Topology topo(6);
+  for (const auto& [rows, cols] :
+       {std::pair<std::size_t, std::size_t>{4, 8},
+        {8, 8},
+        {2, 16},
+        {1, 8}}) {
+    const auto grid = embed_grid(topo, rows, cols);
+    ASSERT_EQ(grid.size(), rows * cols);
+    std::set<NodeId> distinct(grid.begin(), grid.end());
+    EXPECT_EQ(distinct.size(), rows * cols);
+    const auto at = [&](std::size_t r, std::size_t c) {
+      return grid[r * cols + c];
+    };
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (cols > 1) {
+          EXPECT_TRUE(topo.adjacent(at(r, c), at(r, (c + 1) % cols)));
+        }
+        if (rows > 1) {
+          EXPECT_TRUE(topo.adjacent(at(r, c), at((r + 1) % rows, c)));
+        }
+      }
+    }
+  }
+}
+
+TEST(EmbedGrid, RejectsBadShapes) {
+  const Topology topo(4);
+  EXPECT_THROW(embed_grid(topo, 3, 4), std::invalid_argument);
+  EXPECT_THROW(embed_grid(topo, 4, 8), std::invalid_argument);  // 32 > 16
+  EXPECT_THROW(embed_grid(topo, 0, 4), std::invalid_argument);
+  EXPECT_NO_THROW(embed_grid(topo, 4, 4));
+}
+
+}  // namespace
+}  // namespace hypercast::hcube

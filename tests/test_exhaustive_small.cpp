@@ -1,0 +1,120 @@
+// Exhaustive verification on the 3-cube: EVERY source and EVERY
+// non-empty destination subset (8 x 127 = 1016 instances), every paper
+// algorithm. Small enough to brute-force, strong enough to catch any
+// corner the randomized suites might miss.
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/contention.hpp"
+#include "core/registry.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "test_util.hpp"
+
+namespace hypercast {
+namespace {
+
+using namespace testutil;
+using core::PortModel;
+
+std::vector<core::MulticastRequest> all_3cube_requests(Resolution res) {
+  const Topology topo(3, res);
+  std::vector<core::MulticastRequest> out;
+  for (NodeId source = 0; source < 8; ++source) {
+    for (std::uint32_t mask = 1; mask < 256; ++mask) {
+      if (mask & (1u << source)) continue;  // source not a destination
+      std::vector<NodeId> dests;
+      for (NodeId u = 0; u < 8; ++u) {
+        if (mask & (1u << u)) dests.push_back(u);
+      }
+      if (dests.empty()) continue;
+      out.push_back(core::MulticastRequest{topo, source, std::move(dests)});
+    }
+  }
+  return out;
+}
+
+class Exhaustive3Cube : public ::testing::TestWithParam<Resolution> {};
+
+TEST_P(Exhaustive3Cube, EveryAlgorithmCoversEveryInstance) {
+  for (const auto& req : all_3cube_requests(GetParam())) {
+    for (const auto& algo : core::all_algorithms()) {
+      const auto s = algo.build(req);
+      ASSERT_NO_THROW(s.validate()) << algo.name;
+      ASSERT_TRUE(s.covers(req.destinations))
+          << algo.name << " src=" << req.source;
+    }
+  }
+}
+
+TEST_P(Exhaustive3Cube, UCubeAlwaysMeetsTheOnePortBound) {
+  for (const auto& req : all_3cube_requests(GetParam())) {
+    const auto steps = core::assign_steps(
+        core::find_algorithm("ucube").build(req), PortModel::one_port(),
+        req.destinations);
+    ASSERT_EQ(steps.total_steps,
+              core::one_port_step_lower_bound(req.destinations.size()))
+        << "src=" << req.source;
+  }
+}
+
+TEST_P(Exhaustive3Cube, MaxportAndWsortAreAlwaysContentionFree) {
+  for (const auto& req : all_3cube_requests(GetParam())) {
+    for (const char* name : {"maxport", "wsort"}) {
+      const auto s = core::find_algorithm(name).build(req);
+      const auto report = core::check_contention(s, PortModel::all_port());
+      ASSERT_TRUE(report.contention_free())
+          << name << " src=" << req.source << "\n"
+          << report.summary(req.topo);
+    }
+  }
+}
+
+TEST_P(Exhaustive3Cube, UCubeOnePortIsAlwaysContentionFree) {
+  for (const auto& req : all_3cube_requests(GetParam())) {
+    const auto s = core::find_algorithm("ucube").build(req);
+    ASSERT_TRUE(
+        core::check_contention(s, PortModel::one_port()).contention_free())
+        << "src=" << req.source;
+  }
+}
+
+TEST_P(Exhaustive3Cube, MaxportAndWsortNeverBlockInTheSimulator) {
+  sim::SimConfig config;
+  config.message_bytes = 512;
+  for (const auto& req : all_3cube_requests(GetParam())) {
+    for (const char* name : {"maxport", "wsort"}) {
+      const auto s = core::find_algorithm(name).build(req);
+      const auto result = sim::simulate_multicast(s, config);
+      ASSERT_EQ(result.stats.blocked_acquisitions, 0u)
+          << name << " src=" << req.source;
+      ASSERT_EQ(result.delivery.size(), req.destinations.size());
+    }
+  }
+}
+
+TEST_P(Exhaustive3Cube, StepCountsWithinBounds) {
+  for (const auto& req : all_3cube_requests(GetParam())) {
+    const auto m = req.destinations.size();
+    for (const auto& algo : core::paper_algorithms()) {
+      const int steps = core::assign_steps(algo.build(req),
+                                           PortModel::all_port(),
+                                           req.destinations)
+                            .total_steps;
+      ASSERT_GE(steps, core::all_port_step_lower_bound(m, 3)) << algo.name;
+      ASSERT_LE(steps, static_cast<int>(m)) << algo.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothResolutions, Exhaustive3Cube,
+                         ::testing::Values(Resolution::HighToLow,
+                                           Resolution::LowToHigh),
+                         [](const auto& info) {
+                           return info.param == Resolution::HighToLow
+                                      ? "HighToLow"
+                                      : "LowToHigh";
+                         });
+
+}  // namespace
+}  // namespace hypercast

@@ -1,0 +1,149 @@
+// Shape tests for the paper's evaluation claims: small, dedicated
+// sweeps (full statistical power where cheap) asserting the qualitative
+// features each figure is about — the staircase, the orderings, the
+// broadcast convergence and the U-cube average-delay anomaly.
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/figures.hpp"
+#include "workload/patterns.hpp"
+
+namespace hypercast::harness {
+namespace {
+
+/// Figure 9's staircase: under the all-port stepwise model U-cube's
+/// curve is exactly ceil(log2(m+1))... almost: all-port execution can
+/// only help, and for U-cube it rarely does. Assert the defining jumps:
+/// the value is constant between powers of two and increases across
+/// them.
+TEST(FigureShapes, UCubeStaircase) {
+  StepSweepConfig config;
+  config.n = 6;
+  config.algorithms = {"ucube"};
+  config.sizes = {3, 4, 7, 8, 15, 16, 31, 32, 63};
+  config.sets_per_point = 30;
+  const auto series = run_step_sweep(config);
+  const auto& curve = *series.find_curve("U-cube");
+  const auto mean_at = [&](double x) { return curve.find(x)->stats.mean(); };
+  // Jumps exactly at powers of two...
+  EXPECT_LT(mean_at(3), mean_at(4));
+  EXPECT_LT(mean_at(7), mean_at(8));
+  EXPECT_LT(mean_at(15), mean_at(16));
+  EXPECT_LT(mean_at(31), mean_at(32));
+  // ...and plateaus in between.
+  EXPECT_DOUBLE_EQ(mean_at(4), mean_at(7));
+  EXPECT_DOUBLE_EQ(mean_at(8), mean_at(15));
+  EXPECT_DOUBLE_EQ(mean_at(16), mean_at(31));
+  EXPECT_DOUBLE_EQ(mean_at(32), mean_at(63));
+}
+
+TEST(FigureShapes, AllPortAlgorithmsSmoothTheStaircase) {
+  // "the new algorithms smooth out the staircase behavior": within a
+  // U-cube plateau their curves keep growing.
+  StepSweepConfig config;
+  config.n = 6;
+  config.sizes = {17, 21, 25, 29};
+  config.sets_per_point = 60;
+  const auto series = run_step_sweep(config);
+  for (const char* name : {"Maxport", "Combine", "W-sort"}) {
+    const auto& curve = *series.find_curve(name);
+    EXPECT_LT(curve.find(17)->stats.mean(), curve.find(29)->stats.mean())
+        << name;
+  }
+  // While U-cube is flat across the same range.
+  const auto& ucube = *series.find_curve("U-cube");
+  EXPECT_DOUBLE_EQ(ucube.find(17)->stats.mean(),
+                   ucube.find(29)->stats.mean());
+}
+
+TEST(FigureShapes, EveryCurveConvergesAtBroadcast) {
+  // At m = N-1 the destination set is fixed, so every chain algorithm
+  // builds the same spanning structure depth: all curves meet.
+  StepSweepConfig config;
+  config.n = 5;
+  config.sizes = {31};
+  config.sets_per_point = 4;
+  const auto series = run_step_sweep(config);
+  for (const auto& curve : series.curves()) {
+    EXPECT_DOUBLE_EQ(curve.find(31)->stats.mean(), 5.0) << curve.name;
+    EXPECT_DOUBLE_EQ(curve.find(31)->stats.stddev(), 0.0) << curve.name;
+  }
+}
+
+TEST(FigureShapes, Figure11AnomalyUCubeAverageWorseThanBroadcast) {
+  // "the average delay for U-cube is actually worse for multicast than
+  // for broadcast": compare dense multicast points against m = 31 on
+  // the 5-cube with the full Figure-11 configuration.
+  DelaySweepConfig config;
+  config.n = 5;
+  config.sizes = {26, 28, 30, 31};
+  config.sets_per_point = 20;
+  const auto result = run_delay_sweep(config);
+  const auto& ucube = *result.avg.find_curve("U-cube");
+  const double broadcast = ucube.find(31)->stats.mean();
+  EXPECT_GT(ucube.find(26)->stats.mean(), broadcast);
+  EXPECT_GT(ucube.find(28)->stats.mean(), broadcast);
+  EXPECT_GT(ucube.find(30)->stats.mean(), broadcast);
+  // The all-port algorithms do NOT show the anomaly anywhere near as
+  // strongly: their m=30 average stays within 2% of broadcast.
+  for (const char* name : {"Maxport", "W-sort"}) {
+    const auto& curve = *result.avg.find_curve(name);
+    EXPECT_LT(curve.find(30)->stats.mean(), broadcast * 1.02) << name;
+  }
+}
+
+TEST(FigureShapes, MaxDelayStaircasePlateausAreExactForUCube) {
+  // Figure 12: U-cube's max delay is a deterministic function of the
+  // step count — every set of size 8..15 pays exactly 4 tree levels.
+  DelaySweepConfig config;
+  config.n = 5;
+  config.sizes = {8, 11, 15};
+  config.sets_per_point = 10;
+  config.algorithms = {"ucube"};
+  const auto result = run_delay_sweep(config);
+  // "Exact" at the tree-level granularity: only the per-hop term
+  // (2 us per channel, a few hops of spread) varies across sets, which
+  // is three orders of magnitude below the ~2000 us level cost.
+  const auto& curve = *result.max.find_curve("U-cube");
+  for (const double x : {8.0, 11.0, 15.0}) {
+    EXPECT_LT(curve.find(x)->stats.stddev(), 10.0) << "m=" << x;
+  }
+  EXPECT_NEAR(curve.find(8)->stats.mean(), curve.find(15)->stats.mean(),
+              20.0);
+}
+
+TEST(FigureShapes, TenCubeAdvantageExceedsFiveCube) {
+  // Figures 13/14's message: W-sort's relative advantage over U-cube
+  // grows with the cube size.
+  DelaySweepConfig small;
+  small.n = 5;
+  small.sizes = {16};
+  small.sets_per_point = 12;
+  DelaySweepConfig large;
+  large.n = 8;  // keep the test fast; the trend is monotone in n
+  large.sizes = {128};
+  large.sets_per_point = 12;
+  const auto rs = run_delay_sweep(small);
+  const auto rl = run_delay_sweep(large);
+  const auto ratio = [](const DelaySweepResult& r, double x) {
+    return r.avg.find_curve("U-cube")->find(x)->stats.mean() /
+           r.avg.find_curve("W-sort")->find(x)->stats.mean();
+  };
+  EXPECT_GT(ratio(rl, 128), ratio(rs, 16));
+}
+
+TEST(FigureShapes, WsortSweepsRunEntirelyWithoutBlocking) {
+  // Theorem 6 across a whole delay sweep: zero blocked acquisitions
+  // contributed by W-sort (and Maxport) runs.
+  DelaySweepConfig config;
+  config.n = 6;
+  config.sizes = {8, 24, 48};
+  config.sets_per_point = 10;
+  config.algorithms = {"maxport", "wsort"};
+  const auto result = run_delay_sweep(config);
+  EXPECT_EQ(result.blocked_acquisitions, 0u);
+}
+
+}  // namespace
+}  // namespace hypercast::harness

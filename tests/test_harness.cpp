@@ -1,0 +1,135 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "harness/figures.hpp"
+
+namespace hypercast::harness {
+namespace {
+
+TEST(Harness, SizeRange) {
+  EXPECT_EQ(size_range(1, 7, 2), (std::vector<std::size_t>{1, 3, 5, 7}));
+  EXPECT_EQ(size_range(5, 5, 1), (std::vector<std::size_t>{5}));
+  EXPECT_EQ(size_range(10, 9, 1), (std::vector<std::size_t>{}));
+}
+
+TEST(Harness, StepSweepProducesAllCurvesAndPoints) {
+  StepSweepConfig config;
+  config.n = 4;
+  config.sizes = {2, 5, 9};
+  config.sets_per_point = 4;
+  const auto series = run_step_sweep(config);
+  EXPECT_EQ(series.curves().size(), 4u);
+  for (const auto& curve : series.curves()) {
+    EXPECT_EQ(curve.points.size(), 3u);
+    for (const auto& p : curve.points) {
+      EXPECT_EQ(p.stats.count(), 4u);
+      EXPECT_GE(p.stats.mean(), 1.0);
+    }
+  }
+}
+
+TEST(Harness, StepSweepIsDeterministic) {
+  StepSweepConfig config;
+  config.n = 5;
+  config.sizes = {3, 10};
+  config.sets_per_point = 5;
+  const auto a = run_step_sweep(config);
+  const auto b = run_step_sweep(config);
+  for (std::size_t c = 0; c < a.curves().size(); ++c) {
+    for (std::size_t p = 0; p < a.curves()[c].points.size(); ++p) {
+      EXPECT_DOUBLE_EQ(a.curves()[c].points[p].stats.mean(),
+                       b.curves()[c].points[p].stats.mean());
+    }
+  }
+}
+
+TEST(Harness, UCubeCurveMatchesTheClosedForm) {
+  // Under the one-port model U-cube's curve is exactly
+  // ceil(log2(m+1)) — no randomness survives.
+  StepSweepConfig config;
+  config.n = 6;
+  config.port = core::PortModel::one_port();
+  config.algorithms = {"ucube"};
+  config.sizes = {1, 2, 3, 7, 8, 15, 16, 40, 63};
+  config.sets_per_point = 3;
+  const auto series = run_step_sweep(config);
+  const auto* curve = series.find_curve("U-cube");
+  ASSERT_NE(curve, nullptr);
+  for (const auto& p : curve->points) {
+    EXPECT_DOUBLE_EQ(p.stats.mean(),
+                     core::one_port_step_lower_bound(
+                         static_cast<std::size_t>(p.x)))
+        << "m=" << p.x;
+    EXPECT_DOUBLE_EQ(p.stats.stddev(), 0.0);
+  }
+}
+
+TEST(Harness, StepOrderingUCubeWorstWsortBest) {
+  StepSweepConfig config;
+  config.n = 6;
+  config.sizes = {15, 31, 45};
+  config.sets_per_point = 20;
+  const auto series = run_step_sweep(config);
+  for (const double x : series.xs()) {
+    const double ucube = series.find_curve("U-cube")->find(x)->stats.mean();
+    const double maxport = series.find_curve("Maxport")->find(x)->stats.mean();
+    const double combine = series.find_curve("Combine")->find(x)->stats.mean();
+    const double wsort = series.find_curve("W-sort")->find(x)->stats.mean();
+    EXPECT_LE(wsort, combine + 1e-9) << "m=" << x;
+    EXPECT_LE(combine, maxport + 1e-9) << "m=" << x;
+    EXPECT_LE(wsort, ucube + 1e-9) << "m=" << x;
+  }
+}
+
+TEST(Harness, DelaySweepProducesBothAggregates) {
+  DelaySweepConfig config;
+  config.n = 4;
+  config.sizes = {3, 8};
+  config.sets_per_point = 3;
+  const auto result = run_delay_sweep(config);
+  EXPECT_EQ(result.avg.curves().size(), 4u);
+  EXPECT_EQ(result.max.curves().size(), 4u);
+  for (const double x : result.avg.xs()) {
+    for (const auto& curve : result.avg.curves()) {
+      const double avg = curve.find(x)->stats.mean();
+      const double mx =
+          result.max.find_curve(curve.name)->find(x)->stats.mean();
+      EXPECT_GT(avg, 0.0);
+      EXPECT_GE(mx, avg);
+    }
+  }
+}
+
+TEST(Harness, DelayOrderingOnTheFiveCube) {
+  // The Figure 11/12 headline: the all-port algorithms beat U-cube on
+  // average delay for mid-size destination sets.
+  DelaySweepConfig config;
+  config.n = 5;
+  config.sizes = {16, 24};
+  config.sets_per_point = 8;
+  const auto result = run_delay_sweep(config);
+  for (const double x : result.avg.xs()) {
+    const double ucube = result.avg.find_curve("U-cube")->find(x)->stats.mean();
+    for (const char* other : {"Maxport", "Combine", "W-sort"}) {
+      EXPECT_LT(result.avg.find_curve(other)->find(x)->stats.mean(), ucube)
+          << other << " m=" << x;
+    }
+  }
+}
+
+TEST(Harness, QuickFigureConfigsRun) {
+  // Smoke: every figure config (quick mode) executes end to end.
+  EXPECT_NO_THROW({
+    const auto s9 = run_step_sweep(fig9_config(/*quick=*/true));
+    EXPECT_FALSE(s9.curves().empty());
+  });
+  EXPECT_NO_THROW({
+    const auto r11 = run_delay_sweep(fig11_12_config(/*quick=*/true));
+    EXPECT_FALSE(r11.avg.curves().empty());
+  });
+}
+
+}  // namespace
+}  // namespace hypercast::harness

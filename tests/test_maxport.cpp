@@ -1,0 +1,149 @@
+#include "core/chain_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/contention.hpp"
+#include "hcube/ecube.hpp"
+#include "test_util.hpp"
+
+namespace hypercast::core {
+namespace {
+
+using namespace testutil;
+
+class MaxportProperty
+    : public ::testing::TestWithParam<std::tuple<hcube::Dim, Resolution>> {
+ protected:
+  Topology topo() const {
+    return Topology(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(MaxportProperty, CoversExactlyTheDestinations) {
+  const Topology topo = this->topo();
+  workload::Rng rng(211);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 40);
+    const auto req = random_request(topo, m, rng);
+    EXPECT_TRUE(covers_exactly(maxport(req), req));
+  }
+}
+
+TEST_P(MaxportProperty, EverySenderUsesDistinctOutgoingChannels) {
+  // The defining property: all unicasts originating at one node leave on
+  // different channels, so an all-port node issues them simultaneously.
+  const Topology topo = this->topo();
+  workload::Rng rng(223);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 40);
+    const auto req = random_request(topo, m, rng);
+    const auto s = maxport(req);
+    for (const NodeId sender : s.senders()) {
+      std::set<hcube::Dim> channels;
+      for (const Send& send : s.sends_from(sender)) {
+        EXPECT_TRUE(
+            channels.insert(hcube::delta_distinct(topo, sender, send.to))
+                .second)
+            << "duplicate channel at " << topo.format(sender);
+      }
+    }
+  }
+}
+
+TEST_P(MaxportProperty, AllPortArrivalEqualsTreeDepth) {
+  // With distinct channels everywhere, each node forwards everything one
+  // step after receiving: arrival step == tree depth.
+  const Topology topo = this->topo();
+  workload::Rng rng(227);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 40);
+    const auto req = random_request(topo, m, rng);
+    const auto s = maxport(req);
+    const auto steps = assign_steps(s, PortModel::all_port(), req.destinations);
+    std::unordered_map<NodeId, int> depth{{req.source, 0}};
+    for (const Unicast& u : s.unicasts()) {
+      depth[u.to] = depth.at(u.from) + 1;
+      EXPECT_EQ(steps.arrival_step.at(u.to), depth.at(u.to));
+    }
+  }
+}
+
+TEST_P(MaxportProperty, ScheduleIsContentionFreeOnAllPort) {
+  // Theorem 6 specializes to Maxport on dimension-ordered chains.
+  const Topology topo = this->topo();
+  workload::Rng rng(229);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 25);
+    const auto req = random_request(topo, m, rng);
+    const auto s = maxport(req);
+    const auto report = check_contention(s, PortModel::all_port());
+    EXPECT_TRUE(report.contention_free()) << report.summary(topo);
+  }
+}
+
+TEST_P(MaxportProperty, MessagesStayInsideTheirSubcube) {
+  // Each unicast from the algorithm forwards the message into a subcube
+  // not containing the sender; the whole subtree stays inside it.
+  const Topology topo = this->topo();
+  workload::Rng rng(233);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 30);
+    const auto req = random_request(topo, m, rng);
+    const auto s = maxport(req);
+    for (const NodeId sender : s.senders()) {
+      for (const Send& send : s.sends_from(sender)) {
+        // The subcube: nodes agreeing with send.to at and above the
+        // first routing dimension, expressed as a key-space bit.
+        const hcube::Dim x =
+            hcube::highest_bit(topo.key(sender) ^ topo.key(send.to));
+        const auto in_subcube = [&](NodeId u) {
+          return (topo.key(u) >> x) == (topo.key(send.to) >> x);
+        };
+        EXPECT_FALSE(in_subcube(sender));
+        for (const NodeId p : send.payload) {
+          EXPECT_TRUE(in_subcube(p));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cubes, MaxportProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8),
+                       ::testing::Values(Resolution::HighToLow,
+                                         Resolution::LowToHigh)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == Resolution::HighToLow ? "_HighToLow"
+                                                               : "_LowToHigh");
+    });
+
+TEST(Maxport, BroadcastFormsTheDimensionTree) {
+  // Maxport broadcast from node 0: the source sends one message per
+  // dimension (the classic spanning binomial tree).
+  const Topology topo(5);
+  std::vector<NodeId> dests;
+  for (NodeId u = 1; u < 32; ++u) dests.push_back(u);
+  const MulticastRequest req{topo, 0, dests};
+  const auto s = maxport(req);
+  EXPECT_TRUE(covers_exactly(s, req));
+  EXPECT_EQ(s.sends_from(0).size(), 5u);
+  const auto steps = assign_steps(s, PortModel::all_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 5);
+}
+
+TEST(Maxport, SingleDestination) {
+  const Topology topo(4);
+  const MulticastRequest req{topo, 7, {8}};
+  const auto s = maxport(req);
+  EXPECT_EQ(s.num_unicasts(), 1u);
+}
+
+}  // namespace
+}  // namespace hypercast::core

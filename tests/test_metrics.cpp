@@ -1,0 +1,176 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <random>
+
+#include "metrics/series.hpp"
+#include "metrics/table.hpp"
+
+namespace hypercast::metrics {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(OnlineStats, KnownSample) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MatchesNaiveComputation) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(-100, 100);
+  OnlineStats s;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(rng);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(OnlineStats, MergeEqualsCombinedStream) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(0, 10);
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = dist(rng);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(3.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(OnlineStats, CiShrinksWithSamples) {
+  OnlineStats small;
+  OnlineStats large;
+  std::mt19937 rng(7);
+  std::normal_distribution<double> dist(0, 1);
+  for (int i = 0; i < 10; ++i) small.add(dist(rng));
+  for (int i = 0; i < 1000; ++i) large.add(dist(rng));
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Series, AccumulatesSamplesPerPoint) {
+  Series s("t", "x", "y");
+  s.add_sample("A", 1.0, 10.0);
+  s.add_sample("A", 1.0, 20.0);
+  s.add_sample("A", 2.0, 5.0);
+  s.add_sample("B", 1.0, 7.0);
+  ASSERT_EQ(s.curves().size(), 2u);
+  const Curve* a = s.find_curve("A");
+  ASSERT_NE(a, nullptr);
+  const Point* p = a->find(1.0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(p->stats.mean(), 15.0);
+  EXPECT_EQ(s.xs(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(s.find_curve("C"), nullptr);
+}
+
+TEST(Table, FormatsAllCurves) {
+  Series s("My title", "m", "steps");
+  s.add_sample("U-cube", 8, 3.0);
+  s.add_sample("W-sort", 8, 2.0);
+  s.add_sample("U-cube", 16, 4.0);
+  const std::string table = format_table(s);
+  EXPECT_NE(table.find("My title"), std::string::npos);
+  EXPECT_NE(table.find("U-cube"), std::string::npos);
+  EXPECT_NE(table.find("W-sort"), std::string::npos);
+  EXPECT_NE(table.find("3.00"), std::string::npos);
+  // Missing point renders as '-'.
+  EXPECT_NE(table.find('-'), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripStructure) {
+  Series s("t", "m", "y");
+  s.add_sample("A", 1, 2.5);
+  s.add_sample("B", 1, 3.5);
+  const std::string csv = format_csv(s, /*include_ci=*/false);
+  EXPECT_EQ(csv, "x,A,B\n1,2.5,3.5\n");
+  const std::string with_ci = format_csv(s, /*include_ci=*/true);
+  EXPECT_NE(with_ci.find("A_ci95"), std::string::npos);
+}
+
+TEST(Table, WriteCsvCreatesFile) {
+  Series s("t", "m", "y");
+  s.add_sample("A", 1, 2.0);
+  const std::string path = ::testing::TempDir() + "/hypercast_test.csv";
+  write_csv(s, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.substr(0, 3), "x,A");
+}
+
+TEST(Table, WriteCsvThrowsOnBadPath) {
+  // The parent "directory" is a device file, so neither directory
+  // creation nor opening the stream can succeed.
+  Series s("t", "m", "y");
+  EXPECT_THROW(write_csv(s, "/dev/null/x.csv"), std::runtime_error);
+}
+
+TEST(Table, WriteCsvCreatesMissingParentDirectories) {
+  Series s("t", "m", "y");
+  s.add_sample("A", 1, 2.0);
+  const std::string path =
+      ::testing::TempDir() + "/hypercast_csv_dir/nested/out.csv";
+  write_csv(s, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+TEST(Table, AsciiPlotContainsLegend) {
+  Series s("t", "m", "y");
+  for (int x = 1; x <= 20; ++x) {
+    s.add_sample("A", x, x);
+    s.add_sample("B", x, 20 - x);
+  }
+  const std::string plot = format_ascii_plot(s);
+  EXPECT_NE(plot.find("A = A"), std::string::npos);
+  EXPECT_NE(plot.find("B = B"), std::string::npos);
+  EXPECT_NE(plot.find('+'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypercast::metrics

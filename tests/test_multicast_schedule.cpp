@@ -1,0 +1,137 @@
+#include "core/multicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hypercast::core {
+namespace {
+
+using hcube::Topology;
+
+TEST(MulticastRequest, ValidateAcceptsWellFormed) {
+  const Topology topo(4);
+  const MulticastRequest req{topo, 3, {0, 1, 7, 15}};
+  EXPECT_NO_THROW(req.validate());
+}
+
+TEST(MulticastRequest, ValidateRejectsSourceAsDestination) {
+  const Topology topo(4);
+  const MulticastRequest req{topo, 3, {0, 3}};
+  EXPECT_THROW(req.validate(), std::invalid_argument);
+}
+
+TEST(MulticastRequest, ValidateRejectsDuplicates) {
+  const Topology topo(4);
+  const MulticastRequest req{topo, 3, {5, 5}};
+  EXPECT_THROW(req.validate(), std::invalid_argument);
+}
+
+TEST(MulticastRequest, ValidateRejectsOutOfRange) {
+  const Topology topo(4);
+  EXPECT_THROW((MulticastRequest{topo, 3, {16}}).validate(),
+               std::invalid_argument);
+  EXPECT_THROW((MulticastRequest{topo, 99, {1}}).validate(),
+               std::invalid_argument);
+}
+
+TEST(MulticastSchedule, EmptyScheduleIsValid) {
+  MulticastSchedule s(Topology(3), 5);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_TRUE(s.recipients().empty());
+  EXPECT_TRUE(s.unicasts().empty());
+  EXPECT_EQ(s.num_unicasts(), 0u);
+  EXPECT_TRUE(s.sends_from(5).empty());
+}
+
+TEST(MulticastSchedule, SendsPreserveIssueOrder) {
+  MulticastSchedule s(Topology(3), 0);
+  s.add_send(0, Send{4, {5, 6}});
+  s.add_send(0, Send{2, {}});
+  s.add_send(4, Send{5, {}});
+  s.add_send(4, Send{6, {}});
+  const auto sends = s.sends_from(0);
+  ASSERT_EQ(sends.size(), 2u);
+  EXPECT_EQ(sends[0].to, 4u);
+  EXPECT_EQ(sends[1].to, 2u);
+  EXPECT_EQ(sends[0].payload, (std::vector<hcube::NodeId>{5, 6}));
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(MulticastSchedule, UnicastsAreBreadthFirst) {
+  MulticastSchedule s(Topology(3), 0);
+  s.add_send(0, Send{4, {}});
+  s.add_send(0, Send{2, {}});
+  s.add_send(4, Send{5, {}});
+  s.add_send(2, Send{3, {}});
+  const auto unis = s.unicasts();
+  ASSERT_EQ(unis.size(), 4u);
+  EXPECT_EQ(unis[0].from, 0u);
+  EXPECT_EQ(unis[0].to, 4u);
+  EXPECT_EQ(unis[0].issue_index, 0);
+  EXPECT_EQ(unis[1].to, 2u);
+  EXPECT_EQ(unis[1].issue_index, 1);
+  // Children of 4 before children of 2 (BFS order).
+  EXPECT_EQ(unis[2].from, 4u);
+  EXPECT_EQ(unis[3].from, 2u);
+}
+
+TEST(MulticastSchedule, ValidateRejectsDoubleDelivery) {
+  MulticastSchedule s(Topology(3), 0);
+  s.add_send(0, Send{4, {}});
+  s.add_send(0, Send{4, {}});
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(MulticastSchedule, ValidateRejectsSelfSend) {
+  MulticastSchedule s(Topology(3), 0);
+  s.add_send(0, Send{0, {}});
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(MulticastSchedule, ValidateRejectsSendBackToSource) {
+  MulticastSchedule s(Topology(3), 0);
+  s.add_send(0, Send{4, {}});
+  s.add_send(4, Send{0, {}});
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(MulticastSchedule, ValidateRejectsDisconnectedSender) {
+  MulticastSchedule s(Topology(3), 0);
+  s.add_send(0, Send{4, {}});
+  s.add_send(5, Send{6, {}});  // node 5 never receives
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(MulticastSchedule, ValidateRejectsOutOfCubeTarget) {
+  MulticastSchedule s(Topology(3), 0);
+  s.add_send(0, Send{200, {}});
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(MulticastSchedule, CoversAndRelays) {
+  MulticastSchedule s(Topology(3), 0);
+  s.add_send(0, Send{4, {}});
+  s.add_send(4, Send{6, {}});
+  const std::vector<hcube::NodeId> dests{6};
+  EXPECT_TRUE(s.covers(dests));
+  EXPECT_FALSE(s.covers(std::vector<hcube::NodeId>{6, 7}));
+  // 4 received the message but is not a requested destination.
+  const auto relays = s.relay_processors(dests);
+  EXPECT_EQ(relays, (std::vector<hcube::NodeId>{4}));
+  // The source never counts as uncovered.
+  EXPECT_TRUE(s.covers(std::vector<hcube::NodeId>{0, 6}));
+}
+
+TEST(MulticastSchedule, FormatTreeShowsHierarchy) {
+  MulticastSchedule s(Topology(3), 0);
+  s.add_send(0, Send{4, {}});
+  s.add_send(4, Send{5, {}});
+  const std::string tree = s.format_tree();
+  EXPECT_NE(tree.find("000\n"), std::string::npos);
+  EXPECT_NE(tree.find("  100\n"), std::string::npos);
+  EXPECT_NE(tree.find("    101\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hypercast::core

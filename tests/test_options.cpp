@@ -1,0 +1,95 @@
+#include "harness/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypercast::harness {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, ParsesKeyValuePairs) {
+  const auto o = parse({"--n", "6", "--algo", "wsort"});
+  EXPECT_EQ(o.get_int("n"), 6);
+  EXPECT_EQ(o.get("algo"), "wsort");
+  EXPECT_TRUE(o.has("n"));
+  EXPECT_FALSE(o.has("m"));
+}
+
+TEST(Options, BareFlagsBecomeTrue) {
+  const auto o = parse({"--quick", "--n", "4"});
+  EXPECT_EQ(o.get("quick"), "true");
+  EXPECT_EQ(o.get_int("n"), 4);
+}
+
+TEST(Options, DefaultsViaOrForms) {
+  const auto o = parse({"--n", "4"});
+  EXPECT_EQ(o.get_or("algo", "wsort"), "wsort");
+  EXPECT_EQ(o.get_int_or("seed", 17), 17);
+}
+
+TEST(Options, MissingRequiredThrows) {
+  const auto o = parse({"--n", "4"});
+  EXPECT_THROW(o.get("algo"), std::invalid_argument);
+  EXPECT_THROW(o.get_int("m"), std::invalid_argument);
+}
+
+TEST(Options, RejectsMalformedArguments) {
+  EXPECT_THROW(parse({"n", "4"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--n", "4", "--n", "5"}), std::invalid_argument);
+}
+
+TEST(Options, RejectsNonIntegerInts) {
+  const auto o = parse({"--n", "4x"});
+  EXPECT_THROW(o.get_int("n"), std::invalid_argument);
+}
+
+TEST(Options, ParsesNodeLists) {
+  const auto o = parse({"--dests", "1,3,12"});
+  EXPECT_EQ(o.get_nodes("dests"),
+            (std::vector<hcube::NodeId>{1, 3, 12}));
+  const auto single = parse({"--dests", "7"});
+  EXPECT_EQ(single.get_nodes("dests"), (std::vector<hcube::NodeId>{7}));
+}
+
+TEST(Options, RejectsBadNodeLists) {
+  EXPECT_THROW(parse({"--dests", "1,,3"}).get_nodes("dests"),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--dests", "1,x"}).get_nodes("dests"),
+               std::invalid_argument);
+}
+
+TEST(Options, ResolutionParsing) {
+  EXPECT_EQ(parse({}).resolution(), hcube::Resolution::HighToLow);
+  EXPECT_EQ(parse({"--res", "high"}).resolution(),
+            hcube::Resolution::HighToLow);
+  EXPECT_EQ(parse({"--res", "low"}).resolution(),
+            hcube::Resolution::LowToHigh);
+  EXPECT_THROW(parse({"--res", "sideways"}).resolution(),
+               std::invalid_argument);
+}
+
+TEST(Options, PortParsing) {
+  EXPECT_EQ(parse({}).port().kind, core::PortModel::Kind::AllPort);
+  EXPECT_EQ(parse({"--port", "one"}).port().kind,
+            core::PortModel::Kind::OnePort);
+  const auto k = parse({"--port", "k:3"}).port();
+  EXPECT_EQ(k.kind, core::PortModel::Kind::KPort);
+  EXPECT_EQ(k.k, 3);
+  EXPECT_THROW(parse({"--port", "k:0"}).port(), std::invalid_argument);
+  EXPECT_THROW(parse({"--port", "none"}).port(), std::invalid_argument);
+}
+
+TEST(Options, KeysListsEverything) {
+  const auto o = parse({"--a", "1", "--b", "2"});
+  auto keys = o.keys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace hypercast::harness

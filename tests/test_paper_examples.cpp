@@ -1,0 +1,222 @@
+// Golden tests for every worked example in the paper (Figures 3, 5, 6
+// and 8). These pin the algorithms to the exact trees and step counts
+// the text describes.
+
+#include <gtest/gtest.h>
+
+#include "core/chain_algorithms.hpp"
+#include "core/contention.hpp"
+#include "core/separate.hpp"
+#include "core/sf_tree.hpp"
+#include "core/wsort.hpp"
+#include "test_util.hpp"
+
+namespace hypercast {
+namespace {
+
+using namespace testutil;
+using core::PortModel;
+
+/// Section 2 / Figure 3: source 0000, eight destinations in a 4-cube,
+/// high-to-low address resolution.
+class Figure3 : public ::testing::Test {
+ protected:
+  const Topology topo{4, Resolution::HighToLow};
+  const MulticastRequest req{
+      topo,
+      0b0000,
+      {0b0001, 0b0011, 0b0101, 0b0111, 0b1011, 0b1100, 0b1110, 0b1111}};
+};
+
+TEST_F(Figure3, UCubeTreeShape) {
+  const auto s = core::ucube(req);
+  EXPECT_TRUE(covers_exactly(s, req));
+  // Algorithm 1 splits the chain {0;1,3,5,7,11,12,14,15} binarily.
+  EXPECT_EQ(children_of(s, 0b0000),
+            (std::vector<NodeId>{0b0111, 0b0011, 0b0001}));
+  EXPECT_EQ(children_of(s, 0b0111), (std::vector<NodeId>{0b1100, 0b1011}));
+  EXPECT_EQ(children_of(s, 0b1100), (std::vector<NodeId>{0b1110}));
+  EXPECT_EQ(children_of(s, 0b1110), (std::vector<NodeId>{0b1111}));
+  EXPECT_EQ(children_of(s, 0b0011), (std::vector<NodeId>{0b0101}));
+}
+
+TEST_F(Figure3, UCubeOnePortTakesFourSteps) {
+  // Figure 3(c): four steps, the one-port optimum for 8 destinations.
+  const auto s = core::ucube(req);
+  const auto steps =
+      core::assign_steps(s, PortModel::one_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 4);
+}
+
+TEST_F(Figure3, UCubeAllPortStillTakesFourSteps) {
+  // Figure 3(d): on an all-port cube U-cube still needs four steps; in
+  // particular node 1011 is reached in step 3 because its unicast shares
+  // the 0111->1111 channel with the step-2 unicast to 1100.
+  const auto s = core::ucube(req);
+  const auto steps =
+      core::assign_steps(s, PortModel::all_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 4);
+  EXPECT_EQ(steps.arrival_step.at(0b1100), 2);
+  EXPECT_EQ(steps.arrival_step.at(0b1011), 3);
+  EXPECT_EQ(steps.arrival_step.at(0b1111), 4);
+  // The early chain destinations are reached in step 1 (earlier than in
+  // the one-port execution of Figure 3(c)).
+  EXPECT_EQ(steps.arrival_step.at(0b0111), 1);
+  EXPECT_EQ(steps.arrival_step.at(0b0011), 1);
+  EXPECT_EQ(steps.arrival_step.at(0b0001), 1);
+}
+
+TEST_F(Figure3, WsortAchievesTheOptimalTwoSteps) {
+  // Figure 3(e): a 2-step contention-free all-port tree exists, and the
+  // paper notes it comes from the methods of the paper (W-sort).
+  const auto s = core::wsort(req);
+  EXPECT_TRUE(covers_exactly(s, req));
+  const auto steps =
+      core::assign_steps(s, PortModel::all_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 2);
+  const auto report = core::check_contention(s, steps);
+  EXPECT_TRUE(report.contention_free()) << report.summary(topo);
+}
+
+TEST_F(Figure3, StoreAndForwardInvolvesRelayProcessors) {
+  // Figure 3(a): the store-and-forward tree needs non-destination
+  // processors to relay (five of them in the paper's rendering; the
+  // exact set depends on tie-breaking, so check the property).
+  const auto s = core::sf_tree(req);
+  EXPECT_TRUE(covers_at_least(s, req));
+  const auto relays = s.relay_processors(req.destinations);
+  EXPECT_FALSE(relays.empty());
+  // Every hop in a store-and-forward tree is a single channel.
+  for (const auto& u : s.unicasts()) {
+    EXPECT_EQ(topo.distance(u.from, u.to), 1);
+  }
+}
+
+TEST_F(Figure3, UnicastBasedTreesInvolveOnlyDestinationProcessors) {
+  for (const char* name : {"ucube", "maxport", "combine", "wsort"}) {
+    const auto s = core::find_algorithm(name).build(req);
+    EXPECT_TRUE(s.relay_processors(req.destinations).empty()) << name;
+  }
+}
+
+/// Figure 5: U-cube multicast chain from source 0100 in a 4-cube.
+TEST(Figure5, UCubeChainAndTree) {
+  const Topology topo(4, Resolution::HighToLow);
+  const MulticastRequest req{
+      topo,
+      0b0100,
+      {0b0001, 0b0011, 0b0101, 0b0111, 0b1000, 0b1010, 0b1011, 0b1111}};
+  const auto s = core::ucube(req);
+  EXPECT_TRUE(covers_exactly(s, req));
+  // The d0-relative chain is {0;1,3,5,7,11,12,14,15}; Algorithm 1 gives:
+  EXPECT_EQ(children_of(s, 0b0100),
+            (std::vector<NodeId>{0b0011, 0b0111, 0b0101}));
+  EXPECT_EQ(children_of(s, 0b0011), (std::vector<NodeId>{0b1000, 0b1111}));
+  EXPECT_EQ(children_of(s, 0b1000), (std::vector<NodeId>{0b1010}));
+  EXPECT_EQ(children_of(s, 0b1010), (std::vector<NodeId>{0b1011}));
+  EXPECT_EQ(children_of(s, 0b0111), (std::vector<NodeId>{0b0001}));
+  // "It takes 4 steps for all destination processors to receive the
+  // message" on a one-port cube.
+  const auto steps =
+      core::assign_steps(s, PortModel::one_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 4);
+  // One-port U-cube is contention-free regardless of timing.
+  EXPECT_TRUE(core::check_contention(s, steps).contention_free());
+}
+
+/// Figure 6: Maxport pathology — source 0000 to {1001, 1010, 1011}.
+class Figure6 : public ::testing::Test {
+ protected:
+  const Topology topo{4, Resolution::HighToLow};
+  const MulticastRequest req{topo, 0b0000, {0b1001, 0b1010, 0b1011}};
+};
+
+TEST_F(Figure6, MaxportNeedsThreeSteps) {
+  const auto s = core::maxport(req);
+  EXPECT_TRUE(covers_exactly(s, req));
+  // All three destinations share the top subcube, so Maxport chains
+  // them: 0000 -> 1001 -> 1010 -> 1011.
+  EXPECT_EQ(children_of(s, 0b0000), (std::vector<NodeId>{0b1001}));
+  EXPECT_EQ(children_of(s, 0b1001), (std::vector<NodeId>{0b1010}));
+  EXPECT_EQ(children_of(s, 0b1010), (std::vector<NodeId>{0b1011}));
+  const auto steps =
+      core::assign_steps(s, PortModel::all_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 3);
+}
+
+TEST_F(Figure6, UCubeNeedsOnlyTwoSteps) {
+  const auto s = core::ucube(req);
+  const auto steps =
+      core::assign_steps(s, PortModel::all_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 2);
+}
+
+TEST_F(Figure6, CombineMatchesUCubeHere) {
+  // Combine takes max(highdim, center): the midpoint wins, avoiding the
+  // Maxport chain.
+  const auto s = core::combine(req);
+  const auto steps =
+      core::assign_steps(s, PortModel::all_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 2);
+}
+
+/// Figure 8: source 0, D = {1, 3, 5, 7, 11, 12, 14, 15} in a 4-cube.
+class Figure8 : public ::testing::Test {
+ protected:
+  const Topology topo{4, Resolution::HighToLow};
+  const MulticastRequest req{topo, 0, {1, 3, 5, 7, 11, 12, 14, 15}};
+};
+
+TEST_F(Figure8, UCubeOnAllPortNeedsFourSteps) {
+  const auto s = core::ucube(req);
+  const auto steps =
+      core::assign_steps(s, PortModel::all_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 4);
+  // "node 7 cannot send to nodes 11 and 12 during the same time step,
+  // since both unicasts require the same outgoing channel."
+  EXPECT_EQ(children_of(s, 7), (std::vector<NodeId>{12, 11}));
+  EXPECT_NE(steps.arrival_step.at(11), steps.arrival_step.at(12));
+}
+
+TEST_F(Figure8, MaxportAlsoNeedsFourStepsOnThisChain) {
+  const auto s = core::maxport(req);
+  EXPECT_TRUE(covers_exactly(s, req));
+  // Maxport peels subcubes: 0 sends to {11, 5, 3, 1} on four distinct
+  // channels, all in step 1, but 11 -> 12 -> 14 -> 15 chains up.
+  EXPECT_EQ(children_of(s, 0), (std::vector<NodeId>{11, 5, 3, 1}));
+  const auto steps =
+      core::assign_steps(s, PortModel::all_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 4);
+  // All unicasts with a common source go out in the same step.
+  EXPECT_EQ(steps.arrival_step.at(11), 1);
+  EXPECT_EQ(steps.arrival_step.at(5), 1);
+  EXPECT_EQ(steps.arrival_step.at(3), 1);
+  EXPECT_EQ(steps.arrival_step.at(1), 1);
+}
+
+TEST_F(Figure8, WeightedSortProducesThePaperChain) {
+  const auto chain = core::wsort_chain(req);
+  EXPECT_EQ(chain,
+            (std::vector<NodeId>{0, 1, 3, 5, 7, 14, 15, 12, 11}));
+}
+
+TEST_F(Figure8, WsortNeedsOnlyTwoSteps) {
+  const auto s = core::wsort(req);
+  EXPECT_TRUE(covers_exactly(s, req));
+  const auto steps =
+      core::assign_steps(s, PortModel::all_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, 2);
+  const auto report = core::check_contention(s, steps);
+  EXPECT_TRUE(report.contention_free()) << report.summary(topo);
+}
+
+TEST_F(Figure8, WsortTreeShape) {
+  const auto s = core::wsort(req);
+  // Step 1: 0 -> {14, 5, 3, 1}; step 2: 14 -> {11, 12, 15}, 5 -> 7.
+  EXPECT_EQ(children_of(s, 0), (std::vector<NodeId>{14, 5, 3, 1}));
+  EXPECT_EQ(children_of(s, 14), (std::vector<NodeId>{11, 12, 15}));
+  EXPECT_EQ(children_of(s, 5), (std::vector<NodeId>{7}));
+}
+
+}  // namespace
+}  // namespace hypercast

@@ -1,0 +1,236 @@
+// Cross-algorithm randomized integration invariants: every algorithm,
+// every port model, both resolution orders, random workloads.
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/contention.hpp"
+#include "core/reachable.hpp"
+#include "core/wsort.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "test_util.hpp"
+#include "workload/patterns.hpp"
+
+namespace hypercast {
+namespace {
+
+using namespace testutil;
+using core::PortModel;
+
+class AlgorithmMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, hcube::Dim, Resolution>> {
+ protected:
+  const core::AlgorithmEntry& algo() const {
+    return core::find_algorithm(std::get<0>(GetParam()));
+  }
+  Topology topo() const {
+    return Topology(std::get<1>(GetParam()), std::get<2>(GetParam()));
+  }
+};
+
+TEST_P(AlgorithmMatrix, SchedulesAreValidAndCover) {
+  const Topology topo = this->topo();
+  workload::Rng rng(2001);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 50);
+    const auto req = random_request(topo, m, rng);
+    const auto s = algo().build(req);
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_TRUE(s.covers(req.destinations));
+  }
+}
+
+TEST_P(AlgorithmMatrix, PayloadEqualsSubtree) {
+  // The address field of every unicast is exactly the recipient's
+  // reachable set minus itself (what the distributed algorithm needs).
+  // The SF tree's address fields list only *destinations* while its
+  // reachable sets also contain relay recipients, so it is exempt.
+  if (algo().name == "sftree") GTEST_SKIP();
+  const Topology topo = this->topo();
+  workload::Rng rng(2003);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 30);
+    const auto req = random_request(topo, m, rng);
+    const auto s = algo().build(req);
+    const auto reach = core::all_reachable_sets(s);
+    for (const hcube::NodeId sender : s.senders()) {
+      for (const core::Send& send : s.sends_from(sender)) {
+        auto expected = reach.at(send.to);
+        expected.erase(send.to);
+        const std::unordered_set<hcube::NodeId> payload(
+            send.payload.begin(), send.payload.end());
+        EXPECT_EQ(payload, expected);
+      }
+    }
+  }
+}
+
+TEST_P(AlgorithmMatrix, StepCountsRespectBounds) {
+  const Topology topo = this->topo();
+  workload::Rng rng(2011);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 50);
+    const auto req = random_request(topo, m, rng);
+    const auto s = algo().build(req);
+    const int one_port =
+        core::assign_steps(s, PortModel::one_port(), req.destinations)
+            .total_steps;
+    const int all_port =
+        core::assign_steps(s, PortModel::all_port(), req.destinations)
+            .total_steps;
+    const int two_port =
+        core::assign_steps(s, PortModel::k_port(2), req.destinations)
+            .total_steps;
+    // More ports never hurt, fewer never help (same schedule).
+    EXPECT_LE(all_port, two_port);
+    EXPECT_LE(two_port, one_port);
+    EXPECT_GE(all_port,
+              core::all_port_step_lower_bound(m, std::max(1, topo.dim())));
+  }
+}
+
+TEST_P(AlgorithmMatrix, SimulationDeliversEverythingOnAllPortModels) {
+  const Topology topo = this->topo();
+  workload::Rng rng(2017);
+  for (const PortModel port :
+       {PortModel::one_port(), PortModel::all_port(), PortModel::k_port(2)}) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 30);
+    const auto req = random_request(topo, m, rng);
+    const auto s = algo().build(req);
+    sim::SimConfig config;
+    config.port = port;
+    const auto result = sim::simulate_multicast(s, config);
+    EXPECT_EQ(result.delivery.size(), s.num_unicasts());
+    for (const hcube::NodeId d : req.destinations) {
+      EXPECT_TRUE(result.delivery.contains(d));
+      EXPECT_GT(result.delivery.at(d), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AlgorithmMatrix,
+    ::testing::Combine(::testing::Values("ucube", "maxport", "combine",
+                                         "wsort", "separate", "sftree"),
+                       ::testing::Values(2, 4, 6),
+                       ::testing::Values(Resolution::HighToLow,
+                                         Resolution::LowToHigh)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_n" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == Resolution::HighToLow ? "_HighToLow"
+                                                               : "_LowToHigh");
+    });
+
+/// The resolution-order isomorphism at the schedule level: running any
+/// chain algorithm under LowToHigh on bit-reversed inputs produces the
+/// bit-reversed schedule of the HighToLow run.
+TEST(Properties, ResolutionIsomorphismAtScheduleLevel) {
+  workload::Rng rng(2027);
+  const hcube::Dim n = 6;
+  const Topology high(n, Resolution::HighToLow);
+  const Topology low(n, Resolution::LowToHigh);
+  for (const char* name : {"ucube", "maxport", "combine", "wsort"}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto req_high = random_request(high, 20, rng);
+      core::MulticastRequest req_low{low, hcube::bit_reverse(req_high.source, n), {}};
+      for (const auto d : req_high.destinations) {
+        req_low.destinations.push_back(hcube::bit_reverse(d, n));
+      }
+      const auto& algo = core::find_algorithm(name);
+      const auto s_high = algo.build(req_high);
+      const auto s_low = algo.build(req_low);
+      // Compare all sends under the bit-reversal mapping.
+      const auto uh = s_high.unicasts();
+      const auto ul = s_low.unicasts();
+      ASSERT_EQ(uh.size(), ul.size()) << name;
+      for (std::size_t i = 0; i < uh.size(); ++i) {
+        EXPECT_EQ(hcube::bit_reverse(uh[i].from, n), ul[i].from) << name;
+        EXPECT_EQ(hcube::bit_reverse(uh[i].to, n), ul[i].to) << name;
+      }
+    }
+  }
+}
+
+/// XOR-translation equivariance: translating source and destinations by
+/// a constant translates the whole schedule.
+TEST(Properties, XorTranslationEquivariance) {
+  workload::Rng rng(2029);
+  const Topology topo(6);
+  for (const char* name : {"ucube", "maxport", "combine", "wsort"}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto req = random_request(topo, 15, rng);
+      const hcube::NodeId shift = static_cast<hcube::NodeId>(rng() % 64);
+      core::MulticastRequest shifted{topo, req.source ^ shift, {}};
+      for (const auto d : req.destinations) {
+        shifted.destinations.push_back(d ^ shift);
+      }
+      const auto& algo = core::find_algorithm(name);
+      const auto a = algo.build(req).unicasts();
+      const auto b = algo.build(shifted).unicasts();
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].from ^ shift, b[i].from) << name;
+        EXPECT_EQ(a[i].to ^ shift, b[i].to) << name;
+      }
+    }
+  }
+}
+
+/// Structured workloads: subcube-local and sphere destination sets also
+/// produce clean contention-free W-sort schedules.
+TEST(Properties, StructuredWorkloadsStayContentionFree) {
+  const Topology topo(6);
+  workload::Rng rng(2039);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto sub = workload::subcube_destinations(topo, 0, 4, 10, rng);
+    const core::MulticastRequest req{topo, 0, sub};
+    EXPECT_TRUE(core::check_contention(core::wsort(req),
+                                       PortModel::all_port())
+                    .contention_free());
+  }
+  for (int d = 1; d <= 6; ++d) {
+    const auto sphere = workload::sphere_destinations(topo, 0, d);
+    const core::MulticastRequest req{topo, 0, sphere};
+    EXPECT_TRUE(core::check_contention(core::wsort(req),
+                                       PortModel::all_port())
+                    .contention_free());
+    EXPECT_TRUE(core::check_contention(core::maxport(req),
+                                       PortModel::all_port())
+                    .contention_free());
+  }
+}
+
+/// Delay in the simulator is consistent with the stepwise model for
+/// Maxport: more steps means (weakly) more simulated delay.
+TEST(Properties, StepsAndSimulatedDelayAgreeForMaxport) {
+  const Topology topo(6);
+  workload::Rng rng(2053);
+  sim::SimConfig config;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t m = 1 + rng() % 60;
+    const auto req = random_request(topo, m, rng);
+    const auto s = core::maxport(req);
+    const auto steps =
+        core::assign_steps(s, PortModel::all_port(), req.destinations);
+    const auto result = sim::simulate_multicast(s, config);
+    // Maxport arrival step == tree depth; each level costs at least
+    // startup + body and at most (n+1) startups + hops + body + recv.
+    const auto info = core::tree_info(s);
+    for (const hcube::NodeId dst : req.destinations) {
+      const auto depth = info.depth.at(dst);
+      const sim::SimTime lower =
+          depth * (config.cost.send_startup +
+                   config.cost.body_time(config.message_bytes));
+      EXPECT_GE(result.delay(dst), lower);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypercast

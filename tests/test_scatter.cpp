@@ -1,0 +1,139 @@
+#include "coll/scatter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "coll/collectives.hpp"
+#include "coll/reduce.hpp"
+#include "core/chain_algorithms.hpp"
+#include "core/wsort.hpp"
+#include "test_util.hpp"
+
+namespace hypercast::coll {
+namespace {
+
+using namespace testutil;
+using core::Send;
+using sim::SimTime;
+
+TEST(Scatter, SingleDestinationIsAUnicastOfOneBlock) {
+  const Topology topo(4);
+  core::MulticastSchedule tree(topo, 0);
+  tree.add_send(0, Send{0b0110, {}});
+  ScatterConfig config;
+  const auto result = simulate_scatter(tree, config);
+  EXPECT_EQ(result.delay(0b0110),
+            config.cost.unicast_latency(2, config.block_bytes));
+}
+
+TEST(Scatter, BundlesShrinkDownTheTree) {
+  // 0 -> 8 carries {8's, 12's} blocks; 8 -> 12 carries only 12's.
+  const Topology topo(4);
+  core::MulticastSchedule tree(topo, 0);
+  tree.add_send(0, Send{8, {12}});
+  tree.add_send(8, Send{12, {}});
+  ScatterConfig config;
+  config.record_trace = true;
+  const auto result = simulate_scatter(tree, config);
+  ASSERT_EQ(result.trace.messages.size(), 2u);
+  for (const auto& m : result.trace.messages) {
+    const SimTime body = m.tail - m.path_acquired;
+    if (m.from == 0u) {
+      EXPECT_EQ(body, config.cost.body_time(2 * config.block_bytes));
+    } else {
+      EXPECT_EQ(body, config.cost.body_time(config.block_bytes));
+    }
+  }
+}
+
+TEST(Scatter, CostsMoreThanPlainMulticastOfOneBlock) {
+  // The bundles on early links are larger than one block, so scatter
+  // cannot beat the same tree multicasting one block.
+  const Topology topo(6);
+  workload::Rng rng(9101);
+  const auto req = random_request(topo, 20, rng);
+  const auto tree = core::wsort(req);
+  ScatterConfig sconfig;
+  sim::SimConfig mconfig;
+  mconfig.message_bytes = sconfig.block_bytes;
+  const auto scatter = simulate_scatter(tree, sconfig);
+  const auto multicast = sim::simulate_multicast(tree, mconfig);
+  for (const NodeId d : req.destinations) {
+    EXPECT_GE(scatter.delay(d), multicast.delay(d)) << "dest " << d;
+  }
+}
+
+TEST(Scatter, RootSendsEveryBlockExactlyOnce) {
+  // Total bytes leaving the root = m blocks, however the tree splits.
+  const Topology topo(6);
+  workload::Rng rng(9103);
+  const auto req = random_request(topo, 25, rng);
+  const auto tree = core::maxport(req);
+  ScatterConfig config;
+  config.record_trace = true;
+  const auto result = simulate_scatter(tree, config);
+  SimTime root_bytes_time = 0;
+  for (const auto& m : result.trace.messages) {
+    if (m.from == req.source) root_bytes_time += m.tail - m.path_acquired;
+  }
+  EXPECT_EQ(root_bytes_time,
+            config.cost.body_time(25 * config.block_bytes));
+}
+
+TEST(Scatter, GatherDualityOnTheSameTree) {
+  // Scatter (down) and gather (up) move the same bytes over the same
+  // tree; with symmetric costs their completions are within the
+  // software-overhead difference of each other (gather pays per-child
+  // receive overheads at interior nodes, scatter pays per-child send
+  // startups).
+  const Topology topo(6);
+  workload::Rng rng(9107);
+  const auto req = random_request(topo, 20, rng);
+  const auto tree = core::wsort(req);
+  ScatterConfig sconfig;
+  ReduceConfig gconfig;
+  gconfig.mode = ReduceConfig::Mode::Gather;
+  gconfig.block_bytes = sconfig.block_bytes;
+  const auto down = simulate_scatter(tree, sconfig);
+  const auto up = simulate_reduce(tree, gconfig);
+  const double ratio = static_cast<double>(up.completion) /
+                       static_cast<double>(down.max_delay());
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Scatter, FacadeMatchesDirectSimulation) {
+  Collectives::Options options;
+  options.topo = Topology(6);
+  const Collectives comm(options);
+  workload::Rng rng(9109);
+  const auto req = random_request(options.topo, 15, rng);
+  const auto via_facade = comm.scatter(req.source, req.destinations, 4096);
+  const auto tree = comm.plan(req.source, req.destinations);
+  ScatterConfig config;
+  const auto direct = simulate_scatter(tree, config);
+  for (const NodeId d : req.destinations) {
+    EXPECT_EQ(via_facade.delay(d), direct.delay(d));
+  }
+}
+
+TEST(Scatter, EmptyTreeIsANoop) {
+  core::MulticastSchedule tree(Topology(4), 3);
+  const auto result = simulate_scatter(tree, ScatterConfig{});
+  EXPECT_TRUE(result.delivery.empty());
+  EXPECT_EQ(result.max_delay(), 0);
+}
+
+TEST(Scatter, DeterministicReplay) {
+  const Topology topo(7);
+  workload::Rng rng(9113);
+  const auto req = random_request(topo, 50, rng);
+  const auto tree = core::combine(req);
+  const auto a = simulate_scatter(tree, ScatterConfig{});
+  const auto b = simulate_scatter(tree, ScatterConfig{});
+  for (const auto& [node, t] : a.delivery) {
+    EXPECT_EQ(b.delivery.at(node), t);
+  }
+}
+
+}  // namespace
+}  // namespace hypercast::coll

@@ -1,0 +1,111 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypercast::sim {
+namespace {
+
+using core::PortModel;
+using hcube::Topology;
+
+TEST(Network, PathResourcesShape) {
+  const Topology topo(4);
+  Network net(topo, PortModel::all_port());
+  const auto path = net.path_resources(0b0000, 0b1011);
+  // injection + 3 arcs + consumption.
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_FALSE(net.is_external(path.front()));
+  EXPECT_TRUE(net.is_external(path[1]));
+  EXPECT_TRUE(net.is_external(path[2]));
+  EXPECT_TRUE(net.is_external(path[3]));
+  EXPECT_FALSE(net.is_external(path.back()));
+}
+
+TEST(Network, NeighborsShareNoDirectedArcs) {
+  const Topology topo(3);
+  Network net(topo, PortModel::all_port());
+  const auto ab = net.path_resources(0, 1);
+  const auto ba = net.path_resources(1, 0);
+  // Opposite directions use different channels: the only shared
+  // resource indices would be pools, which belong to different nodes.
+  for (const ResourceId r : ab) {
+    for (const ResourceId s : ba) {
+      EXPECT_NE(r.index, s.index);
+    }
+  }
+}
+
+TEST(Network, TakeAndReleaseSingleChannel) {
+  const Topology topo(3);
+  Network net(topo, PortModel::all_port());
+  const auto path = net.path_resources(0, 1);
+  const ResourceId arc = path[1];
+  EXPECT_TRUE(net.available(arc));
+  net.take(arc);
+  EXPECT_FALSE(net.available(arc));
+  EXPECT_FALSE(net.release(arc).has_value());
+  EXPECT_TRUE(net.available(arc));
+}
+
+TEST(Network, FifoGrantOrder) {
+  const Topology topo(3);
+  Network net(topo, PortModel::all_port());
+  const ResourceId arc = net.path_resources(0, 1)[1];
+  net.take(arc);
+  net.enqueue(arc, MessageId{7});
+  net.enqueue(arc, MessageId{3});
+  const auto first = net.release(arc);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, MessageId{7});
+  EXPECT_FALSE(net.available(arc));  // re-granted immediately
+  const auto second = net.release(arc);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, MessageId{3});
+  EXPECT_FALSE(net.release(arc).has_value());
+  EXPECT_TRUE(net.quiescent());
+}
+
+TEST(Network, OnePortPoolsHaveCapacityOne) {
+  const Topology topo(3);
+  Network net(topo, PortModel::one_port());
+  const ResourceId inj = net.path_resources(0, 1).front();
+  // The same injection pool appears in any path leaving node 0.
+  EXPECT_EQ(net.path_resources(0, 2).front().index, inj.index);
+  net.take(inj);
+  EXPECT_FALSE(net.available(inj));
+}
+
+TEST(Network, AllPortPoolsHaveCapacityN) {
+  const Topology topo(3);
+  Network net(topo, PortModel::all_port());
+  const ResourceId inj = net.path_resources(0, 1).front();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(net.available(inj));
+    net.take(inj);
+  }
+  EXPECT_FALSE(net.available(inj));
+}
+
+TEST(Network, KPortPoolsHaveCapacityK) {
+  const Topology topo(4);
+  Network net(topo, PortModel::k_port(2));
+  const ResourceId inj = net.path_resources(5, 1).front();
+  net.take(inj);
+  EXPECT_TRUE(net.available(inj));
+  net.take(inj);
+  EXPECT_FALSE(net.available(inj));
+}
+
+TEST(Network, QuiescentDetectsHeldResources) {
+  const Topology topo(3);
+  Network net(topo, PortModel::all_port());
+  EXPECT_TRUE(net.quiescent());
+  const ResourceId arc = net.path_resources(0, 4)[1];
+  net.take(arc);
+  EXPECT_FALSE(net.quiescent());
+  net.release(arc);
+  EXPECT_TRUE(net.quiescent());
+}
+
+}  // namespace
+}  // namespace hypercast::sim

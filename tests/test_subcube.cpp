@@ -1,0 +1,157 @@
+#include "hcube/subcube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace hypercast::hcube {
+namespace {
+
+TEST(Subcube, Definition2Examples) {
+  // S = (2, 10b) in a 4-cube: nodes whose high 2 bits are 10 -> {8,9,10,11}.
+  const Topology topo(4, Resolution::HighToLow);
+  const Subcube s{2, 0b10};
+  for (NodeId u = 0; u < 16; ++u) {
+    EXPECT_EQ(s.contains(topo, u), (u >> 2) == 0b10) << "node " << u;
+  }
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.first_key(), 8u);
+}
+
+TEST(Subcube, WholeCubeContainsEverything) {
+  const Topology topo(5);
+  const Subcube s = whole_cube(topo);
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    EXPECT_TRUE(s.contains(topo, u));
+  }
+}
+
+TEST(Subcube, ZeroDimSubcubeIsSingleNode) {
+  const Topology topo(4);
+  for (NodeId u = 0; u < 16; ++u) {
+    const Subcube s{0, u};
+    EXPECT_EQ(s.size(), 1u);
+    for (NodeId v = 0; v < 16; ++v) {
+      EXPECT_EQ(s.contains(topo, v), u == v);
+    }
+  }
+}
+
+TEST(Subcube, HalvesPartitionParent) {
+  const Topology topo(6);
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Dim ns = std::uniform_int_distribution<Dim>(1, 6)(rng);
+    const std::uint32_t mask = std::uniform_int_distribution<std::uint32_t>(
+        0, (1u << (6 - ns)) - 1)(rng);
+    const Subcube s{ns, mask};
+    const Subcube lo = s.lower_half();
+    const Subcube hi = s.upper_half();
+    for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+      const bool in_s = s.contains(topo, u);
+      const bool in_lo = lo.contains(topo, u);
+      const bool in_hi = hi.contains(topo, u);
+      EXPECT_EQ(in_s, in_lo || in_hi);
+      EXPECT_FALSE(in_lo && in_hi);
+    }
+    EXPECT_EQ(lo.parent(), s);
+    EXPECT_EQ(hi.parent(), s);
+  }
+}
+
+/// Lemma 2: subcube membership is an interval of addresses — for any
+/// x <= y <= z with x, z in S, y is in S. (Stated in key space; for
+/// high-to-low resolution keys are the addresses themselves.)
+TEST(Subcube, LemmaTwoContiguity) {
+  const Topology topo(6, Resolution::HighToLow);
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Dim ns = std::uniform_int_distribution<Dim>(0, 6)(rng);
+    const std::uint32_t mask = std::uniform_int_distribution<std::uint32_t>(
+        0, (1u << (6 - ns)) - 1)(rng);
+    const Subcube s{ns, mask};
+    std::uniform_int_distribution<NodeId> dist(0, 63);
+    const NodeId x = dist(rng);
+    const NodeId z = dist(rng);
+    if (!s.contains(topo, x) || !s.contains(topo, z)) continue;
+    const NodeId lo = std::min(x, z);
+    const NodeId hi = std::max(x, z);
+    for (NodeId y = lo; y <= hi; ++y) {
+      EXPECT_TRUE(s.contains(topo, y));
+    }
+  }
+}
+
+TEST(Subcube, MembersAreExactlyTheKeyInterval) {
+  for (const Resolution res : {Resolution::HighToLow, Resolution::LowToHigh}) {
+    const Topology topo(5, res);
+    for (Dim ns = 0; ns <= 5; ++ns) {
+      for (std::uint32_t mask = 0; mask < (1u << (5 - ns)); ++mask) {
+        const Subcube s{ns, mask};
+        const auto members = subcube_members(topo, s);
+        ASSERT_EQ(members.size(), s.size());
+        for (std::size_t i = 0; i < members.size(); ++i) {
+          EXPECT_TRUE(s.contains(topo, members[i]));
+          EXPECT_EQ(topo.key(members[i]), s.first_key() + i);
+        }
+        // Cross-check against brute force membership count.
+        std::size_t count = 0;
+        for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+          if (s.contains(topo, u)) ++count;
+        }
+        EXPECT_EQ(count, s.size());
+      }
+    }
+  }
+}
+
+TEST(Subcube, AllSubcubesPartitionTheCube) {
+  const Topology topo(6);
+  for (Dim ns = 0; ns <= 6; ++ns) {
+    const auto cubes = all_subcubes(topo, ns);
+    EXPECT_EQ(cubes.size(), std::size_t{1} << (6 - ns));
+    std::vector<int> covered(topo.num_nodes(), 0);
+    for (const Subcube& s : cubes) {
+      for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+        if (s.contains(topo, u)) ++covered[u];
+      }
+    }
+    for (const int c : covered) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Subcube, SmallestCommonSubcube) {
+  const Topology topo(4, Resolution::HighToLow);
+  // 0101 and 0111 share high bits 01 -> S = (2, 01).
+  EXPECT_EQ(smallest_common_subcube(topo, 0b0101, 0b0111), (Subcube{2, 0b01}));
+  // Same node: dimension 0 subcube.
+  EXPECT_EQ(smallest_common_subcube(topo, 0b0101, 0b0101),
+            (Subcube{0, 0b0101}));
+  // Differ in the top bit: the whole cube.
+  EXPECT_EQ(smallest_common_subcube(topo, 0b0000, 0b1000), (Subcube{4, 0}));
+}
+
+TEST(Subcube, SmallestCommonSubcubeIsMinimal) {
+  const Topology topo(6, Resolution::LowToHigh);
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<NodeId> dist(0, 63);
+  for (int trial = 0; trial < 300; ++trial) {
+    const NodeId u = dist(rng);
+    const NodeId v = dist(rng);
+    const Subcube s = smallest_common_subcube(topo, u, v);
+    EXPECT_TRUE(s.contains(topo, u));
+    EXPECT_TRUE(s.contains(topo, v));
+    if (s.ns > 0) {
+      // No half contains both (otherwise s would not be minimal).
+      const bool both_lo = s.lower_half().contains(topo, u) &&
+                           s.lower_half().contains(topo, v);
+      const bool both_hi = s.upper_half().contains(topo, u) &&
+                           s.upper_half().contains(topo, v);
+      EXPECT_FALSE(both_lo || both_hi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hypercast::hcube

@@ -1,0 +1,114 @@
+#include "hcube/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace hypercast::hcube {
+namespace {
+
+TEST(Topology, SizesFollowDimension) {
+  for (Dim n = 0; n <= 12; ++n) {
+    const Topology topo(n);
+    EXPECT_EQ(topo.num_nodes(), std::size_t{1} << n);
+    EXPECT_EQ(topo.num_arcs(), (std::size_t{1} << n) * static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Topology, ContainsMatchesRange) {
+  const Topology topo(4);
+  for (NodeId u = 0; u < 16; ++u) EXPECT_TRUE(topo.contains(u));
+  EXPECT_FALSE(topo.contains(16));
+  EXPECT_FALSE(topo.contains(255));
+}
+
+TEST(Topology, NeighborFlipsExactlyOneBit) {
+  const Topology topo(5);
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    for (Dim d = 0; d < topo.dim(); ++d) {
+      const NodeId v = topo.neighbor(u, d);
+      EXPECT_EQ(hamming(u, v), 1);
+      EXPECT_TRUE(test_bit(u ^ v, d));
+      EXPECT_EQ(topo.neighbor(v, d), u) << "neighbor must be an involution";
+      EXPECT_TRUE(topo.adjacent(u, v));
+    }
+  }
+}
+
+TEST(Topology, AdjacencyIsHammingOne) {
+  const Topology topo(4);
+  for (NodeId u = 0; u < 16; ++u) {
+    for (NodeId v = 0; v < 16; ++v) {
+      EXPECT_EQ(topo.adjacent(u, v), hamming(u, v) == 1);
+    }
+  }
+}
+
+TEST(Topology, DistanceIsHamming) {
+  const Topology topo(6);
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<NodeId> dist(0, 63);
+  for (int i = 0; i < 500; ++i) {
+    const NodeId u = dist(rng);
+    const NodeId v = dist(rng);
+    EXPECT_EQ(topo.distance(u, v), popcount(u ^ v));
+    EXPECT_EQ(topo.distance(u, v), topo.distance(v, u));
+    EXPECT_EQ(topo.distance(u, u), 0);
+  }
+}
+
+TEST(Topology, ArcIndexIsDenseBijection) {
+  const Topology topo(4);
+  std::set<std::size_t> seen;
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    for (Dim d = 0; d < topo.dim(); ++d) {
+      const Arc a{u, d};
+      const std::size_t idx = topo.arc_index(a);
+      EXPECT_LT(idx, topo.num_arcs());
+      EXPECT_TRUE(seen.insert(idx).second);
+      EXPECT_EQ(topo.arc_at(idx), a);
+    }
+  }
+  EXPECT_EQ(seen.size(), topo.num_arcs());
+}
+
+TEST(Topology, KeyIsIdentityForHighToLow) {
+  const Topology topo(6, Resolution::HighToLow);
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    EXPECT_EQ(topo.key(u), u);
+    EXPECT_EQ(topo.unkey(u), u);
+  }
+}
+
+TEST(Topology, KeyIsBitReverseForLowToHigh) {
+  const Topology topo(6, Resolution::LowToHigh);
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    EXPECT_EQ(topo.key(u), bit_reverse(u, 6));
+    EXPECT_EQ(topo.unkey(topo.key(u)), u);
+  }
+}
+
+TEST(Topology, FormatZeroPads) {
+  const Topology topo(4);
+  EXPECT_EQ(topo.format(0), "0000");
+  EXPECT_EQ(topo.format(5), "0101");
+  EXPECT_EQ(topo.format(15), "1111");
+  const Topology topo6(6);
+  EXPECT_EQ(topo6.format(5), "000101");
+}
+
+TEST(Topology, EqualityComparesDimAndResolution) {
+  EXPECT_EQ(Topology(4), Topology(4));
+  EXPECT_FALSE(Topology(4) == Topology(5));
+  EXPECT_FALSE(Topology(4, Resolution::HighToLow) ==
+               Topology(4, Resolution::LowToHigh));
+}
+
+TEST(Topology, ResolutionToString) {
+  EXPECT_EQ(to_string(Resolution::HighToLow), "high-to-low");
+  EXPECT_EQ(to_string(Resolution::LowToHigh), "low-to-high");
+}
+
+}  // namespace
+}  // namespace hypercast::hcube

@@ -1,0 +1,74 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hypercast::sim {
+namespace {
+
+using hcube::Topology;
+
+MessageTrace make(hcube::NodeId from, hcube::NodeId to, SimTime issue,
+                  SimTime blocked = 0) {
+  MessageTrace m;
+  m.from = from;
+  m.to = to;
+  m.hops = 2;
+  m.issue = issue;
+  m.header_start = issue + 1000;
+  m.path_acquired = issue + 2000;
+  m.tail = issue + 10000;
+  m.done = issue + 12000;
+  m.blocked_ns = blocked;
+  return m;
+}
+
+TEST(Trace, FormatsOneLinePerMessage) {
+  const Topology topo(4);
+  Trace trace;
+  trace.messages.push_back(make(0, 5, 0));
+  trace.messages.push_back(make(5, 12, 20000));
+  const std::string out = trace.format(topo);
+  EXPECT_NE(out.find("0000 -> 0101"), std::string::npos);
+  EXPECT_NE(out.find("0101 -> 1100"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Trace, SortsByIssueTime) {
+  const Topology topo(4);
+  Trace trace;
+  trace.messages.push_back(make(5, 12, 20000));  // later first
+  trace.messages.push_back(make(0, 5, 0));
+  const std::string out = trace.format(topo);
+  EXPECT_LT(out.find("0000 -> 0101"), out.find("0101 -> 1100"));
+}
+
+TEST(Trace, MarksBlockedMessages) {
+  const Topology topo(4);
+  Trace trace;
+  trace.messages.push_back(make(0, 5, 0));
+  trace.messages.push_back(make(0, 7, 0, /*blocked=*/5000));
+  const std::string out = trace.format(topo);
+  EXPECT_NE(out.find("BLOCKED"), std::string::npos);
+  // Only the blocked message carries the marker.
+  EXPECT_EQ(out.find("BLOCKED"), out.rfind("BLOCKED"));
+}
+
+TEST(Trace, SingularHopSpelling) {
+  const Topology topo(4);
+  Trace trace;
+  auto one = make(0, 1, 0);
+  one.hops = 1;
+  trace.messages.push_back(one);
+  trace.messages.push_back(make(0, 5, 100));
+  const std::string out = trace.format(topo);
+  EXPECT_NE(out.find("(1 hop)"), std::string::npos);
+  EXPECT_NE(out.find("(2 hops)"), std::string::npos);
+}
+
+TEST(Trace, EmptyTraceFormatsEmpty) {
+  const Topology topo(3);
+  EXPECT_TRUE(Trace{}.format(topo).empty());
+}
+
+}  // namespace
+}  // namespace hypercast::sim

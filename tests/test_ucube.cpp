@@ -1,0 +1,140 @@
+#include "core/chain_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/bounds.hpp"
+#include "core/contention.hpp"
+#include "test_util.hpp"
+
+namespace hypercast::core {
+namespace {
+
+using namespace testutil;
+
+class UCubeProperty
+    : public ::testing::TestWithParam<std::tuple<hcube::Dim, Resolution>> {
+ protected:
+  Topology topo() const {
+    return Topology(std::get<0>(GetParam()), std::get<1>(GetParam()));
+  }
+};
+
+TEST_P(UCubeProperty, CoversExactlyTheDestinations) {
+  const Topology topo = this->topo();
+  workload::Rng rng(101);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 40);
+    const auto req = random_request(topo, m, rng);
+    EXPECT_TRUE(covers_exactly(ucube(req), req));
+  }
+}
+
+TEST_P(UCubeProperty, OnePortStepsMeetTheTightLowerBound) {
+  // U-cube achieves exactly ceil(log2(m+1)) steps on one-port systems.
+  const Topology topo = this->topo();
+  workload::Rng rng(103);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 60);
+    const auto req = random_request(topo, m, rng);
+    const auto steps = assign_steps(ucube(req), PortModel::one_port(),
+                                    req.destinations);
+    EXPECT_EQ(steps.total_steps, one_port_step_lower_bound(m)) << "m=" << m;
+  }
+}
+
+TEST_P(UCubeProperty, OnePortScheduleIsContentionFree) {
+  const Topology topo = this->topo();
+  workload::Rng rng(107);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t m =
+        1 + rng() % std::min<std::size_t>(topo.num_nodes() - 1, 25);
+    const auto req = random_request(topo, m, rng);
+    const auto schedule = ucube(req);
+    const auto report =
+        check_contention(schedule, PortModel::one_port());
+    EXPECT_TRUE(report.contention_free())
+        << report.summary(topo) << "\n" << schedule.format_tree();
+  }
+}
+
+TEST_P(UCubeProperty, BroadcastReachesEveryoneInNSteps) {
+  const Topology topo = this->topo();
+  if (topo.dim() == 0) GTEST_SKIP();
+  std::vector<NodeId> dests;
+  for (NodeId u = 1; u < topo.num_nodes(); ++u) dests.push_back(u);
+  const MulticastRequest req{topo, 0, dests};
+  const auto schedule = ucube(req);
+  EXPECT_TRUE(covers_exactly(schedule, req));
+  const auto steps =
+      assign_steps(schedule, PortModel::one_port(), req.destinations);
+  EXPECT_EQ(steps.total_steps, topo.dim());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cubes, UCubeProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 6, 8),
+                       ::testing::Values(Resolution::HighToLow,
+                                         Resolution::LowToHigh)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == Resolution::HighToLow ? "_HighToLow"
+                                                               : "_LowToHigh");
+    });
+
+TEST(UCube, SingleDestinationIsOneUnicast) {
+  const Topology topo(4);
+  const MulticastRequest req{topo, 3, {9}};
+  const auto s = ucube(req);
+  EXPECT_EQ(s.num_unicasts(), 1u);
+  EXPECT_EQ(children_of(s, 3), (std::vector<NodeId>{9}));
+}
+
+TEST(UCube, EmptyDestinationSetYieldsEmptySchedule) {
+  const Topology topo(4);
+  const MulticastRequest req{topo, 3, {}};
+  const auto s = ucube(req);
+  EXPECT_EQ(s.num_unicasts(), 0u);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(UCube, PayloadsMatchSubtrees) {
+  // The address field sent with each unicast must equal the subtree the
+  // recipient becomes responsible for (minus itself).
+  const Topology topo(5);
+  workload::Rng rng(109);
+  const auto req = random_request(topo, 17, rng);
+  const auto s = ucube(req);
+  for (const NodeId sender : s.senders()) {
+    for (const Send& send : s.sends_from(sender)) {
+      std::set<NodeId> expected;
+      std::deque<NodeId> frontier{send.to};
+      while (!frontier.empty()) {
+        const NodeId u = frontier.front();
+        frontier.pop_front();
+        for (const Send& child : s.sends_from(u)) {
+          expected.insert(child.to);
+          frontier.push_back(child.to);
+        }
+      }
+      const std::set<NodeId> payload(send.payload.begin(),
+                                     send.payload.end());
+      EXPECT_EQ(payload, expected);
+    }
+  }
+}
+
+TEST(UCube, DeterministicAcrossCalls) {
+  const Topology topo(6);
+  workload::Rng rng(113);
+  const auto req = random_request(topo, 20, rng);
+  const auto a = ucube(req);
+  const auto b = ucube(req);
+  EXPECT_EQ(a.format_tree(), b.format_tree());
+}
+
+}  // namespace
+}  // namespace hypercast::core

@@ -1,0 +1,81 @@
+#ifndef HYPERCAST_TESTS_TEST_UTIL_HPP
+#define HYPERCAST_TESTS_TEST_UTIL_HPP
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/multicast.hpp"
+#include "core/registry.hpp"
+#include "core/stepwise.hpp"
+#include "workload/random_sets.hpp"
+
+namespace hypercast::testutil {
+
+using core::MulticastRequest;
+using core::MulticastSchedule;
+using hcube::NodeId;
+using hcube::Resolution;
+using hcube::Topology;
+
+/// The children of `from` in issue order.
+inline std::vector<NodeId> children_of(const MulticastSchedule& s,
+                                       NodeId from) {
+  std::vector<NodeId> out;
+  for (const core::Send& send : s.sends_from(from)) out.push_back(send.to);
+  return out;
+}
+
+/// Sorted recipient set.
+inline std::set<NodeId> recipient_set(const MulticastSchedule& s) {
+  const auto r = s.recipients();
+  return {r.begin(), r.end()};
+}
+
+/// Draw a random request: random source, m random destinations.
+inline MulticastRequest random_request(const Topology& topo, std::size_t m,
+                                       workload::Rng& rng) {
+  const NodeId source =
+      static_cast<NodeId>(rng() % static_cast<std::uint64_t>(topo.num_nodes()));
+  auto dests = workload::random_destinations(topo, source, m, rng);
+  return MulticastRequest{topo, source, std::move(dests)};
+}
+
+/// Assert-style helper: schedule is structurally valid and reaches
+/// exactly the requested destinations (no extra processor involvement),
+/// returning the recipients for further checks.
+inline ::testing::AssertionResult covers_exactly(
+    const MulticastSchedule& schedule, const MulticastRequest& req) {
+  try {
+    schedule.validate();
+  } catch (const std::exception& e) {
+    return ::testing::AssertionFailure() << "invalid schedule: " << e.what();
+  }
+  const auto got = recipient_set(schedule);
+  const std::set<NodeId> want(req.destinations.begin(),
+                              req.destinations.end());
+  if (got != want) {
+    return ::testing::AssertionFailure()
+           << "recipients != destinations (got " << got.size() << ", want "
+           << want.size() << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// As above, but allowing relay recipients (store-and-forward trees).
+inline ::testing::AssertionResult covers_at_least(
+    const MulticastSchedule& schedule, const MulticastRequest& req) {
+  try {
+    schedule.validate();
+  } catch (const std::exception& e) {
+    return ::testing::AssertionFailure() << "invalid schedule: " << e.what();
+  }
+  if (!schedule.covers(req.destinations)) {
+    return ::testing::AssertionFailure() << "some destination never receives";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace hypercast::testutil
+
+#endif  // HYPERCAST_TESTS_TEST_UTIL_HPP

@@ -1,0 +1,124 @@
+#include "workload/random_sets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workload/patterns.hpp"
+
+namespace hypercast::workload {
+namespace {
+
+TEST(RandomSets, DistinctAndExcludeSource) {
+  const Topology topo(6);
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const NodeId source = static_cast<NodeId>(rng() % 64);
+    const std::size_t m = 1 + rng() % 63;
+    const auto dests = random_destinations(topo, source, m, rng);
+    EXPECT_EQ(dests.size(), m);
+    std::set<NodeId> unique(dests.begin(), dests.end());
+    EXPECT_EQ(unique.size(), m);
+    EXPECT_FALSE(unique.contains(source));
+    for (const NodeId d : dests) EXPECT_TRUE(topo.contains(d));
+  }
+}
+
+TEST(RandomSets, FullSetIsEveryOtherNode) {
+  const Topology topo(4);
+  Rng rng(2);
+  const auto dests = random_destinations(topo, 5, 15, rng);
+  std::set<NodeId> unique(dests.begin(), dests.end());
+  EXPECT_EQ(unique.size(), 15u);
+  EXPECT_FALSE(unique.contains(5));
+}
+
+TEST(RandomSets, DeterministicForEqualSeeds) {
+  const Topology topo(8);
+  Rng a(42);
+  Rng b(42);
+  EXPECT_EQ(random_destinations(topo, 0, 30, a),
+            random_destinations(topo, 0, 30, b));
+}
+
+TEST(RandomSets, DifferentSeedsDiffer) {
+  const Topology topo(8);
+  Rng a(42);
+  Rng b(43);
+  EXPECT_NE(random_destinations(topo, 0, 30, a),
+            random_destinations(topo, 0, 30, b));
+}
+
+TEST(RandomSets, RoughlyUniformCoverage) {
+  // Across many draws every node should appear with similar frequency.
+  const Topology topo(5);
+  Rng rng(7);
+  std::vector<int> hits(32, 0);
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    for (const NodeId d : random_destinations(topo, 0, 8, rng)) {
+      ++hits[d];
+    }
+  }
+  // Expected hits per node: 2000 * 8 / 31 ~ 516.
+  for (NodeId u = 1; u < 32; ++u) {
+    EXPECT_GT(hits[u], 350) << "node " << u;
+    EXPECT_LT(hits[u], 700) << "node " << u;
+  }
+  EXPECT_EQ(hits[0], 0);
+}
+
+TEST(RandomSets, DeriveSeedSeparatesCoordinates) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t m = 0; m < 30; ++m) {
+    for (std::uint64_t trial = 0; trial < 30; ++trial) {
+      EXPECT_TRUE(seen.insert(derive_seed(99, m, trial)).second);
+    }
+  }
+}
+
+TEST(Patterns, BroadcastListsEveryoneElse) {
+  const Topology topo(5);
+  const auto dests = broadcast_destinations(topo, 17);
+  EXPECT_EQ(dests.size(), 31u);
+  EXPECT_EQ(std::count(dests.begin(), dests.end(), 17u), 0);
+}
+
+TEST(Patterns, SubcubeDestinationsStayInOneSubcube) {
+  const Topology topo(6);
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto dests = subcube_destinations(topo, 0, 3, 6, rng);
+    EXPECT_EQ(dests.size(), 6u);
+    // All in a common 3-dimensional subcube.
+    std::uint32_t common_prefix = topo.key(dests[0]) >> 3;
+    for (const NodeId d : dests) {
+      EXPECT_EQ(topo.key(d) >> 3, common_prefix);
+      EXPECT_NE(d, 0u);
+    }
+  }
+}
+
+TEST(Patterns, ClusteredDestinationsAreValid) {
+  const Topology topo(8);
+  Rng rng(13);
+  const auto dests = clustered_destinations(topo, 3, 4, 2, 40, rng);
+  EXPECT_EQ(dests.size(), 40u);
+  std::set<NodeId> unique(dests.begin(), dests.end());
+  EXPECT_EQ(unique.size(), 40u);
+  EXPECT_FALSE(unique.contains(3u));
+}
+
+TEST(Patterns, SphereHasBinomialSize) {
+  const Topology topo(6);
+  EXPECT_EQ(sphere_destinations(topo, 0, 1).size(), 6u);
+  EXPECT_EQ(sphere_destinations(topo, 0, 2).size(), 15u);
+  EXPECT_EQ(sphere_destinations(topo, 0, 6).size(), 1u);
+  for (const NodeId d : sphere_destinations(topo, 21, 3)) {
+    EXPECT_EQ(hcube::hamming(d, 21), 3);
+  }
+}
+
+}  // namespace
+}  // namespace hypercast::workload

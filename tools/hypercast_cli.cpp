@@ -1,0 +1,157 @@
+// hypercast_cli — plan, inspect and simulate hypercube multicasts from
+// the command line.
+//
+//   hypercast_cli plan  --n 4 --algo wsort --source 0 --dests 1,3,5,7
+//   hypercast_cli steps --n 6 --algo maxport --source 0 --m 20 --seed 7
+//   hypercast_cli delay --n 10 --algo wsort --m 200 --bytes 4096 --port all
+//   hypercast_cli chains --n 4 --source 0 --dests 1,3,5,7,11,12,14,15
+//   hypercast_cli compare --n 6 --m 25 --seed 3
+//
+// Common options: --res high|low, --port one|all|k:<n>, --seed <u64>.
+
+#include <cstdio>
+#include <string>
+
+#include "core/chain_search.hpp"
+#include "core/contention.hpp"
+#include "core/registry.hpp"
+#include "harness/options.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "workload/random_sets.hpp"
+
+namespace {
+
+using namespace hypercast;
+
+core::MulticastRequest request_from(const harness::Options& opts) {
+  const hcube::Dim n = static_cast<hcube::Dim>(opts.get_int("n"));
+  const hcube::Topology topo(n, opts.resolution());
+  const hcube::NodeId source =
+      static_cast<hcube::NodeId>(opts.get_int_or("source", 0));
+  std::vector<hcube::NodeId> dests;
+  if (opts.has("dests")) {
+    dests = opts.get_nodes("dests");
+  } else {
+    const std::size_t m = static_cast<std::size_t>(opts.get_int("m"));
+    workload::Rng rng(
+        static_cast<std::uint64_t>(opts.get_int_or("seed", 1)));
+    dests = workload::random_destinations(topo, source, m, rng);
+  }
+  core::MulticastRequest req{topo, source, std::move(dests)};
+  req.validate();
+  return req;
+}
+
+int cmd_plan(const harness::Options& opts) {
+  const auto req = request_from(opts);
+  const auto& algo = core::find_algorithm(opts.get_or("algo", "wsort"));
+  const auto schedule = algo.build(req);
+  std::printf("%s tree, %zu destinations, %zu unicasts:\n",
+              algo.display.c_str(), req.destinations.size(),
+              schedule.num_unicasts());
+  std::fputs(schedule.format_tree().c_str(), stdout);
+  const auto steps =
+      core::assign_steps(schedule, opts.port(), req.destinations);
+  const auto report = core::check_contention(schedule, steps);
+  std::printf("steps (%s): %d | %s\n", opts.port().name(), steps.total_steps,
+              report.contention_free() ? "contention-free"
+                                       : report.summary(req.topo).c_str());
+  return 0;
+}
+
+int cmd_steps(const harness::Options& opts) {
+  const auto req = request_from(opts);
+  const auto& algo = core::find_algorithm(opts.get_or("algo", "wsort"));
+  const auto steps = core::assign_steps(algo.build(req), opts.port(),
+                                        req.destinations);
+  for (const auto& u : steps.unicasts) {
+    std::printf("step %2d  %s -> %s\n", u.step,
+                req.topo.format(u.from).c_str(),
+                req.topo.format(u.to).c_str());
+  }
+  std::printf("total: %d steps\n", steps.total_steps);
+  return 0;
+}
+
+int cmd_delay(const harness::Options& opts) {
+  const auto req = request_from(opts);
+  const auto& algo = core::find_algorithm(opts.get_or("algo", "wsort"));
+  sim::SimConfig config;
+  config.port = opts.port();
+  config.message_bytes =
+      static_cast<std::size_t>(opts.get_int_or("bytes", 4096));
+  const auto result = sim::simulate_multicast(algo.build(req), config);
+  std::printf(
+      "%s, %zu destinations, %zu-byte message (%s):\n"
+      "  avg delay %10.1f us\n  max delay %10.1f us\n"
+      "  blocked channel acquisitions: %llu\n",
+      algo.display.c_str(), req.destinations.size(), config.message_bytes,
+      opts.port().name(), result.avg_delay(req.destinations) / 1000.0,
+      sim::to_microseconds(result.max_delay(req.destinations)),
+      static_cast<unsigned long long>(result.stats.blocked_acquisitions));
+  return 0;
+}
+
+int cmd_chains(const harness::Options& opts) {
+  const auto req = request_from(opts);
+  const auto best = core::best_cube_ordered_chain(req, opts.port());
+  std::printf("admissible cube-ordered chains: %zu\n", best.chains_examined);
+  std::printf("best steps: %d\nbest chain:", best.best_steps);
+  for (const auto node : best.best_chain) {
+    std::printf(" %s", req.topo.format(node).c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_compare(const harness::Options& opts) {
+  const auto req = request_from(opts);
+  sim::SimConfig config;
+  config.port = opts.port();
+  config.message_bytes =
+      static_cast<std::size_t>(opts.get_int_or("bytes", 4096));
+  std::printf("%-9s %6s %12s %12s %9s\n", "algorithm", "steps", "avg us",
+              "max us", "blocked");
+  for (const auto& algo : core::all_algorithms()) {
+    const auto schedule = algo.build(req);
+    const auto steps =
+        core::assign_steps(schedule, opts.port(), req.destinations);
+    const auto result = sim::simulate_multicast(schedule, config);
+    std::printf("%-9s %6d %12.1f %12.1f %9llu\n", algo.display.c_str(),
+                steps.total_steps,
+                result.avg_delay(req.destinations) / 1000.0,
+                sim::to_microseconds(result.max_delay(req.destinations)),
+                static_cast<unsigned long long>(
+                    result.stats.blocked_acquisitions));
+  }
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: hypercast_cli <plan|steps|delay|chains|compare> [options]\n"
+      "  common: --n <dim> (--dests a,b,c | --m <count> [--seed s])\n"
+      "          [--source u] [--algo name] [--res high|low]\n"
+      "          [--port one|all|k:<n>] [--bytes b]\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const auto opts = hypercast::harness::Options::parse(argc, argv, 2);
+    if (cmd == "plan") return cmd_plan(opts);
+    if (cmd == "steps") return cmd_steps(opts);
+    if (cmd == "delay") return cmd_delay(opts);
+    if (cmd == "chains") return cmd_chains(opts);
+    if (cmd == "compare") return cmd_compare(opts);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
