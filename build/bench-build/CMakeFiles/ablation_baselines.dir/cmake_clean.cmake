@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_baselines"
+  "../bench/ablation_baselines.pdb"
+  "CMakeFiles/ablation_baselines.dir/ablation_baselines.cpp.o"
+  "CMakeFiles/ablation_baselines.dir/ablation_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

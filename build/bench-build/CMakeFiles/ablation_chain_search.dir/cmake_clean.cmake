@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_chain_search"
+  "../bench/ablation_chain_search.pdb"
+  "CMakeFiles/ablation_chain_search.dir/ablation_chain_search.cpp.o"
+  "CMakeFiles/ablation_chain_search.dir/ablation_chain_search.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chain_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

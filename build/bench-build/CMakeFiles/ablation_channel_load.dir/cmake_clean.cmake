@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_channel_load"
+  "../bench/ablation_channel_load.pdb"
+  "CMakeFiles/ablation_channel_load.dir/ablation_channel_load.cpp.o"
+  "CMakeFiles/ablation_channel_load.dir/ablation_channel_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_channel_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

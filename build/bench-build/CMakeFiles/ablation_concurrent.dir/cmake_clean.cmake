@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_concurrent"
+  "../bench/ablation_concurrent.pdb"
+  "CMakeFiles/ablation_concurrent.dir/ablation_concurrent.cpp.o"
+  "CMakeFiles/ablation_concurrent.dir/ablation_concurrent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_engine_fidelity"
+  "../bench/ablation_engine_fidelity.pdb"
+  "CMakeFiles/ablation_engine_fidelity.dir/ablation_engine_fidelity.cpp.o"
+  "CMakeFiles/ablation_engine_fidelity.dir/ablation_engine_fidelity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_engine_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

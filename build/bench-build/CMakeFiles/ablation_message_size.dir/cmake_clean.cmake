@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_message_size"
+  "../bench/ablation_message_size.pdb"
+  "CMakeFiles/ablation_message_size.dir/ablation_message_size.cpp.o"
+  "CMakeFiles/ablation_message_size.dir/ablation_message_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_message_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

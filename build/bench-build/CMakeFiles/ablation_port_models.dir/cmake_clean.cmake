@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_port_models"
+  "../bench/ablation_port_models.pdb"
+  "CMakeFiles/ablation_port_models.dir/ablation_port_models.cpp.o"
+  "CMakeFiles/ablation_port_models.dir/ablation_port_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_port_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reduce"
+  "../bench/ablation_reduce.pdb"
+  "CMakeFiles/ablation_reduce.dir/ablation_reduce.cpp.o"
+  "CMakeFiles/ablation_reduce.dir/ablation_reduce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_resolution_order"
+  "../bench/ablation_resolution_order.pdb"
+  "CMakeFiles/ablation_resolution_order.dir/ablation_resolution_order.cpp.o"
+  "CMakeFiles/ablation_resolution_order.dir/ablation_resolution_order.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resolution_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

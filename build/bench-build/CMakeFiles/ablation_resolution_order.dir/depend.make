@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_resolution_order.
+# This may be replaced when dependencies are built.

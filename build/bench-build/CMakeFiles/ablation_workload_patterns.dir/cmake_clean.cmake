@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_workload_patterns"
+  "../bench/ablation_workload_patterns.pdb"
+  "CMakeFiles/ablation_workload_patterns.dir/ablation_workload_patterns.cpp.o"
+  "CMakeFiles/ablation_workload_patterns.dir/ablation_workload_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workload_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_wsort_components"
+  "../bench/ablation_wsort_components.pdb"
+  "CMakeFiles/ablation_wsort_components.dir/ablation_wsort_components.cpp.o"
+  "CMakeFiles/ablation_wsort_components.dir/ablation_wsort_components.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wsort_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

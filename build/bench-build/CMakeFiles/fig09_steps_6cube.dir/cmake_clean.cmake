@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_steps_6cube"
+  "../bench/fig09_steps_6cube.pdb"
+  "CMakeFiles/fig09_steps_6cube.dir/fig09_steps_6cube.cpp.o"
+  "CMakeFiles/fig09_steps_6cube.dir/fig09_steps_6cube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_steps_6cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

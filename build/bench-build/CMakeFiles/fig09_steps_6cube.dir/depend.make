@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_steps_6cube.
+# This may be replaced when dependencies are built.

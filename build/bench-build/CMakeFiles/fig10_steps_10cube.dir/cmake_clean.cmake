@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_steps_10cube"
+  "../bench/fig10_steps_10cube.pdb"
+  "CMakeFiles/fig10_steps_10cube.dir/fig10_steps_10cube.cpp.o"
+  "CMakeFiles/fig10_steps_10cube.dir/fig10_steps_10cube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_steps_10cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_steps_10cube.
+# This may be replaced when dependencies are built.

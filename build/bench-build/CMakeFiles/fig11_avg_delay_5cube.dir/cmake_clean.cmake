@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_avg_delay_5cube"
+  "../bench/fig11_avg_delay_5cube.pdb"
+  "CMakeFiles/fig11_avg_delay_5cube.dir/fig11_avg_delay_5cube.cpp.o"
+  "CMakeFiles/fig11_avg_delay_5cube.dir/fig11_avg_delay_5cube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_avg_delay_5cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_avg_delay_5cube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_max_delay_5cube"
+  "../bench/fig12_max_delay_5cube.pdb"
+  "CMakeFiles/fig12_max_delay_5cube.dir/fig12_max_delay_5cube.cpp.o"
+  "CMakeFiles/fig12_max_delay_5cube.dir/fig12_max_delay_5cube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_max_delay_5cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_avg_delay_10cube"
+  "../bench/fig13_avg_delay_10cube.pdb"
+  "CMakeFiles/fig13_avg_delay_10cube.dir/fig13_avg_delay_10cube.cpp.o"
+  "CMakeFiles/fig13_avg_delay_10cube.dir/fig13_avg_delay_10cube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_avg_delay_10cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_avg_delay_10cube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_max_delay_10cube"
+  "../bench/fig14_max_delay_10cube.pdb"
+  "CMakeFiles/fig14_max_delay_10cube.dir/fig14_max_delay_10cube.cpp.o"
+  "CMakeFiles/fig14_max_delay_10cube.dir/fig14_max_delay_10cube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_max_delay_10cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_max_delay_10cube.
+# This may be replaced when dependencies are built.

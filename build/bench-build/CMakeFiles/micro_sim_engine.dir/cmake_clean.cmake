@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_sim_engine"
+  "../bench/micro_sim_engine.pdb"
+  "CMakeFiles/micro_sim_engine.dir/micro_sim_engine.cpp.o"
+  "CMakeFiles/micro_sim_engine.dir/micro_sim_engine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_tree_construction"
+  "../bench/micro_tree_construction.pdb"
+  "CMakeFiles/micro_tree_construction.dir/micro_tree_construction.cpp.o"
+  "CMakeFiles/micro_tree_construction.dir/micro_tree_construction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tree_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_weighted_sort"
+  "../bench/micro_weighted_sort.pdb"
+  "CMakeFiles/micro_weighted_sort.dir/micro_weighted_sort.cpp.o"
+  "CMakeFiles/micro_weighted_sort.dir/micro_weighted_sort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_weighted_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/collectives_tour"
+  "../examples/collectives_tour.pdb"
+  "CMakeFiles/collectives_tour.dir/collectives_tour.cpp.o"
+  "CMakeFiles/collectives_tour.dir/collectives_tour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collectives_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/contention_demo"
+  "../examples/contention_demo.pdb"
+  "CMakeFiles/contention_demo.dir/contention_demo.cpp.o"
+  "CMakeFiles/contention_demo.dir/contention_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

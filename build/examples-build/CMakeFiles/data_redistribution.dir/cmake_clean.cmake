@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/data_redistribution"
+  "../examples/data_redistribution.pdb"
+  "CMakeFiles/data_redistribution.dir/data_redistribution.cpp.o"
+  "CMakeFiles/data_redistribution.dir/data_redistribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

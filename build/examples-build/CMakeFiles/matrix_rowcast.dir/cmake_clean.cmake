@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/matrix_rowcast"
+  "../examples/matrix_rowcast.pdb"
+  "CMakeFiles/matrix_rowcast.dir/matrix_rowcast.cpp.o"
+  "CMakeFiles/matrix_rowcast.dir/matrix_rowcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_rowcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for matrix_rowcast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coll/all_to_all.cpp" "src/CMakeFiles/hypercast_coll.dir/coll/all_to_all.cpp.o" "gcc" "src/CMakeFiles/hypercast_coll.dir/coll/all_to_all.cpp.o.d"
+  "/root/repo/src/coll/collectives.cpp" "src/CMakeFiles/hypercast_coll.dir/coll/collectives.cpp.o" "gcc" "src/CMakeFiles/hypercast_coll.dir/coll/collectives.cpp.o.d"
+  "/root/repo/src/coll/reduce.cpp" "src/CMakeFiles/hypercast_coll.dir/coll/reduce.cpp.o" "gcc" "src/CMakeFiles/hypercast_coll.dir/coll/reduce.cpp.o.d"
+  "/root/repo/src/coll/scatter.cpp" "src/CMakeFiles/hypercast_coll.dir/coll/scatter.cpp.o" "gcc" "src/CMakeFiles/hypercast_coll.dir/coll/scatter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypercast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_hcube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercast_coll.dir/coll/all_to_all.cpp.o"
+  "CMakeFiles/hypercast_coll.dir/coll/all_to_all.cpp.o.d"
+  "CMakeFiles/hypercast_coll.dir/coll/collectives.cpp.o"
+  "CMakeFiles/hypercast_coll.dir/coll/collectives.cpp.o.d"
+  "CMakeFiles/hypercast_coll.dir/coll/reduce.cpp.o"
+  "CMakeFiles/hypercast_coll.dir/coll/reduce.cpp.o.d"
+  "CMakeFiles/hypercast_coll.dir/coll/scatter.cpp.o"
+  "CMakeFiles/hypercast_coll.dir/coll/scatter.cpp.o.d"
+  "libhypercast_coll.a"
+  "libhypercast_coll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercast_coll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hypercast_coll.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/CMakeFiles/hypercast_core.dir/core/bounds.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/bounds.cpp.o.d"
+  "/root/repo/src/core/chain_algorithms.cpp" "src/CMakeFiles/hypercast_core.dir/core/chain_algorithms.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/chain_algorithms.cpp.o.d"
+  "/root/repo/src/core/chain_search.cpp" "src/CMakeFiles/hypercast_core.dir/core/chain_search.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/chain_search.cpp.o.d"
+  "/root/repo/src/core/channel_load.cpp" "src/CMakeFiles/hypercast_core.dir/core/channel_load.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/channel_load.cpp.o.d"
+  "/root/repo/src/core/contention.cpp" "src/CMakeFiles/hypercast_core.dir/core/contention.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/contention.cpp.o.d"
+  "/root/repo/src/core/multicast.cpp" "src/CMakeFiles/hypercast_core.dir/core/multicast.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/multicast.cpp.o.d"
+  "/root/repo/src/core/reachable.cpp" "src/CMakeFiles/hypercast_core.dir/core/reachable.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/reachable.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/hypercast_core.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/separate.cpp" "src/CMakeFiles/hypercast_core.dir/core/separate.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/separate.cpp.o.d"
+  "/root/repo/src/core/sf_tree.cpp" "src/CMakeFiles/hypercast_core.dir/core/sf_tree.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/sf_tree.cpp.o.d"
+  "/root/repo/src/core/stepwise.cpp" "src/CMakeFiles/hypercast_core.dir/core/stepwise.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/stepwise.cpp.o.d"
+  "/root/repo/src/core/weighted_sort.cpp" "src/CMakeFiles/hypercast_core.dir/core/weighted_sort.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/weighted_sort.cpp.o.d"
+  "/root/repo/src/core/wsort.cpp" "src/CMakeFiles/hypercast_core.dir/core/wsort.cpp.o" "gcc" "src/CMakeFiles/hypercast_core.dir/core/wsort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypercast_hcube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

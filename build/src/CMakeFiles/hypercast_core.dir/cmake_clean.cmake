@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercast_core.dir/core/bounds.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/bounds.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/chain_algorithms.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/chain_algorithms.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/chain_search.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/chain_search.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/channel_load.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/channel_load.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/contention.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/contention.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/multicast.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/multicast.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/reachable.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/reachable.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/registry.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/registry.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/separate.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/separate.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/sf_tree.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/sf_tree.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/stepwise.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/stepwise.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/weighted_sort.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/weighted_sort.cpp.o.d"
+  "CMakeFiles/hypercast_core.dir/core/wsort.cpp.o"
+  "CMakeFiles/hypercast_core.dir/core/wsort.cpp.o.d"
+  "libhypercast_core.a"
+  "libhypercast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhypercast_core.a"
+)

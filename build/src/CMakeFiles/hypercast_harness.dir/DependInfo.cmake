@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/hypercast_harness.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/hypercast_harness.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/figures.cpp" "src/CMakeFiles/hypercast_harness.dir/harness/figures.cpp.o" "gcc" "src/CMakeFiles/hypercast_harness.dir/harness/figures.cpp.o.d"
+  "/root/repo/src/harness/options.cpp" "src/CMakeFiles/hypercast_harness.dir/harness/options.cpp.o" "gcc" "src/CMakeFiles/hypercast_harness.dir/harness/options.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypercast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_hcube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercast_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/hypercast_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/hypercast_harness.dir/harness/figures.cpp.o"
+  "CMakeFiles/hypercast_harness.dir/harness/figures.cpp.o.d"
+  "CMakeFiles/hypercast_harness.dir/harness/options.cpp.o"
+  "CMakeFiles/hypercast_harness.dir/harness/options.cpp.o.d"
+  "libhypercast_harness.a"
+  "libhypercast_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercast_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hcube/chain.cpp" "src/CMakeFiles/hypercast_hcube.dir/hcube/chain.cpp.o" "gcc" "src/CMakeFiles/hypercast_hcube.dir/hcube/chain.cpp.o.d"
+  "/root/repo/src/hcube/ecube.cpp" "src/CMakeFiles/hypercast_hcube.dir/hcube/ecube.cpp.o" "gcc" "src/CMakeFiles/hypercast_hcube.dir/hcube/ecube.cpp.o.d"
+  "/root/repo/src/hcube/embeddings.cpp" "src/CMakeFiles/hypercast_hcube.dir/hcube/embeddings.cpp.o" "gcc" "src/CMakeFiles/hypercast_hcube.dir/hcube/embeddings.cpp.o.d"
+  "/root/repo/src/hcube/subcube.cpp" "src/CMakeFiles/hypercast_hcube.dir/hcube/subcube.cpp.o" "gcc" "src/CMakeFiles/hypercast_hcube.dir/hcube/subcube.cpp.o.d"
+  "/root/repo/src/hcube/topology.cpp" "src/CMakeFiles/hypercast_hcube.dir/hcube/topology.cpp.o" "gcc" "src/CMakeFiles/hypercast_hcube.dir/hcube/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

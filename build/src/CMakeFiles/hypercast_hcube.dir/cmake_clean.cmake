@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercast_hcube.dir/hcube/chain.cpp.o"
+  "CMakeFiles/hypercast_hcube.dir/hcube/chain.cpp.o.d"
+  "CMakeFiles/hypercast_hcube.dir/hcube/ecube.cpp.o"
+  "CMakeFiles/hypercast_hcube.dir/hcube/ecube.cpp.o.d"
+  "CMakeFiles/hypercast_hcube.dir/hcube/embeddings.cpp.o"
+  "CMakeFiles/hypercast_hcube.dir/hcube/embeddings.cpp.o.d"
+  "CMakeFiles/hypercast_hcube.dir/hcube/subcube.cpp.o"
+  "CMakeFiles/hypercast_hcube.dir/hcube/subcube.cpp.o.d"
+  "CMakeFiles/hypercast_hcube.dir/hcube/topology.cpp.o"
+  "CMakeFiles/hypercast_hcube.dir/hcube/topology.cpp.o.d"
+  "libhypercast_hcube.a"
+  "libhypercast_hcube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercast_hcube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercast_metrics.dir/metrics/series.cpp.o"
+  "CMakeFiles/hypercast_metrics.dir/metrics/series.cpp.o.d"
+  "CMakeFiles/hypercast_metrics.dir/metrics/stats.cpp.o"
+  "CMakeFiles/hypercast_metrics.dir/metrics/stats.cpp.o.d"
+  "CMakeFiles/hypercast_metrics.dir/metrics/table.cpp.o"
+  "CMakeFiles/hypercast_metrics.dir/metrics/table.cpp.o.d"
+  "libhypercast_metrics.a"
+  "libhypercast_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercast_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/hypercast_sim.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/hypercast_sim.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/hypercast_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/hypercast_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/flit_sim.cpp" "src/CMakeFiles/hypercast_sim.dir/sim/flit_sim.cpp.o" "gcc" "src/CMakeFiles/hypercast_sim.dir/sim/flit_sim.cpp.o.d"
+  "/root/repo/src/sim/latency_model.cpp" "src/CMakeFiles/hypercast_sim.dir/sim/latency_model.cpp.o" "gcc" "src/CMakeFiles/hypercast_sim.dir/sim/latency_model.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/hypercast_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/hypercast_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/hypercast_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/hypercast_sim.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/worm_engine.cpp" "src/CMakeFiles/hypercast_sim.dir/sim/worm_engine.cpp.o" "gcc" "src/CMakeFiles/hypercast_sim.dir/sim/worm_engine.cpp.o.d"
+  "/root/repo/src/sim/wormhole_sim.cpp" "src/CMakeFiles/hypercast_sim.dir/sim/wormhole_sim.cpp.o" "gcc" "src/CMakeFiles/hypercast_sim.dir/sim/wormhole_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypercast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_hcube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

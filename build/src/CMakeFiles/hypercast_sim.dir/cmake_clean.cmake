@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercast_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/hypercast_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/hypercast_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/hypercast_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/hypercast_sim.dir/sim/flit_sim.cpp.o"
+  "CMakeFiles/hypercast_sim.dir/sim/flit_sim.cpp.o.d"
+  "CMakeFiles/hypercast_sim.dir/sim/latency_model.cpp.o"
+  "CMakeFiles/hypercast_sim.dir/sim/latency_model.cpp.o.d"
+  "CMakeFiles/hypercast_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/hypercast_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/hypercast_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/hypercast_sim.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/hypercast_sim.dir/sim/worm_engine.cpp.o"
+  "CMakeFiles/hypercast_sim.dir/sim/worm_engine.cpp.o.d"
+  "CMakeFiles/hypercast_sim.dir/sim/wormhole_sim.cpp.o"
+  "CMakeFiles/hypercast_sim.dir/sim/wormhole_sim.cpp.o.d"
+  "libhypercast_sim.a"
+  "libhypercast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

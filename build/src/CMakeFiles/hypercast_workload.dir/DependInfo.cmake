@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/patterns.cpp" "src/CMakeFiles/hypercast_workload.dir/workload/patterns.cpp.o" "gcc" "src/CMakeFiles/hypercast_workload.dir/workload/patterns.cpp.o.d"
+  "/root/repo/src/workload/random_sets.cpp" "src/CMakeFiles/hypercast_workload.dir/workload/random_sets.cpp.o" "gcc" "src/CMakeFiles/hypercast_workload.dir/workload/random_sets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypercast_hcube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercast_workload.dir/workload/patterns.cpp.o"
+  "CMakeFiles/hypercast_workload.dir/workload/patterns.cpp.o.d"
+  "CMakeFiles/hypercast_workload.dir/workload/random_sets.cpp.o"
+  "CMakeFiles/hypercast_workload.dir/workload/random_sets.cpp.o.d"
+  "libhypercast_workload.a"
+  "libhypercast_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercast_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_all_to_all.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_all_to_all.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_all_to_all.cpp.o.d"
+  "/root/repo/tests/test_arc_disjoint_theorems.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_arc_disjoint_theorems.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_arc_disjoint_theorems.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bits.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_bits.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_bits.cpp.o.d"
+  "/root/repo/tests/test_bounds_registry.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_bounds_registry.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_bounds_registry.cpp.o.d"
+  "/root/repo/tests/test_chain.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_chain.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_chain.cpp.o.d"
+  "/root/repo/tests/test_chain_search.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_chain_search.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_chain_search.cpp.o.d"
+  "/root/repo/tests/test_channel_load.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_channel_load.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_channel_load.cpp.o.d"
+  "/root/repo/tests/test_collectives.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/test_combine.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_combine.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_combine.cpp.o.d"
+  "/root/repo/tests/test_contention.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_contention.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_contention.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_distributed.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_distributed.cpp.o.d"
+  "/root/repo/tests/test_ecube.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_ecube.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_ecube.cpp.o.d"
+  "/root/repo/tests/test_embeddings.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_embeddings.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_embeddings.cpp.o.d"
+  "/root/repo/tests/test_exhaustive_small.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_exhaustive_small.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_exhaustive_small.cpp.o.d"
+  "/root/repo/tests/test_figure_shapes.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_figure_shapes.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_figure_shapes.cpp.o.d"
+  "/root/repo/tests/test_flit_sim.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_flit_sim.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_flit_sim.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_latency_model.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_latency_model.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_latency_model.cpp.o.d"
+  "/root/repo/tests/test_maxport.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_maxport.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_maxport.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_misc_coverage.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_misc_coverage.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_misc_coverage.cpp.o.d"
+  "/root/repo/tests/test_multi_collective.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_multi_collective.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_multi_collective.cpp.o.d"
+  "/root/repo/tests/test_multicast_schedule.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_multicast_schedule.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_multicast_schedule.cpp.o.d"
+  "/root/repo/tests/test_options.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_options.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_options.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_reachable.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_reachable.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_reachable.cpp.o.d"
+  "/root/repo/tests/test_reduce.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_reduce.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_reduce.cpp.o.d"
+  "/root/repo/tests/test_scatter.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_scatter.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_scatter.cpp.o.d"
+  "/root/repo/tests/test_sim_event_queue.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_sim_event_queue.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_sim_event_queue.cpp.o.d"
+  "/root/repo/tests/test_sim_network.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_sim_network.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_sim_network.cpp.o.d"
+  "/root/repo/tests/test_sim_wormhole.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_sim_wormhole.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_sim_wormhole.cpp.o.d"
+  "/root/repo/tests/test_stepwise.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_stepwise.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_stepwise.cpp.o.d"
+  "/root/repo/tests/test_subcube.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_subcube.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_subcube.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_ucube.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_ucube.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_ucube.cpp.o.d"
+  "/root/repo/tests/test_weighted_sort.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_weighted_sort.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_weighted_sort.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_workload.cpp.o.d"
+  "/root/repo/tests/test_worm_engine.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_worm_engine.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_worm_engine.cpp.o.d"
+  "/root/repo/tests/test_wsort.cpp" "tests/CMakeFiles/hypercast_tests.dir/test_wsort.cpp.o" "gcc" "tests/CMakeFiles/hypercast_tests.dir/test_wsort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hypercast_coll.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_hcube.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hypercast_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

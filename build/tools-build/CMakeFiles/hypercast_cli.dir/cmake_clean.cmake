@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/hypercast_cli"
+  "../tools/hypercast_cli.pdb"
+  "CMakeFiles/hypercast_cli.dir/hypercast_cli.cpp.o"
+  "CMakeFiles/hypercast_cli.dir/hypercast_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercast_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
