@@ -1,0 +1,248 @@
+#include "fault/fault_aware.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/stepwise.hpp"
+
+namespace hypercast::fault {
+
+namespace {
+
+/// Repairs one schedule. Processes the base tree in BFS order so that
+/// every sender of the repaired schedule has provably received the
+/// message before it issues (the repaired schedule stays a tree rooted
+/// at the source).
+class Repairer {
+ public:
+  Repairer(const core::MulticastSchedule& base,
+           std::span<const NodeId> destinations, const FaultSet& faults)
+      : base_(base),
+        faults_(faults),
+        topo_(base.topo()),
+        out_(base.topo(), base.source()),
+        planned_(topo_.num_nodes(), false),
+        received_(topo_.num_nodes(), false) {
+    if (faults_.node_failed(base_.source())) {
+      throw std::invalid_argument("fault-aware multicast: source is dead");
+    }
+    for (const NodeId d : destinations) {
+      if (faults_.node_failed(d)) {
+        throw UnrepairableFault("destination " + topo_.format(d) +
+                                " is dead; no repair can deliver");
+      }
+    }
+    for (const NodeId r : base_.recipients()) {
+      if (!faults_.node_failed(r)) planned_[r] = true;
+    }
+    received_[base_.source()] = true;
+  }
+
+  FaultAwareResult run() {
+    enqueue_sends(base_.source(), base_.source());
+    while (!queue_.empty()) {
+      Item item = queue_.front();
+      queue_.pop_front();
+      process(item);
+    }
+    RepairReport report = std::move(report_);
+    report.contention_violations =
+        core::check_contention(out_, core::PortModel::all_port())
+            .violations.size();
+    return FaultAwareResult{std::move(out_), std::move(report)};
+  }
+
+ private:
+  struct Item {
+    NodeId from;
+    const core::Send* send;
+    bool deferred = false;  ///< requeued at least once (already reported)
+  };
+
+  void enqueue_sends(NodeId actual_from, NodeId tree_node) {
+    for (const core::Send& s : base_.sends_from(tree_node)) {
+      queue_.push_back({actual_from, &s});
+    }
+  }
+
+  void deliver(NodeId from, NodeId to, std::vector<NodeId> payload) {
+    out_.add_send(from, core::Send{to, std::move(payload)});
+    received_[to] = true;
+    consecutive_defers_ = 0;
+  }
+
+  void process(Item item) {
+    const NodeId from = item.from;
+    const NodeId to = item.send->to;
+    if (!item.deferred) ++report_.unicasts_checked;
+    if (faults_.node_failed(to)) {
+      // Dead relay (destinations were screened in the constructor): its
+      // forwarding duties fall to the live sender that would have fed it.
+      ++report_.dead_relays_bypassed;
+      enqueue_sends(from, to);
+      return;
+    }
+    if (!faults_.path_blocked(from, to)) {
+      deliver(from, to, item.send->payload);
+      enqueue_sends(to, to);
+      return;
+    }
+    if (!item.deferred) ++report_.broken;
+    if (repair(from, *item.send)) {
+      enqueue_sends(to, to);
+      return;
+    }
+    // Every candidate relay is scheduled to receive later (common when
+    // the tree spans most of the cube, e.g. a broadcast): defer the
+    // repair until the rest of the tree has delivered and the relays
+    // become reusable. A full queue cycle with no delivery means no
+    // amount of waiting will help.
+    item.deferred = true;
+    if (++consecutive_defers_ > queue_.size() + 1) {
+      throw UnrepairableFault("no usable fault-free route from " +
+                              topo_.format(from) + " to " + topo_.format(to) +
+                              " (" + faults_.format() + ")");
+    }
+    queue_.push_back(item);
+  }
+
+  /// A node may carry extra relay traffic iff it is live and either not
+  /// scheduled to receive at all (a fresh relay) or has already received
+  /// (forwarding again costs a send, never a second receive).
+  bool relay_usable(NodeId w) const {
+    return !faults_.node_failed(w) && (!planned_[w] || received_[w]);
+  }
+
+  /// Try to reroute one broken unicast now. Returns false when every
+  /// candidate route needs a relay the schedule cannot use yet (the
+  /// caller defers and retries after more of the tree has delivered).
+  bool repair(NodeId from, const core::Send& send) {
+    const NodeId to = send.to;
+    std::vector<bool> banned(topo_.num_nodes(), false);
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      std::optional<NodePath> path =
+          dimension_ordered_detour(topo_, faults_, from, to, &banned);
+      const bool shortest = path.has_value();
+      if (!path) path = bfs_detour(topo_, faults_, from, to, &banned);
+      if (!path) return false;
+      const std::vector<NodeId> endpoints = segment_endpoints(topo_, *path);
+      // Every interior endpoint becomes a software relay; ban the ones
+      // the schedule cannot use and search again.
+      bool usable = true;
+      for (std::size_t i = 1; i + 1 < endpoints.size(); ++i) {
+        if (!relay_usable(endpoints[i])) {
+          banned[endpoints[i]] = true;
+          usable = false;
+        }
+      }
+      if (!usable) continue;
+      emit(from, send, *path, endpoints, shortest);
+      return true;
+    }
+    return false;
+  }
+
+  void emit(NodeId from, const core::Send& send, const NodePath& path,
+            const std::vector<NodeId>& endpoints, bool shortest) {
+    const NodeId to = send.to;
+    // Skip ahead to the last endpoint that already holds the message
+    // (the sender itself, or a relay fed by the processed prefix): the
+    // chain only needs to start where the message stops being present.
+    std::size_t start = 0;
+    for (std::size_t i = 0; i + 1 < endpoints.size(); ++i) {
+      if (endpoints[i] == from || received_[endpoints[i]]) start = i;
+    }
+    Repair repair{from, to, path, {}, shortest};
+    NodeId carrier = endpoints[start];
+    int emitted_hops = 0;
+    for (std::size_t i = start + 1; i < endpoints.size(); ++i) {
+      const NodeId w = endpoints[i];
+      emitted_hops += topo_.distance(carrier, w);
+      std::vector<NodeId> payload;
+      if (w == to) {
+        payload = send.payload;
+      } else {
+        // A relay inherits responsibility for everything downstream:
+        // the remaining relays of the chain, the original target and
+        // its subtree.
+        payload.assign(endpoints.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       endpoints.end());
+        payload.insert(payload.end(), send.payload.begin(),
+                       send.payload.end());
+        planned_[w] = true;
+        repair.relays.push_back(w);
+      }
+      deliver(carrier, w, std::move(payload));
+      carrier = w;
+    }
+    report_.relay_nodes_added += repair.relays.size();
+    // Hops the repaired chain actually transmits minus the broken
+    // unicast's E-cube distance. Can be negative: a chain that
+    // short-circuits through a node already holding the message sends
+    // fewer hops than the original route would have.
+    report_.extra_hops += emitted_hops - topo_.distance(from, to);
+    if (shortest) {
+      ++report_.rerouted_shortest;
+    } else {
+      ++report_.relayed;
+    }
+    report_.repairs.push_back(std::move(repair));
+  }
+
+  const core::MulticastSchedule& base_;
+  const FaultSet& faults_;
+  Topology topo_;
+  core::MulticastSchedule out_;
+  std::vector<bool> planned_;   ///< will receive in the final schedule
+  std::vector<bool> received_;  ///< receive already emitted (or source)
+  std::deque<Item> queue_;
+  std::size_t consecutive_defers_ = 0;  ///< defers since the last delivery
+  RepairReport report_;
+};
+
+}  // namespace
+
+std::string RepairReport::summary() const {
+  std::ostringstream os;
+  os << "fault-aware repair: " << unicasts_checked << " unicasts checked, "
+     << broken << " broken (" << rerouted_shortest << " shortest detours, "
+     << relayed << " relayed), " << dead_relays_bypassed
+     << " dead relays bypassed, " << relay_nodes_added
+     << " relay nodes added, +" << extra_hops << " hops, "
+     << contention_violations << " contention violation"
+     << (contention_violations == 1 ? "" : "s");
+  return os.str();
+}
+
+FaultAwareResult repair_schedule(const core::MulticastSchedule& base,
+                                 std::span<const NodeId> destinations,
+                                 const FaultSet& faults) {
+  return Repairer(base, destinations, faults).run();
+}
+
+FaultAwareResult fault_aware_multicast(const core::AlgorithmEntry& base,
+                                       const core::MulticastRequest& request,
+                                       const FaultSet& faults) {
+  return repair_schedule(base.build(request), request.destinations, faults);
+}
+
+core::AlgorithmEntry fault_aware_entry(
+    const core::AlgorithmEntry& base, std::shared_ptr<const FaultSet> faults) {
+  auto build = base.build;
+  return core::AlgorithmEntry{
+      base.name + "-ft", base.display + "+FT",
+      [build = std::move(build),
+       faults = std::move(faults)](const core::MulticastRequest& r) {
+        return repair_schedule(build(r), r.destinations, *faults).schedule;
+      }};
+}
+
+void register_fault_aware_algorithms(std::shared_ptr<const FaultSet> faults) {
+  for (const core::AlgorithmEntry& base : core::paper_algorithms()) {
+    core::register_algorithm(fault_aware_entry(base, faults));
+  }
+}
+
+}  // namespace hypercast::fault

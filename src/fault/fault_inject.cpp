@@ -1,0 +1,92 @@
+#include "fault/fault_inject.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hypercast::fault {
+
+namespace {
+
+/// Dense index of an undirected link: the arc index of its low arc.
+/// Exactly half of the arc indices name links (the ones whose `from`
+/// has the dimension bit clear), so sampling maps a flat link ordinal
+/// onto (low node, dim) arithmetic.
+Link link_at(const Topology& topo, std::size_t ordinal) {
+  // Links along dimension d are in bijection with nodes whose bit d is
+  // clear: 2^(n-1) per dimension.
+  const std::size_t per_dim = topo.num_nodes() / 2;
+  const Dim d = static_cast<Dim>(ordinal / per_dim);
+  std::size_t rest = ordinal % per_dim;
+  // Spread `rest` over the n-1 remaining bits, skipping bit d.
+  NodeId low = 0;
+  for (Dim b = 0, out = 0; b < topo.dim(); ++b) {
+    if (b == d) continue;
+    if (rest & (std::size_t{1} << out)) low |= NodeId{1} << b;
+    ++out;
+  }
+  return Link{low, d};
+}
+
+}  // namespace
+
+FaultSet random_link_faults(const Topology& topo, std::size_t count,
+                            Rng& rng) {
+  const std::size_t num_links = topo.num_arcs() / 2;
+  if (count > num_links) {
+    throw std::invalid_argument("random_link_faults: more faults than links");
+  }
+  FaultSet fs(topo);
+  // Floyd's sampling, as in workload::random_destinations: O(count)
+  // memory on any cube size.
+  std::unordered_set<std::size_t> chosen;
+  for (std::size_t j = num_links - count; j < num_links; ++j) {
+    std::uniform_int_distribution<std::size_t> dist(0, j);
+    const std::size_t pick = dist(rng);
+    const std::size_t ordinal = chosen.insert(pick).second ? pick : j;
+    chosen.insert(ordinal);
+    const Link l = link_at(topo, ordinal);
+    fs.fail_link(l.low, l.dim);
+  }
+  return fs;
+}
+
+FaultSet random_node_faults(const Topology& topo, std::size_t count, Rng& rng,
+                            std::span<const NodeId> protect) {
+  const std::unordered_set<NodeId> keep(protect.begin(), protect.end());
+  if (count + keep.size() > topo.num_nodes()) {
+    throw std::invalid_argument("random_node_faults: more faults than nodes");
+  }
+  FaultSet fs(topo);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(topo.num_nodes() - 1));
+  std::size_t failed = 0;
+  while (failed < count) {
+    const NodeId u = dist(rng);
+    if (keep.contains(u) || fs.node_failed(u)) continue;
+    fs.fail_node(u);
+    ++failed;
+  }
+  return fs;
+}
+
+std::size_t links_for_rate(const Topology& topo, double rate) {
+  assert(rate >= 0.0 && rate <= 1.0);
+  const double links = static_cast<double>(topo.num_arcs()) / 2.0;
+  return static_cast<std::size_t>(std::llround(links * rate));
+}
+
+FaultSet connected_link_faults(const Topology& topo, std::size_t count,
+                               Rng& rng, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    FaultSet fs = random_link_faults(topo, count, rng);
+    if (fs.surviving_connected()) return fs;
+  }
+  throw std::runtime_error(
+      "connected_link_faults: no connected sample found (fault rate too "
+      "high?)");
+}
+
+}  // namespace hypercast::fault

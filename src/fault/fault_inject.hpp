@@ -1,0 +1,43 @@
+#ifndef HYPERCAST_FAULT_FAULT_INJECT_HPP
+#define HYPERCAST_FAULT_FAULT_INJECT_HPP
+
+#include <span>
+
+#include "fault/fault_set.hpp"
+#include "workload/random_sets.hpp"
+
+namespace hypercast::fault {
+
+using workload::Rng;
+
+/// Seeded random fault generators, in the workload/ mould: every
+/// experiment seeds explicitly (workload::derive_seed) so fault
+/// scenarios are exactly reproducible and independent of sweep order.
+
+/// `count` distinct undirected links failed uniformly at random among
+/// the n * 2^(n-1) links of the cube. Precondition: count <= num links.
+FaultSet random_link_faults(const Topology& topo, std::size_t count, Rng& rng);
+
+/// `count` distinct nodes failed uniformly at random, never touching the
+/// nodes in `protect` (a multicast's source and destinations stay
+/// alive). Precondition: count + |protect| <= num nodes.
+FaultSet random_node_faults(const Topology& topo, std::size_t count, Rng& rng,
+                            std::span<const NodeId> protect = {});
+
+/// Number of links a fractional fault `rate` in [0, 1] corresponds to
+/// (rounded to nearest), e.g. rate 0.10 on a 6-cube = 19 of 192 links.
+std::size_t links_for_rate(const Topology& topo, double rate);
+
+/// Like random_link_faults, but resamples (fresh draws from `rng`) until
+/// the surviving cube is connected, up to `max_attempts` tries. Returns
+/// the first connected sample; throws std::runtime_error when every
+/// attempt leaves the cube partitioned (only plausible at extreme
+/// rates). This is the generator the degradation ablation uses: a
+/// partitioned cube has unreachable destinations by construction, which
+/// would measure impossibility, not algorithm quality.
+FaultSet connected_link_faults(const Topology& topo, std::size_t count,
+                               Rng& rng, int max_attempts = 64);
+
+}  // namespace hypercast::fault
+
+#endif  // HYPERCAST_FAULT_FAULT_INJECT_HPP

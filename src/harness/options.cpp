@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "fault/fault_inject.hpp"
+
 namespace hypercast::harness {
 
 Options Options::parse(int argc, const char* const* argv, int first) {
@@ -40,8 +42,13 @@ std::string Options::get_or(const std::string& key,
 long Options::get_int(const std::string& key) const {
   const std::string v = get(key);
   std::size_t pos = 0;
-  const long out = std::stol(v, &pos);
-  if (pos != v.size()) {
+  long out = 0;
+  try {
+    out = std::stol(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;  // fall through to the diagnostic below
+  }
+  if (pos != v.size() || v.empty()) {
     throw std::invalid_argument("--" + key + " expects an integer, got '" +
                                 v + "'");
   }
@@ -50,6 +57,22 @@ long Options::get_int(const std::string& key) const {
 
 long Options::get_int_or(const std::string& key, long fallback) const {
   return has(key) ? get_int(key) : fallback;
+}
+
+double Options::get_double(const std::string& key) const {
+  const std::string v = get(key);
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;  // fall through to the diagnostic below
+  }
+  if (pos != v.size() || v.empty()) {
+    throw std::invalid_argument("--" + key + " expects a number, got '" + v +
+                                "'");
+  }
+  return out;
 }
 
 std::vector<hcube::NodeId> Options::get_nodes(const std::string& key) const {
@@ -95,6 +118,55 @@ core::PortModel Options::port() const {
     return core::PortModel::k_port(k);
   }
   throw std::invalid_argument("--port expects 'one', 'all' or 'k:<n>'");
+}
+
+std::optional<fault::FaultSet> Options::fault_set(
+    const hcube::Topology& topo) const {
+  if (!has("faults") && !has("fail-links") && !has("fail-nodes")) {
+    return std::nullopt;
+  }
+  fault::FaultSet fs(topo);
+  if (has("faults")) {
+    const double spec = get_double("faults");
+    std::size_t count = 0;
+    if (spec > 0.0 && spec < 1.0) {
+      count = fault::links_for_rate(topo, spec);
+    } else if (spec >= 1.0 && spec == static_cast<double>(
+                                         static_cast<std::size_t>(spec))) {
+      count = static_cast<std::size_t>(spec);
+    } else {
+      throw std::invalid_argument(
+          "--faults expects a link count (>= 1) or a rate in (0, 1)");
+    }
+    workload::Rng rng(
+        static_cast<std::uint64_t>(get_int_or("fault-seed", 1)));
+    const fault::FaultSet drawn = fault::random_link_faults(topo, count, rng);
+    for (const fault::Link& l : drawn.failed_links()) {
+      fs.fail_link(l.low, l.dim);
+    }
+  }
+  if (has("fail-links")) {
+    // "u:d" pairs: low endpoint and dimension of each failed link.
+    const std::string v = get("fail-links");
+    std::size_t start = 0;
+    while (start < v.size()) {
+      std::size_t comma = v.find(',', start);
+      if (comma == std::string::npos) comma = v.size();
+      const std::string token = v.substr(start, comma - start);
+      const std::size_t colon = token.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--fail-links expects u:d pairs, got '" +
+                                    token + "'");
+      }
+      fs.fail_link(static_cast<hcube::NodeId>(std::stoul(token.substr(0, colon))),
+                   static_cast<hcube::Dim>(std::stol(token.substr(colon + 1))));
+      start = comma + 1;
+    }
+  }
+  if (has("fail-nodes")) {
+    for (const hcube::NodeId u : get_nodes("fail-nodes")) fs.fail_node(u);
+  }
+  return fs;
 }
 
 std::vector<std::string> Options::keys() const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/stepwise.hpp"
+#include "fault/fault_set.hpp"
 #include "hcube/types.hpp"
 
 namespace hypercast::harness {
@@ -27,6 +28,7 @@ class Options {
   std::string get_or(const std::string& key, std::string fallback) const;
   long get_int(const std::string& key) const;
   long get_int_or(const std::string& key, long fallback) const;
+  double get_double(const std::string& key) const;
 
   /// Comma-separated node list, e.g. "3,5,12".
   std::vector<hcube::NodeId> get_nodes(const std::string& key) const;
@@ -36,6 +38,15 @@ class Options {
 
   /// "one", "all" or "k:<n>" -> PortModel. Defaults to all-port.
   core::PortModel port() const;
+
+  /// Fault-injection flags shared by the CLI and benches:
+  ///   --faults <k|p>       k >= 1 random failed links, or a link fault
+  ///                        rate p in (0, 1) (seeded by --fault-seed,
+  ///                        default 1)
+  ///   --fail-links u:d,... explicit links (low endpoint : dimension)
+  ///   --fail-nodes a,b     explicit dead nodes
+  /// The three compose. Returns nullopt when none is present.
+  std::optional<fault::FaultSet> fault_set(const hcube::Topology& topo) const;
 
   /// Keys the caller never consumed (typo detection).
   std::vector<std::string> keys() const;

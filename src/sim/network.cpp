@@ -1,11 +1,14 @@
 #include "sim/network.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace hypercast::sim {
 
-Network::Network(const Topology& topo, PortModel port)
+Network::Network(const Topology& topo, PortModel port,
+                 const fault::FaultSet* faults)
     : topo_(topo),
+      faults_(faults),
       num_external_(static_cast<std::uint32_t>(topo.num_arcs())) {
   const std::size_t total = topo.num_arcs() + 2 * topo.num_nodes();
   const int pool_capacity = std::max(1, port.concurrency(topo.dim()));
@@ -19,11 +22,26 @@ Network::Network(const Topology& topo, PortModel port)
 
 std::vector<ResourceId> Network::path_resources(NodeId from, NodeId to) const {
   assert(from != to);
+  if (faults_ != nullptr &&
+      (faults_->node_failed(from) || faults_->node_failed(to))) {
+    throw std::logic_error("worm injected at/addressed to dead node " +
+                           topo_.format(faults_->node_failed(from) ? from
+                                                                   : to));
+  }
   std::vector<ResourceId> out;
   const auto arcs = hcube::ecube_arcs(topo_, from, to);
   out.reserve(arcs.size() + 2);
   out.push_back(injection_pool(from));
-  for (const hcube::Arc& a : arcs) out.push_back(external_arc(a));
+  for (const hcube::Arc& a : arcs) {
+    if (faults_ != nullptr && faults_->arc_failed(a)) {
+      throw std::logic_error(
+          "worm " + topo_.format(from) + " -> " + topo_.format(to) +
+          " routed into failed channel " + topo_.format(a.from) + " -> " +
+          topo_.format(topo_.neighbor(a.from, a.dim)) +
+          " (schedule is not fault-aware?)");
+    }
+    out.push_back(external_arc(a));
+  }
   out.push_back(consumption_pool(to));
   return out;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/stepwise.hpp"
+#include "fault/fault_set.hpp"
 #include "hcube/ecube.hpp"
 
 namespace hypercast::sim {
@@ -38,13 +39,21 @@ struct ResourceId {
 /// interprets grants.
 class Network {
  public:
-  Network(const Topology& topo, PortModel port);
+  /// `faults` (optional, caller-owned, must outlive the network) marks
+  /// failed links and dead nodes: their channels are never acquirable.
+  /// Routing a worm into a faulted resource is a *hard error* — the
+  /// deterministic E-cube router cannot route around faults, so any
+  /// schedule that reaches a faulted channel is a planning bug (the
+  /// fault-aware repair layer exists to make this impossible).
+  Network(const Topology& topo, PortModel port,
+          const fault::FaultSet* faults = nullptr);
 
   const Topology& topo() const { return topo_; }
 
   /// The ordered resources a unicast from `from` to `to` must acquire:
   /// injection slot, each E-cube arc in traversal order, consumption
-  /// slot. Precondition: from != to.
+  /// slot. Precondition: from != to. Throws std::logic_error when the
+  /// route crosses a failed arc or dead node of the fault set.
   std::vector<ResourceId> path_resources(NodeId from, NodeId to) const;
 
   /// True iff an ext-channel resource (whose acquisition costs a header
@@ -88,6 +97,7 @@ class Network {
   }
 
   Topology topo_;
+  const fault::FaultSet* faults_;
   std::uint32_t num_external_;
   std::vector<int> capacity_;
   std::vector<int> in_use_;

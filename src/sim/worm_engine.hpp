@@ -25,9 +25,12 @@ class WormEngine {
   /// Called at tail-arrival time; the network path has been released.
   using DeliveryCallback = std::function<void(MessageId, SimTime)>;
 
+  /// `faults` (optional, caller-owned) is forwarded to the Network:
+  /// injecting a worm whose E-cube route touches a failed resource is a
+  /// hard error (std::logic_error), never a silent reroute.
   WormEngine(const Topology& topo, const CostModel& cost, PortModel port,
-             EventQueue& queue)
-      : cost_(cost), net_(topo, port), queue_(queue) {}
+             EventQueue& queue, const fault::FaultSet* faults = nullptr)
+      : cost_(cost), net_(topo, port, faults), queue_(queue) {}
 
   /// Launch a worm: the header enters the network at `header_start`
   /// (callers account for send startup) carrying `bytes` of payload.

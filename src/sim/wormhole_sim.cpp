@@ -20,7 +20,7 @@ class Engine {
       : jobs_(jobs),
         config_(config),
         topo_(jobs.empty() ? Topology(0) : jobs.front().schedule->topo()),
-        worms_(topo_, config.cost, config.port, queue_) {
+        worms_(topo_, config.cost, config.port, queue_, config.faults) {
     result_.per_job.resize(jobs.size());
     cpu_free_.assign(topo_.num_nodes(), 0);
 #ifndef NDEBUG

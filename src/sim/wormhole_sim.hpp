@@ -6,6 +6,7 @@
 
 #include "core/multicast.hpp"
 #include "core/stepwise.hpp"
+#include "fault/fault_set.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/trace.hpp"
 
@@ -19,6 +20,11 @@ struct SimConfig {
   PortModel port = PortModel::all_port();
   std::size_t message_bytes = 4096;  ///< the paper's measurement size
   bool record_trace = false;
+  /// Optional fault set (caller-owned, must outlive the run). Failed
+  /// arcs are never acquirable: a schedule that routes a worm into one
+  /// fails the run with std::logic_error — the hard proof that a
+  /// repaired schedule really avoids every faulted resource.
+  const fault::FaultSet* faults = nullptr;
 };
 
 struct SimStats {

@@ -1,0 +1,217 @@
+// Fault model: FaultSet bookkeeping, seeded generator determinism and
+// the surviving-cube connectivity check.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/fault_inject.hpp"
+#include "fault/fault_route.hpp"
+#include "fault/fault_set.hpp"
+
+namespace hypercast {
+namespace {
+
+using fault::FaultSet;
+using fault::Link;
+using hcube::Arc;
+using hcube::NodeId;
+using hcube::Topology;
+
+TEST(FaultSet, EmptySetBlocksNothing) {
+  const Topology topo(4);
+  const FaultSet fs(topo);
+  EXPECT_TRUE(fs.empty());
+  EXPECT_TRUE(fs.surviving_connected());
+  for (std::size_t i = 0; i < topo.num_arcs(); ++i) {
+    EXPECT_FALSE(fs.arc_failed(topo.arc_at(i)));
+  }
+  EXPECT_FALSE(fs.path_blocked(0, 15));
+}
+
+TEST(FaultSet, LinkFailureKillsBothArcs) {
+  const Topology topo(4);
+  FaultSet fs(topo);
+  fs.fail_link(0b0101, 1);  // link 0101 - 0111
+  EXPECT_TRUE(fs.arc_failed(Arc{0b0101, 1}));
+  EXPECT_TRUE(fs.arc_failed(Arc{0b0111, 1}));
+  EXPECT_TRUE(fs.link_failed(0b0111, 1));  // named from either end
+  EXPECT_FALSE(fs.arc_failed(Arc{0b0101, 0}));
+  EXPECT_EQ(fs.num_failed_links(), 1u);
+  // Idempotent, from either endpoint.
+  fs.fail_link(0b0111, 1);
+  EXPECT_EQ(fs.num_failed_links(), 1u);
+}
+
+TEST(FaultSet, NodeFailureKillsIncidentArcsAndPathsThrough) {
+  const Topology topo(4);
+  FaultSet fs(topo);
+  fs.fail_node(0b0100);
+  EXPECT_TRUE(fs.node_failed(0b0100));
+  for (hcube::Dim d = 0; d < 4; ++d) {
+    EXPECT_TRUE(fs.arc_failed(Arc{0b0100, d}));
+    EXPECT_TRUE(fs.arc_failed(Arc{topo.neighbor(0b0100, d), d}));
+  }
+  // HighToLow route 0110 -> 0000 passes through 0010... not 0100;
+  // route 0101 -> 0000 corrects bit 2 first: 0101 -> 0001 -> 0000. But
+  // 0110 -> 0100 ends at the dead node, and 0101 -> 0100 too.
+  EXPECT_TRUE(fs.path_blocked(0b0101, 0b0100));
+  // 0111 -> 0000 routes 0111 -> 0011 -> 0001 -> 0000: unaffected.
+  EXPECT_FALSE(fs.path_blocked(0b0111, 0b0000));
+  // 0100 -> anywhere starts dead.
+  EXPECT_TRUE(fs.path_blocked(0b0100, 0b0000));
+  EXPECT_EQ(fs.num_failed_nodes(), 1u);
+  EXPECT_EQ(fs.live_nodes().size(), 15u);
+}
+
+TEST(FaultSet, PathBlockedFollowsEcubeOrder) {
+  const Topology topo(4);  // HighToLow: 0000 -> 1001 routes dim 3 then 0
+  FaultSet fs(topo);
+  fs.fail_link(0b1000, 0);  // the *second* hop 1000 -> 1001
+  EXPECT_TRUE(fs.path_blocked(0b0000, 0b1001));
+  EXPECT_FALSE(fs.path_blocked(0b0000, 0b1000));
+  // LowToHigh resolves dim 0 first: 0000 -> 0001 -> 1001, avoiding the
+  // failed link entirely.
+  const Topology low(4, hcube::Resolution::LowToHigh);
+  FaultSet fs_low(low);
+  fs_low.fail_link(0b1000, 0);
+  EXPECT_FALSE(fs_low.path_blocked(0b0000, 0b1001));
+}
+
+TEST(FaultSet, RangeChecksThrow) {
+  const Topology topo(3);
+  FaultSet fs(topo);
+  EXPECT_THROW(fs.fail_link(8, 0), std::invalid_argument);
+  EXPECT_THROW(fs.fail_link(0, 3), std::invalid_argument);
+  EXPECT_THROW(fs.fail_node(8), std::invalid_argument);
+}
+
+TEST(FaultSet, ConnectivityDetectsIsolatedNode) {
+  const Topology topo(4);
+  FaultSet fs(topo);
+  for (hcube::Dim d = 0; d < 3; ++d) fs.fail_link(0, d);
+  EXPECT_TRUE(fs.surviving_connected()) << "one live link keeps 0 attached";
+  fs.fail_link(0, 3);
+  EXPECT_FALSE(fs.surviving_connected());
+  // Declaring the cut-off node dead makes the *surviving* cube whole.
+  fs.fail_node(0);
+  EXPECT_TRUE(fs.surviving_connected());
+}
+
+TEST(FaultSet, FormatMentionsEverything) {
+  const Topology topo(4);
+  FaultSet fs(topo);
+  fs.fail_link(0, 1);
+  fs.fail_node(5);
+  const std::string s = fs.format();
+  EXPECT_NE(s.find("1 failed link"), std::string::npos) << s;
+  EXPECT_NE(s.find("0000-0010"), std::string::npos) << s;
+  EXPECT_NE(s.find("1 dead node"), std::string::npos) << s;
+  EXPECT_NE(s.find("0101"), std::string::npos) << s;
+}
+
+TEST(FaultInject, LinkFaultsAreSeedDeterministic) {
+  const Topology topo(6);
+  workload::Rng rng_a(workload::derive_seed(99, 10, 0));
+  workload::Rng rng_b(workload::derive_seed(99, 10, 0));
+  const FaultSet a = fault::random_link_faults(topo, 10, rng_a);
+  const FaultSet b = fault::random_link_faults(topo, 10, rng_b);
+  EXPECT_EQ(a.failed_links(), b.failed_links());
+  EXPECT_EQ(a.num_failed_links(), 10u);
+
+  workload::Rng rng_c(workload::derive_seed(99, 10, 1));
+  const FaultSet c = fault::random_link_faults(topo, 10, rng_c);
+  EXPECT_NE(a.failed_links(), c.failed_links())
+      << "different trial seeds must draw different fault scenarios";
+}
+
+TEST(FaultInject, LinkFaultsAreDistinctAndExhaustive) {
+  const Topology topo(4);
+  const std::size_t all_links = topo.num_arcs() / 2;  // 32
+  workload::Rng rng(7);
+  const FaultSet fs = fault::random_link_faults(topo, all_links, rng);
+  EXPECT_EQ(fs.num_failed_links(), all_links);
+  // Every link failed exactly once (distinctness at full coverage).
+  for (std::size_t i = 0; i < topo.num_arcs(); ++i) {
+    EXPECT_TRUE(fs.arc_failed(topo.arc_at(i)));
+  }
+  workload::Rng rng2(7);
+  EXPECT_THROW(fault::random_link_faults(topo, all_links + 1, rng2),
+               std::invalid_argument);
+}
+
+TEST(FaultInject, NodeFaultsRespectProtectedNodes) {
+  const Topology topo(5);
+  const std::vector<NodeId> protect{0, 7, 31};
+  workload::Rng rng(123);
+  const FaultSet fs = fault::random_node_faults(topo, 12, rng, protect);
+  EXPECT_EQ(fs.num_failed_nodes(), 12u);
+  for (const NodeId p : protect) EXPECT_FALSE(fs.node_failed(p));
+}
+
+TEST(FaultInject, LinksForRateMatchesPaperScale) {
+  const Topology topo(6);  // 192 links
+  EXPECT_EQ(fault::links_for_rate(topo, 0.0), 0u);
+  EXPECT_EQ(fault::links_for_rate(topo, 0.10), 19u);
+  EXPECT_EQ(fault::links_for_rate(topo, 0.15), 29u);
+  EXPECT_EQ(fault::links_for_rate(topo, 1.0), 192u);
+}
+
+TEST(FaultInject, ConnectedGeneratorAlwaysReturnsConnected) {
+  const Topology topo(5);
+  for (std::uint64_t trial = 0; trial < 20; ++trial) {
+    workload::Rng rng(workload::derive_seed(5, 12, trial));
+    const FaultSet fs = fault::connected_link_faults(topo, 12, rng);
+    EXPECT_EQ(fs.num_failed_links(), 12u);
+    EXPECT_TRUE(fs.surviving_connected());
+  }
+}
+
+TEST(FaultRoute, DimensionDetourAvoidsFailedArc) {
+  const Topology topo(4);
+  FaultSet fs(topo);
+  // E-cube 0000 -> 1100 goes 0000 -> 1000 -> 1100; break the first hop.
+  fs.fail_link(0b0000, 3);
+  const auto path = fault::dimension_ordered_detour(topo, fs, 0b0000, 0b1100);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);  // still shortest
+  EXPECT_EQ(path->front(), 0b0000u);
+  EXPECT_EQ(path->back(), 0b1100u);
+  EXPECT_EQ((*path)[1], 0b0100u) << "must correct dim 2 first instead";
+  // Decomposition: dims 2 then 3 ascend, so 0100 must relay.
+  const auto endpoints = fault::segment_endpoints(topo, *path);
+  EXPECT_EQ(endpoints, (std::vector<NodeId>{0b0000, 0b0100, 0b1100}));
+}
+
+TEST(FaultRoute, SingleHopHasNoShortestDetourButBfsFindsRelay) {
+  const Topology topo(4);
+  FaultSet fs(topo);
+  fs.fail_link(0, 0);  // 0000 - 0001
+  EXPECT_FALSE(
+      fault::dimension_ordered_detour(topo, fs, 0, 1).has_value());
+  const auto path = fault::bfs_detour(topo, fs, 0, 1);
+  ASSERT_TRUE(path.has_value());
+  // Adjacent hypercube nodes share no common neighbour, so the shortest
+  // relay route is 3 hops (two intermediates).
+  EXPECT_EQ(path->size(), 4u);
+  EXPECT_EQ(path->front(), 0u);
+  EXPECT_EQ(path->back(), 1u);
+}
+
+TEST(FaultRoute, BfsReturnsNulloptWhenDisconnected) {
+  const Topology topo(3);
+  FaultSet fs(topo);
+  for (hcube::Dim d = 0; d < 3; ++d) fs.fail_link(0, d);
+  EXPECT_FALSE(fault::bfs_detour(topo, fs, 0, 7).has_value());
+}
+
+TEST(FaultRoute, SegmentEndpointsIdentityForEcubePath) {
+  const Topology topo(4);
+  const auto path = hcube::ecube_path(topo, 0b0000, 0b1011);
+  const auto endpoints = fault::segment_endpoints(topo, path);
+  EXPECT_EQ(endpoints, (std::vector<NodeId>{0b0000, 0b1011}))
+      << "a dimension-ordered path needs no relays";
+}
+
+}  // namespace
+}  // namespace hypercast

@@ -6,15 +6,24 @@
 //   hypercast_cli delay --n 10 --algo wsort --m 200 --bytes 4096 --port all
 //   hypercast_cli chains --n 4 --source 0 --dests 1,3,5,7,11,12,14,15
 //   hypercast_cli compare --n 6 --m 25 --seed 3
+//   hypercast_cli faults --n 6 --faults 0.10 --fault-seed 42
 //
 // Common options: --res high|low, --port one|all|k:<n>, --seed <u64>.
+// Fault injection (all commands): --faults <count|rate> [--fault-seed s],
+// --fail-links u:d,..., --fail-nodes a,b. With faults present, trees are
+// built by the requested algorithm and then repaired fault-aware; the
+// simulator itself refuses to route a worm into a failed channel, so a
+// clean `delay` run doubles as proof the repair worked.
 
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "core/chain_search.hpp"
 #include "core/contention.hpp"
 #include "core/registry.hpp"
+#include "fault/fault_aware.hpp"
 #include "harness/options.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "workload/random_sets.hpp"
@@ -42,10 +51,37 @@ core::MulticastRequest request_from(const harness::Options& opts) {
   return req;
 }
 
+/// Parse the fault flags; when present, also register the fault-aware
+/// "-ft" variants of the paper algorithms so --algo wsort-ft etc. work.
+std::shared_ptr<const fault::FaultSet> setup_faults(
+    const harness::Options& opts, const hcube::Topology& topo) {
+  auto fs = opts.fault_set(topo);
+  if (!fs) return nullptr;
+  auto shared = std::make_shared<const fault::FaultSet>(std::move(*fs));
+  fault::register_fault_aware_algorithms(shared);
+  return shared;
+}
+
+/// Build the schedule for `algo`, repairing it against the fault set
+/// when one is configured (printing the repair summary).
+core::MulticastSchedule build_schedule(const core::AlgorithmEntry& algo,
+                                       const core::MulticastRequest& req,
+                                       const fault::FaultSet* faults,
+                                       bool print_repairs = true) {
+  if (faults == nullptr) return algo.build(req);
+  auto result = fault::fault_aware_multicast(algo, req, *faults);
+  if (print_repairs) {
+    std::printf("faults: %s\n  %s\n", faults->format().c_str(),
+                result.report.summary().c_str());
+  }
+  return std::move(result.schedule);
+}
+
 int cmd_plan(const harness::Options& opts) {
   const auto req = request_from(opts);
+  const auto faults = setup_faults(opts, req.topo);
   const auto& algo = core::find_algorithm(opts.get_or("algo", "wsort"));
-  const auto schedule = algo.build(req);
+  const auto schedule = build_schedule(algo, req, faults.get());
   std::printf("%s tree, %zu destinations, %zu unicasts:\n",
               algo.display.c_str(), req.destinations.size(),
               schedule.num_unicasts());
@@ -61,9 +97,10 @@ int cmd_plan(const harness::Options& opts) {
 
 int cmd_steps(const harness::Options& opts) {
   const auto req = request_from(opts);
+  const auto faults = setup_faults(opts, req.topo);
   const auto& algo = core::find_algorithm(opts.get_or("algo", "wsort"));
-  const auto steps = core::assign_steps(algo.build(req), opts.port(),
-                                        req.destinations);
+  const auto steps = core::assign_steps(build_schedule(algo, req, faults.get()),
+                                        opts.port(), req.destinations);
   for (const auto& u : steps.unicasts) {
     std::printf("step %2d  %s -> %s\n", u.step,
                 req.topo.format(u.from).c_str(),
@@ -75,12 +112,15 @@ int cmd_steps(const harness::Options& opts) {
 
 int cmd_delay(const harness::Options& opts) {
   const auto req = request_from(opts);
+  const auto faults = setup_faults(opts, req.topo);
   const auto& algo = core::find_algorithm(opts.get_or("algo", "wsort"));
   sim::SimConfig config;
   config.port = opts.port();
   config.message_bytes =
       static_cast<std::size_t>(opts.get_int_or("bytes", 4096));
-  const auto result = sim::simulate_multicast(algo.build(req), config);
+  config.faults = faults.get();
+  const auto result =
+      sim::simulate_multicast(build_schedule(algo, req, faults.get()), config);
   std::printf(
       "%s, %zu destinations, %zu-byte message (%s):\n"
       "  avg delay %10.1f us\n  max delay %10.1f us\n"
@@ -106,33 +146,68 @@ int cmd_chains(const harness::Options& opts) {
 
 int cmd_compare(const harness::Options& opts) {
   const auto req = request_from(opts);
+  const auto faults = setup_faults(opts, req.topo);
   sim::SimConfig config;
   config.port = opts.port();
   config.message_bytes =
       static_cast<std::size_t>(opts.get_int_or("bytes", 4096));
-  std::printf("%-9s %6s %12s %12s %9s\n", "algorithm", "steps", "avg us",
-              "max us", "blocked");
+  if (faults) {
+    config.faults = faults.get();
+    std::printf("faults: %s\n", faults->format().c_str());
+  }
+  std::printf("%-9s %6s %12s %12s %9s %8s\n", "algorithm", "steps", "avg us",
+              "max us", "blocked", "repairs");
   for (const auto& algo : core::all_algorithms()) {
-    const auto schedule = algo.build(req);
+    std::size_t repairs = 0;
+    core::MulticastSchedule schedule = [&] {
+      if (!faults) return algo.build(req);
+      auto result = fault::fault_aware_multicast(algo, req, *faults);
+      repairs = result.report.broken;
+      return std::move(result.schedule);
+    }();
     const auto steps =
         core::assign_steps(schedule, opts.port(), req.destinations);
     const auto result = sim::simulate_multicast(schedule, config);
-    std::printf("%-9s %6d %12.1f %12.1f %9llu\n", algo.display.c_str(),
+    std::printf("%-9s %6d %12.1f %12.1f %9llu %8zu\n", algo.display.c_str(),
                 steps.total_steps,
                 result.avg_delay(req.destinations) / 1000.0,
                 sim::to_microseconds(result.max_delay(req.destinations)),
                 static_cast<unsigned long long>(
-                    result.stats.blocked_acquisitions));
+                    result.stats.blocked_acquisitions),
+                repairs);
   }
+  return 0;
+}
+
+int cmd_faults(const harness::Options& opts) {
+  const hcube::Dim n = static_cast<hcube::Dim>(opts.get_int("n"));
+  const hcube::Topology topo(n, opts.resolution());
+  const auto faults = opts.fault_set(topo);
+  if (!faults) {
+    std::puts("no faults configured (use --faults, --fail-links or "
+              "--fail-nodes)");
+    return 0;
+  }
+  const std::size_t links = topo.num_arcs() / 2;
+  std::printf("%d-cube: %zu nodes, %zu links\n", n, topo.num_nodes(), links);
+  std::printf("%s\n", faults->format().c_str());
+  std::printf("live nodes: %zu / %zu\n", faults->live_nodes().size(),
+              topo.num_nodes());
+  std::printf("surviving cube %s\n", faults->surviving_connected()
+                                         ? "is connected"
+                                         : "is PARTITIONED");
   return 0;
 }
 
 int usage() {
   std::fputs(
-      "usage: hypercast_cli <plan|steps|delay|chains|compare> [options]\n"
+      "usage: hypercast_cli <plan|steps|delay|chains|compare|faults> "
+      "[options]\n"
       "  common: --n <dim> (--dests a,b,c | --m <count> [--seed s])\n"
       "          [--source u] [--algo name] [--res high|low]\n"
-      "          [--port one|all|k:<n>] [--bytes b]\n",
+      "          [--port one|all|k:<n>] [--bytes b]\n"
+      "  faults: [--faults count|rate] [--fault-seed s]\n"
+      "          [--fail-links u:d,...] [--fail-nodes a,b]\n",
       stderr);
   return 2;
 }
@@ -149,6 +224,7 @@ int main(int argc, char** argv) {
     if (cmd == "delay") return cmd_delay(opts);
     if (cmd == "chains") return cmd_chains(opts);
     if (cmd == "compare") return cmd_compare(opts);
+    if (cmd == "faults") return cmd_faults(opts);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
