@@ -7,14 +7,18 @@
 #include <cstdio>
 
 #include "core/registry.hpp"
+#include "harness/bench.hpp"
 #include "metrics/table.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "workload/random_sets.hpp"
 
-int main() {
-  using namespace hypercast;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
   const hcube::Topology topo(6);
-  const std::size_t sets = 20;
+  const std::size_t sets = ctx.quick ? 4 : 20;
 
   metrics::Series delay("Ablation: baselines vs multicast trees (6-cube)",
                         "destinations", "avg delay (us)");
@@ -45,5 +49,14 @@ int main() {
       "\nReading: separate addressing serializes at the source and the\n"
       "SF tree burdens relay processors; the unicast-tree algorithms\n"
       "involve only destination processors and finish far sooner.");
-  return 0;
+  bench::summarize_series(report, delay);
+  bench::summarize_series(report, relays);
 }
+
+const bench::Registration reg{
+    {"ablation_baselines", bench::Kind::Ablation,
+     "multicast trees vs separate addressing and the store-and-forward "
+     "relay tree (6-cube)",
+     run}};
+
+}  // namespace

@@ -7,13 +7,17 @@
 
 #include "core/channel_load.hpp"
 #include "core/registry.hpp"
+#include "harness/bench.hpp"
 #include "metrics/table.hpp"
 #include "workload/random_sets.hpp"
 
-int main() {
-  using namespace hypercast;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
   const hcube::Topology topo(8);
-  const std::size_t sets = 40;
+  const std::size_t sets = ctx.quick ? 5 : 40;
 
   metrics::Series max_load("Ablation: hottest-channel load (8-cube)",
                            "destinations", "max crossings per channel");
@@ -25,13 +29,13 @@ int main() {
       const core::MulticastRequest req{topo, 0, dests};
       for (const auto& algo : core::all_algorithms()) {
         const auto schedule = algo.build(req);
-        const auto report = core::analyze_channel_load(
+        const auto load = core::analyze_channel_load(
             schedule,
             core::assign_steps(schedule, core::PortModel::all_port()));
         max_load.add_sample(algo.display, static_cast<double>(m),
-                            static_cast<double>(report.max_load));
+                            static_cast<double>(load.max_load));
         used.add_sample(algo.display, static_cast<double>(m),
-                        static_cast<double>(report.channels_used));
+                        static_cast<double>(load.channels_used));
       }
     }
   }
@@ -43,5 +47,14 @@ int main() {
       "load 1.00 — the static face of Theorem 6); U-cube's hot channel\n"
       "gets reused several times and separate addressing's first-hop\n"
       "channels absorb whole destination groups.");
-  return 0;
+  bench::summarize_series(report, max_load);
+  bench::summarize_series(report, used);
 }
+
+const bench::Registration reg{
+    {"ablation_channel_load", bench::Kind::Ablation,
+     "hottest-channel load and distinct channels used per algorithm "
+     "(8-cube)",
+     run}};
+
+}  // namespace

@@ -5,16 +5,21 @@
 // and reports the phase makespan and the channel waiting it induces.
 
 #include <cstdio>
+#include <vector>
 
 #include "core/registry.hpp"
+#include "harness/bench.hpp"
 #include "metrics/table.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "workload/random_sets.hpp"
 
-int main() {
-  using namespace hypercast;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
   const hcube::Topology topo(6);
-  const std::size_t trials = 15;
+  const std::size_t trials = ctx.quick ? 3 : 15;
   const std::size_t dests_per_job = 32;
 
   metrics::Series makespan(
@@ -59,5 +64,12 @@ int main() {
       "channels far more often, so W-sort's makespan degrades most\n"
       "gracefully. Scheduling the phase is the runtime's job; this bench\n"
       "is the tool for exploring it.");
-  return 0;
+  bench::summarize_series(report, makespan);
+  bench::summarize_series(report, waits);
 }
+
+const bench::Registration reg{
+    {"ablation_concurrent", bench::Kind::Ablation,
+     "k concurrent multicasts on one shared 6-cube network", run}};
+
+}  // namespace

@@ -7,15 +7,19 @@
 #include <cstdio>
 
 #include "core/registry.hpp"
+#include "harness/bench.hpp"
 #include "metrics/table.hpp"
 #include "sim/flit_sim.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "workload/random_sets.hpp"
 
-int main() {
-  using namespace hypercast;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
   const hcube::Topology topo(5);
-  const std::size_t sets = 10;
+  const std::size_t sets = ctx.quick ? 2 : 10;
 
   metrics::Series series(
       "Ablation: message-level vs flit-level engine, 4 KiB multicast "
@@ -51,5 +55,12 @@ int main() {
       "term (a few tens of microseconds, <2% at 4 KiB) and never in the\n"
       "algorithm ordering — the fast engine is a faithful stand-in for\n"
       "the figure sweeps, as MultiSim was for the authors' nCUBE-2.");
-  return 0;
+  bench::summarize_series(report, series);
 }
+
+const bench::Registration reg{
+    {"ablation_engine_fidelity", bench::Kind::Ablation,
+     "message-level vs flit-level engine agreement on a 5-cube sweep",
+     run}};
+
+}  // namespace

@@ -12,15 +12,19 @@
 #include "core/stepwise.hpp"
 #include "fault/fault_aware.hpp"
 #include "fault/fault_inject.hpp"
+#include "harness/bench.hpp"
 #include "metrics/table.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "workload/random_sets.hpp"
 
-int main() {
-  using namespace hypercast;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
   const hcube::Topology topo(6);
   const std::size_t m = 32;
-  const std::size_t trials = 20;
+  const std::size_t trials = ctx.quick ? 4 : 20;
 
   metrics::Series steps("Ablation: steps vs link-fault rate (6-cube, m=32)",
                         "% links failed", "all-port steps");
@@ -66,5 +70,15 @@ int main() {
       "delay at the worst rate. The ranking survives degradation: the\n"
       "contention-free W-sort and Maxport trees keep their lead over\n"
       "U-cube at every fault rate.");
-  return 0;
+  bench::summarize_series(report, steps);
+  bench::summarize_series(report, delay);
+  bench::summarize_series(report, repairs);
 }
+
+const bench::Registration reg{
+    {"ablation_fault_degradation", bench::Kind::Ablation,
+     "step/delay degradation and repair counts under random link faults "
+     "(6-cube)",
+     run}};
+
+}  // namespace

@@ -7,15 +7,19 @@
 #include <cstdio>
 
 #include "core/registry.hpp"
+#include "harness/bench.hpp"
 #include "metrics/table.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "workload/random_sets.hpp"
 
-int main() {
-  using namespace hypercast;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
   const hcube::Topology topo(6);
   const std::size_t m = 31;
-  const std::size_t sets = 30;
+  const std::size_t sets = ctx.quick ? 5 : 30;
 
   metrics::Series series(
       "Ablation: 6-cube, 31 destinations, delay vs message size",
@@ -41,5 +45,11 @@ int main() {
       "best; once the body outweighs the startup (around 1 KiB here) the\n"
       "multiport algorithms win and the gap grows with message size —\n"
       "which is why the paper measures 4096-byte messages.");
-  return 0;
+  bench::summarize_series(report, series);
 }
+
+const bench::Registration reg{
+    {"ablation_message_size", bench::Kind::Ablation,
+     "delay vs message size (64 B - 16 KiB) on a 6-cube", run}};
+
+}  // namespace

@@ -6,17 +6,23 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/registry.hpp"
+#include "harness/bench.hpp"
 #include "metrics/table.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "workload/random_sets.hpp"
 
-int main(int argc, char** argv) {
-  using namespace hypercast;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
   const hcube::Dim n = 6;
   const hcube::Topology topo(n);
-  const std::size_t sets = 20;
+  const std::size_t sets = ctx.quick ? 4 : 20;
 
   const std::vector<std::pair<std::string, core::PortModel>> ports = {
       {"one-port", core::PortModel::one_port()},
@@ -48,12 +54,18 @@ int main(int argc, char** argv) {
     }
     std::fputs(metrics::format_table(series).c_str(), stdout);
     std::fputs("\n", stdout);
+    bench::summarize_series(report, series);
   }
 
-  if (argc > 1) (void)argv;  // csv output not needed for ablations
   std::puts(
       "Reading: all-port vs one-port is the architectural gap the paper\n"
       "exploits; W-sort converts extra ports into delay reductions while\n"
       "U-cube (designed for one port) barely benefits from them.");
-  return 0;
 }
+
+const bench::Registration reg{
+    {"ablation_port_models", bench::Kind::Ablation,
+     "one/2/4/all-port replay of U-cube and W-sort schedules (6-cube)",
+     run}};
+
+}  // namespace

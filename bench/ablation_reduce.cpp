@@ -7,15 +7,20 @@
 //   2. the cost of a full barrier (reduce + broadcast of 8 bytes).
 
 #include <cstdio>
+#include <string>
 
 #include "coll/collectives.hpp"
+#include "harness/bench.hpp"
 #include "metrics/table.hpp"
 #include "workload/random_sets.hpp"
 
-int main() {
-  using namespace hypercast;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
   const hcube::Topology topo(8);
-  const std::size_t sets = 30;
+  const std::size_t sets = ctx.quick ? 5 : 30;
 
   metrics::Series completion(
       "Ablation: 4 KiB reduction completion over reversed trees (8-cube)",
@@ -43,6 +48,8 @@ int main() {
   std::fputs(metrics::format_table(completion).c_str(), stdout);
   std::fputs("\n", stdout);
   std::fputs(metrics::format_table(blocked).c_str(), stdout);
+  bench::summarize_series(report, completion);
+  bench::summarize_series(report, blocked);
 
   std::puts("\nBarrier latency (8-byte control messages, W-sort tree):");
   coll::Collectives::Options options;
@@ -51,8 +58,9 @@ int main() {
   for (const std::size_t m : {16u, 64u, 255u}) {
     workload::Rng rng(workload::derive_seed(610, m, 0));
     const auto dests = workload::random_destinations(topo, 0, m, rng);
-    std::printf("  %3zu participants: %8.1f us\n", m,
-                sim::to_microseconds(comm.barrier(0, dests)));
+    const double us = sim::to_microseconds(comm.barrier(0, dests));
+    std::printf("  %3zu participants: %8.1f us\n", m, us);
+    report.metric("barrier_us @ m=" + std::to_string(m), us);
   }
   std::puts(
       "\nReading: reductions inherit the tree shape but not the\n"
@@ -62,5 +70,11 @@ int main() {
       "serialize on CPUs instead and stay wait-free. The forward ranking\n"
       "nevertheless survives reversal: W-sort's shallow fan-in more than\n"
       "pays for its extra waits, and all trees coincide at broadcast.");
-  return 0;
 }
+
+const bench::Registration reg{
+    {"ablation_reduce", bench::Kind::Ablation,
+     "reduction and barrier cost over reversed multicast trees (8-cube)",
+     run}};
+
+}  // namespace

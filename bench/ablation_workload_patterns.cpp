@@ -5,19 +5,27 @@
 // a distance-d sphere — probing where W-sort's crowding heuristic and
 // Maxport's channel spreading each earn their keep.
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "core/registry.hpp"
 #include "core/stepwise.hpp"
+#include "harness/bench.hpp"
 #include "metrics/table.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "workload/patterns.hpp"
 
-int main() {
-  using namespace hypercast;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
   const hcube::Topology topo(8);
   const std::size_t m = 32;
-  const std::size_t sets = 30;
+  const std::size_t sets = ctx.quick ? 5 : 30;
 
   struct Pattern {
     const char* name;
@@ -80,6 +88,7 @@ int main() {
     }
     std::fputs(metrics::format_table(series).c_str(), stdout);
     std::fputs("\n", stdout);
+    bench::summarize_series(report, series);
   }
   std::puts(
       "Reading: structure moves the gaps around but never the ranking.\n"
@@ -89,5 +98,12 @@ int main() {
       "rule; distance-4 spheres are a best case for all the multiport\n"
       "algorithms — destinations split evenly across every channel, and\n"
       "Maxport/Combine/W-sort all hit the same step count.");
-  return 0;
 }
+
+const bench::Registration reg{
+    {"ablation_workload_patterns", bench::Kind::Ablation,
+     "structured destination sets (uniform/subcube/clustered/sphere) on "
+     "an 8-cube",
+     run}};
+
+}  // namespace

@@ -7,17 +7,22 @@
 #include <cstdio>
 
 #include "core/registry.hpp"
+#include "harness/bench.hpp"
 #include "metrics/table.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "workload/random_sets.hpp"
 
-int main() {
-  using namespace hypercast;
-  const hcube::Topology topo(8);
-  const std::size_t sets = 50;
+namespace {
 
-  metrics::Series steps("Ablation: weighted_sort's contribution (8-cube), steps",
-                        "destinations", "steps");
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
+  const hcube::Topology topo(8);
+  const std::size_t sets = ctx.quick ? 8 : 50;
+
+  metrics::Series steps(
+      "Ablation: weighted_sort's contribution (8-cube), steps",
+      "destinations", "steps");
   metrics::Series delay(
       "Ablation: weighted_sort's contribution (8-cube), 4096-byte delay",
       "destinations", "avg delay (us)");
@@ -50,5 +55,14 @@ int main() {
       "\nReading: the only difference between the two curves is the\n"
       "weighted_sort permutation (most crowded subcube first); the gap\n"
       "is weighted_sort's contribution to W-sort.");
-  return 0;
+  bench::summarize_series(report, steps);
+  bench::summarize_series(report, delay);
 }
+
+const bench::Registration reg{
+    {"ablation_wsort_components", bench::Kind::Ablation,
+     "Maxport on the plain chain vs the weighted chain (= W-sort) on an "
+     "8-cube",
+     run}};
+
+}  // namespace

@@ -6,11 +6,26 @@
 // Expected shape (paper): U-cube is a ceil(log2(m+1)) staircase; the
 // all-port algorithms sit below it and vary smoothly with m.
 
+#include "harness/bench.hpp"
 #include "harness/figures.hpp"
 
-int main(int argc, char** argv) {
-  const std::string csv = argc > 1 ? argv[1] : "results/fig09_steps_6cube.csv";
-  hypercast::harness::run_and_report_steps(hypercast::harness::fig9_config(),
-                                           csv);
-  return 0;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
+  auto config = harness::fig9_config(ctx.quick);
+  config.seed = ctx.seed;
+  config.threads = ctx.threads;
+  bench::summarize_series(
+      report, harness::run_and_report_steps(
+                  config, ctx.quick ? "" : "results/fig09_steps_6cube.csv"));
 }
+
+const bench::Registration reg{
+    {"fig09_steps_6cube", bench::Kind::Figure,
+     "Figure 9: stepwise comparisons on a 6-cube "
+     "(U-cube/Maxport/Combine/W-sort)",
+     run}};
+
+}  // namespace

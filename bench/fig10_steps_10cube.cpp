@@ -4,11 +4,24 @@
 // Expected shape (paper): same ordering as Figure 9 with the gaps wider
 // — W-sort's advantage grows with cube size.
 
+#include "harness/bench.hpp"
 #include "harness/figures.hpp"
 
-int main(int argc, char** argv) {
-  const std::string csv = argc > 1 ? argv[1] : "results/fig10_steps_10cube.csv";
-  hypercast::harness::run_and_report_steps(hypercast::harness::fig10_config(),
-                                           csv);
-  return 0;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
+  auto config = harness::fig10_config(ctx.quick);
+  config.seed = ctx.seed;
+  config.threads = ctx.threads;
+  bench::summarize_series(
+      report, harness::run_and_report_steps(
+                  config, ctx.quick ? "" : "results/fig10_steps_10cube.csv"));
 }
+
+const bench::Registration reg{
+    {"fig10_steps_10cube", bench::Kind::Figure,
+     "Figure 10: stepwise comparisons on a 10-cube", run}};
+
+}  // namespace

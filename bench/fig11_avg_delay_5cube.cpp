@@ -8,11 +8,27 @@
 // multicasts is worse than for full broadcast (m = 31), because the
 // algorithm sometimes pushes multiple messages out one channel.
 
+#include "harness/bench.hpp"
 #include "harness/figures.hpp"
 
-int main(int argc, char** argv) {
-  const std::string base = argc > 1 ? argv[1] : "results/fig11_avg_delay_5cube";
-  hypercast::harness::run_and_report_delays(
-      hypercast::harness::fig11_12_config(), "avg", base);
-  return 0;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
+  auto config = harness::fig11_12_config(ctx.quick);
+  config.seed = ctx.seed;
+  config.threads = ctx.threads;
+  const bench::Stopwatch timer;
+  const auto result = harness::run_and_report_delays(
+      config, "avg", ctx.quick ? "" : "results/fig11_avg_delay_5cube");
+  bench::report_delay_sweep(report, result, timer.seconds(), true, false);
 }
+
+const bench::Registration reg{
+    {"fig11_avg_delay_5cube", bench::Kind::Figure,
+     "Figure 11: average 4096-byte multicast delay on a 5-cube (nCUBE-2 "
+     "cost model)",
+     run}};
+
+}  // namespace

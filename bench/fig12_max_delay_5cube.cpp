@@ -5,11 +5,25 @@
 // count is ceil(log2(m+1))); the all-port algorithms smooth out the
 // relative delays across destination set sizes.
 
+#include "harness/bench.hpp"
 #include "harness/figures.hpp"
 
-int main(int argc, char** argv) {
-  const std::string base = argc > 1 ? argv[1] : "results/fig12_max_delay_5cube";
-  hypercast::harness::run_and_report_delays(
-      hypercast::harness::fig11_12_config(), "max", base);
-  return 0;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
+  auto config = harness::fig11_12_config(ctx.quick);
+  config.seed = ctx.seed;
+  config.threads = ctx.threads;
+  const bench::Stopwatch timer;
+  const auto result = harness::run_and_report_delays(
+      config, "max", ctx.quick ? "" : "results/fig12_max_delay_5cube");
+  bench::report_delay_sweep(report, result, timer.seconds(), false, true);
 }
+
+const bench::Registration reg{
+    {"fig12_max_delay_5cube", bench::Kind::Figure,
+     "Figure 12: maximum 4096-byte multicast delay on a 5-cube", run}};
+
+}  // namespace

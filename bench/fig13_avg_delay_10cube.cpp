@@ -5,11 +5,27 @@
 // Expected shape (paper): all multiport algorithms beat U-cube; at this
 // scale W-sort's advantage becomes clearly visible in the average.
 
+#include "harness/bench.hpp"
 #include "harness/figures.hpp"
 
-int main(int argc, char** argv) {
-  const std::string base = argc > 1 ? argv[1] : "results/fig13_avg_delay_10cube";
-  hypercast::harness::run_and_report_delays(
-      hypercast::harness::fig13_14_config(), "avg", base);
-  return 0;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
+  auto config = harness::fig13_14_config(ctx.quick);
+  config.seed = ctx.seed;
+  config.threads = ctx.threads;
+  const bench::Stopwatch timer;
+  const auto result = harness::run_and_report_delays(
+      config, "avg", ctx.quick ? "" : "results/fig13_avg_delay_10cube");
+  bench::report_delay_sweep(report, result, timer.seconds(), true, false);
 }
+
+const bench::Registration reg{
+    {"fig13_avg_delay_10cube", bench::Kind::Figure,
+     "Figure 13: average 4096-byte multicast delay on a 10-cube (the "
+     "paper's MultiSim experiment)",
+     run}};
+
+}  // namespace

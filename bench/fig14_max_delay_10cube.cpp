@@ -4,11 +4,25 @@
 // Expected shape (paper): same ordering as Figure 13; W-sort's lead is
 // most obvious in the worst-case (max) delay on the large cube.
 
+#include "harness/bench.hpp"
 #include "harness/figures.hpp"
 
-int main(int argc, char** argv) {
-  const std::string base = argc > 1 ? argv[1] : "results/fig14_max_delay_10cube";
-  hypercast::harness::run_and_report_delays(
-      hypercast::harness::fig13_14_config(), "max", base);
-  return 0;
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
+  auto config = harness::fig13_14_config(ctx.quick);
+  config.seed = ctx.seed;
+  config.threads = ctx.threads;
+  const bench::Stopwatch timer;
+  const auto result = harness::run_and_report_delays(
+      config, "max", ctx.quick ? "" : "results/fig14_max_delay_10cube");
+  bench::report_delay_sweep(report, result, timer.seconds(), false, true);
 }
+
+const bench::Registration reg{
+    {"fig14_max_delay_10cube", bench::Kind::Figure,
+     "Figure 14: maximum 4096-byte multicast delay on a 10-cube", run}};
+
+}  // namespace

@@ -1,0 +1,44 @@
+// Microbenchmark: the static channel-load analyser on a 10-cube
+// broadcast schedule. Guards the flat per-arc array rewrite of
+// core::analyze_channel_load (the per-unicast maps it replaced
+// dominated ablation_channel_load's profile).
+
+#include <cstdio>
+
+#include "core/channel_load.hpp"
+#include "core/registry.hpp"
+#include "harness/bench.hpp"
+#include "workload/random_sets.hpp"
+
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
+  const hcube::Topology topo(10);
+  const std::size_t m = 1023;  // broadcast
+  workload::Rng rng(workload::derive_seed(615, m, 0));
+  const auto dests = workload::random_destinations(topo, 0, m, rng);
+  const core::MulticastRequest req{topo, 0, dests};
+  const auto schedule = core::find_algorithm("wsort").build(req);
+  const auto steps =
+      core::assign_steps(schedule, core::PortModel::all_port());
+
+  const auto once = core::analyze_channel_load(schedule, steps);
+  const bench::Rate rate = bench::measure_rate(ctx.min_time(0.3), [&] {
+    (void)core::analyze_channel_load(schedule, steps);
+  });
+  report.metric("analyses_per_sec", rate.per_second());
+  report.metric("channels_used", static_cast<double>(once.channels_used));
+  report.metric("max_load", static_cast<double>(once.max_load));
+  std::printf("  wsort broadcast: %10.1f analyses/s (%zu channels, max "
+              "load %zu)\n",
+              rate.per_second(), once.channels_used, once.max_load);
+}
+
+const bench::Registration reg{
+    {"micro_channel_load", bench::Kind::Micro,
+     "channel-load analyser throughput on a 10-cube broadcast schedule",
+     run}};
+
+}  // namespace

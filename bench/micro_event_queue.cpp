@@ -1,0 +1,50 @@
+// Microbenchmark: raw event-queue churn — schedule + dispatch cost of
+// the pooled heap (POD tickets, slot-recycled actions, no per-event
+// allocation), isolated from the network model. Interleaved
+// self-rescheduling chains keep the heap at a realistic working size.
+
+#include <cstdio>
+
+#include "harness/bench.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace hypercast;
+
+void run(const bench::Context& ctx, bench::Report& report) {
+  const std::size_t chains = 64;
+  const std::uint64_t hops = ctx.quick ? 2'000 : 20'000;
+  const std::uint64_t events_per_iter = chains * (hops + 1);
+
+  struct Hop {
+    sim::EventQueue* queue;
+    std::uint64_t left;
+    void operator()() const {
+      if (left > 0) queue->schedule_in(1, Hop{queue, left - 1});
+    }
+  };
+
+  const bench::Rate rate = bench::measure_rate(ctx.min_time(0.5), [&] {
+    sim::EventQueue queue;
+    for (std::size_t c = 0; c < chains; ++c) {
+      queue.schedule_in(1, Hop{&queue, hops});
+    }
+    queue.run_to_completion(events_per_iter);
+  });
+  const double events_per_sec =
+      rate.per_second() * static_cast<double>(events_per_iter);
+  report.metric("chains", static_cast<double>(chains));
+  report.metric("events_per_iter", static_cast<double>(events_per_iter));
+  report.metric("events_per_sec", events_per_sec);
+  std::printf("  %zu chains x %llu hops: %12.3e events/s\n", chains,
+              static_cast<unsigned long long>(hops), events_per_sec);
+}
+
+const bench::Registration reg{
+    {"micro_event_queue", bench::Kind::Micro,
+     "pooled event-queue schedule+dispatch throughput (64 interleaved "
+     "chains)",
+     run}};
+
+}  // namespace

@@ -4,54 +4,42 @@
 // of the real latency budget (the paper quotes O(m^2) centralized /
 // O(m log m) distributed for weighted_sort).
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/registry.hpp"
+#include "harness/bench.hpp"
 #include "workload/random_sets.hpp"
 
 namespace {
 
 using namespace hypercast;
 
-void construction(benchmark::State& state, const char* name) {
-  const hcube::Dim n = 10;
-  const hcube::Topology topo(n);
-  const auto m = static_cast<std::size_t>(state.range(0));
-  workload::Rng rng(workload::derive_seed(2026, m, 0));
-  const auto dests = workload::random_destinations(topo, 0, m, rng);
-  const core::MulticastRequest req{topo, 0, dests};
-  const auto& algo = core::find_algorithm(name);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(algo.build(req));
+void run(const bench::Context& ctx, bench::Report& report) {
+  const hcube::Topology topo(10);
+  const std::vector<std::size_t> sizes =
+      ctx.quick ? std::vector<std::size_t>{128, 1023}
+                : std::vector<std::size_t>{8, 32, 128, 512, 1023};
+  for (const char* name :
+       {"ucube", "maxport", "combine", "wsort", "separate", "sftree"}) {
+    const auto& algo = core::find_algorithm(name);
+    for (const std::size_t m : sizes) {
+      workload::Rng rng(workload::derive_seed(2026, m, 0));
+      const auto dests = workload::random_destinations(topo, 0, m, rng);
+      const core::MulticastRequest req{topo, 0, dests};
+      const bench::Rate rate = bench::measure_rate(
+          ctx.min_time(0.2), [&] { (void)algo.build(req); });
+      const std::string key = std::string(name) + "/" + std::to_string(m);
+      report.metric(key + " builds_per_sec", rate.per_second());
+      std::printf("  %-16s %12.1f builds/s\n", key.c_str(),
+                  rate.per_second());
+    }
   }
-  state.SetComplexityN(static_cast<std::int64_t>(m));
 }
 
+const bench::Registration reg{
+    {"micro_tree_construction", bench::Kind::Micro,
+     "schedule-construction throughput per algorithm on a 10-cube", run}};
+
 }  // namespace
-
-BENCHMARK_CAPTURE(construction, ucube, "ucube")
-    ->RangeMultiplier(4)
-    ->Range(8, 1023)
-    ->Complexity();
-BENCHMARK_CAPTURE(construction, maxport, "maxport")
-    ->RangeMultiplier(4)
-    ->Range(8, 1023)
-    ->Complexity();
-BENCHMARK_CAPTURE(construction, combine, "combine")
-    ->RangeMultiplier(4)
-    ->Range(8, 1023)
-    ->Complexity();
-BENCHMARK_CAPTURE(construction, wsort, "wsort")
-    ->RangeMultiplier(4)
-    ->Range(8, 1023)
-    ->Complexity();
-BENCHMARK_CAPTURE(construction, separate, "separate")
-    ->RangeMultiplier(4)
-    ->Range(8, 1023)
-    ->Complexity();
-BENCHMARK_CAPTURE(construction, sftree, "sftree")
-    ->RangeMultiplier(4)
-    ->Range(8, 1023)
-    ->Complexity();
-
-BENCHMARK_MAIN();

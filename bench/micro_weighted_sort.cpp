@@ -3,9 +3,12 @@
 // the O(m log N) top-down rewrite standing in for the distributed
 // O(m log m) version. Both produce identical output (tested).
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/weighted_sort.hpp"
+#include "harness/bench.hpp"
 #include "hcube/chain.hpp"
 #include "workload/random_sets.hpp"
 
@@ -13,40 +16,40 @@ namespace {
 
 using namespace hypercast;
 
-std::vector<hcube::NodeId> make_chain(hcube::Dim n, std::size_t m) {
-  const hcube::Topology topo(n);
-  workload::Rng rng(workload::derive_seed(7, m, static_cast<std::uint64_t>(n)));
+std::vector<hcube::NodeId> make_chain(const hcube::Topology& topo,
+                                      std::size_t m) {
+  workload::Rng rng(
+      workload::derive_seed(7, m, static_cast<std::uint64_t>(topo.dim())));
   const auto dests = workload::random_destinations(topo, 0, m, rng);
   return hcube::make_relative_chain(topo, 0, dests);
 }
 
-void faithful(benchmark::State& state) {
-  const hcube::Dim n = 15;
-  const hcube::Topology topo(n);
-  const auto chain = make_chain(n, static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto copy = chain;
-    core::weighted_sort_faithful(topo, copy);
-    benchmark::DoNotOptimize(copy);
+void run(const bench::Context& ctx, bench::Report& report) {
+  const hcube::Topology topo(15);
+  const std::vector<std::size_t> sizes =
+      ctx.quick ? std::vector<std::size_t>{256}
+                : std::vector<std::size_t>{16, 256, 4096, 16384};
+  for (const std::size_t m : sizes) {
+    const auto chain = make_chain(topo, m);
+    for (const bool fast : {false, true}) {
+      const bench::Rate rate = bench::measure_rate(ctx.min_time(0.2), [&] {
+        auto copy = chain;
+        if (fast) {
+          core::weighted_sort_fast(topo, copy);
+        } else {
+          core::weighted_sort_faithful(topo, copy);
+        }
+      });
+      const std::string key =
+          std::string(fast ? "fast" : "faithful") + "/" + std::to_string(m);
+      report.metric(key + " sorts_per_sec", rate.per_second());
+      std::printf("  %-16s %12.1f sorts/s\n", key.c_str(), rate.per_second());
+    }
   }
-  state.SetComplexityN(state.range(0));
 }
 
-void fast(benchmark::State& state) {
-  const hcube::Dim n = 15;
-  const hcube::Topology topo(n);
-  const auto chain = make_chain(n, static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    auto copy = chain;
-    core::weighted_sort_fast(topo, copy);
-    benchmark::DoNotOptimize(copy);
-  }
-  state.SetComplexityN(state.range(0));
-}
+const bench::Registration reg{
+    {"micro_weighted_sort", bench::Kind::Micro,
+     "weighted_sort faithful vs fast rewrite on 15-cube chains", run}};
 
 }  // namespace
-
-BENCHMARK(faithful)->RangeMultiplier(4)->Range(16, 16384)->Complexity();
-BENCHMARK(fast)->RangeMultiplier(4)->Range(16, 16384)->Complexity();
-
-BENCHMARK_MAIN();

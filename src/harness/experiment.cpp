@@ -1,6 +1,10 @@
 #include "harness/experiment.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "workload/random_sets.hpp"
 
@@ -22,24 +26,87 @@ std::pair<hcube::NodeId, std::vector<hcube::NodeId>> draw_instance(
   return {source, std::move(dests)};
 }
 
+/// Run fn(task) for every task in [0, count) on `threads` workers (the
+/// calling thread included). Tasks must be independent; the first
+/// exception thrown by any task is rethrown here after all workers stop.
+template <typename Fn>
+void run_tasks(std::size_t count, int threads, Fn&& fn) {
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(count, std::max(1, threads)));
+  if (workers <= 1) {
+    for (std::size_t t = 0; t < count; ++t) fn(t);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= count) return;
+      try {
+        fn(t);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        next.store(count, std::memory_order_relaxed);  // drain remaining
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) pool.emplace_back(worker);
+  worker();
+  for (std::thread& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+/// Resolve algorithm names once, up front: registry lookups then happen
+/// on the calling thread only and misspellings fail before any work.
+std::vector<const core::AlgorithmEntry*> resolve_algorithms(
+    const SweepBase& config) {
+  std::vector<const core::AlgorithmEntry*> out;
+  out.reserve(config.algorithms.size());
+  for (const std::string& name : config.algorithms) {
+    out.push_back(&core::find_algorithm(name));
+  }
+  return out;
+}
+
 }  // namespace
 
 metrics::Series run_step_sweep(const StepSweepConfig& config) {
   const hcube::Topology topo(config.n, config.resolution);
-  metrics::Series series(config.title, "destinations", "steps");
-  for (const std::size_t m : config.sizes) {
+  const auto algos = resolve_algorithms(config);
+  const std::size_t num_algos = algos.size();
+  const std::size_t tasks = config.sizes.size() * config.sets_per_point;
+
+  // One (m, trial) instance per task; each records one sample per
+  // algorithm into its own flat slice, so workers never share state.
+  std::vector<double> steps_by_task(tasks * num_algos, 0.0);
+  run_tasks(tasks, config.threads, [&](std::size_t task) {
+    const std::size_t m = config.sizes[task / config.sets_per_point];
+    const std::size_t trial = task % config.sets_per_point;
     assert(m <= topo.num_nodes() - 1);
-    for (std::size_t trial = 0; trial < config.sets_per_point; ++trial) {
-      const auto [source, dests] = draw_instance(config, topo, m, trial);
-      const core::MulticastRequest req{topo, source, dests};
-      for (const std::string& name : config.algorithms) {
-        const auto& algo = core::find_algorithm(name);
-        const auto schedule = algo.build(req);
-        const auto steps =
-            core::assign_steps(schedule, config.port, req.destinations);
-        series.add_sample(algo.display, static_cast<double>(m),
-                          static_cast<double>(steps.total_steps));
-      }
+    const auto [source, dests] = draw_instance(config, topo, m, trial);
+    const core::MulticastRequest req{topo, source, dests};
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      const auto schedule = algos[a]->build(req);
+      const auto steps =
+          core::assign_steps(schedule, config.port, req.destinations);
+      steps_by_task[task * num_algos + a] =
+          static_cast<double>(steps.total_steps);
+    }
+  });
+
+  // Deterministic merge in sweep order, regardless of thread count.
+  metrics::Series series(config.title, "destinations", "steps");
+  for (std::size_t task = 0; task < tasks; ++task) {
+    const std::size_t m = config.sizes[task / config.sets_per_point];
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      series.add_sample(algos[a]->display, static_cast<double>(m),
+                        steps_by_task[task * num_algos + a]);
     }
   }
   return series;
@@ -47,34 +114,54 @@ metrics::Series run_step_sweep(const StepSweepConfig& config) {
 
 DelaySweepResult run_delay_sweep(const DelaySweepConfig& config) {
   const hcube::Topology topo(config.n, config.resolution);
-  DelaySweepResult result{
-      metrics::Series(config.title + " (average)", "destinations",
-                      "avg delay (us)"),
-      metrics::Series(config.title + " (maximum)", "destinations",
-                      "max delay (us)"),
-      0};
+  const auto algos = resolve_algorithms(config);
+  const std::size_t num_algos = algos.size();
+  const std::size_t tasks = config.sizes.size() * config.sets_per_point;
 
   sim::SimConfig sim_config;
   sim_config.cost = config.cost;
   sim_config.port = config.port;
   sim_config.message_bytes = config.message_bytes;
 
-  for (const std::size_t m : config.sizes) {
+  struct Sample {
+    double avg_us = 0.0;
+    double max_us = 0.0;
+    std::uint64_t blocked = 0;
+    std::uint64_t events = 0;
+  };
+  std::vector<Sample> samples(tasks * num_algos);
+  run_tasks(tasks, config.threads, [&](std::size_t task) {
+    const std::size_t m = config.sizes[task / config.sets_per_point];
+    const std::size_t trial = task % config.sets_per_point;
     assert(m <= topo.num_nodes() - 1);
-    for (std::size_t trial = 0; trial < config.sets_per_point; ++trial) {
-      const auto [source, dests] = draw_instance(config, topo, m, trial);
-      const core::MulticastRequest req{topo, source, dests};
-      for (const std::string& name : config.algorithms) {
-        const auto& algo = core::find_algorithm(name);
-        const auto schedule = algo.build(req);
-        const auto sim_result = sim::simulate_multicast(schedule, sim_config);
-        result.blocked_acquisitions += sim_result.stats.blocked_acquisitions;
-        result.avg.add_sample(algo.display, static_cast<double>(m),
-                              sim_result.avg_delay(req.destinations) / 1000.0);
-        result.max.add_sample(algo.display, static_cast<double>(m),
-                              sim::to_microseconds(
-                                  sim_result.max_delay(req.destinations)));
-      }
+    const auto [source, dests] = draw_instance(config, topo, m, trial);
+    const core::MulticastRequest req{topo, source, dests};
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      const auto schedule = algos[a]->build(req);
+      const auto sim_result = sim::simulate_multicast(schedule, sim_config);
+      samples[task * num_algos + a] = Sample{
+          sim_result.avg_delay(req.destinations) / 1000.0,
+          sim::to_microseconds(sim_result.max_delay(req.destinations)),
+          sim_result.stats.blocked_acquisitions, sim_result.stats.events};
+    }
+  });
+
+  DelaySweepResult result{
+      metrics::Series(config.title + " (average)", "destinations",
+                      "avg delay (us)"),
+      metrics::Series(config.title + " (maximum)", "destinations",
+                      "max delay (us)"),
+      0, 0};
+  for (std::size_t task = 0; task < tasks; ++task) {
+    const std::size_t m = config.sizes[task / config.sets_per_point];
+    for (std::size_t a = 0; a < num_algos; ++a) {
+      const Sample& s = samples[task * num_algos + a];
+      result.blocked_acquisitions += s.blocked;
+      result.events += s.events;
+      result.avg.add_sample(algos[a]->display, static_cast<double>(m),
+                            s.avg_us);
+      result.max.add_sample(algos[a]->display, static_cast<double>(m),
+                            s.max_us);
     }
   }
   return result;

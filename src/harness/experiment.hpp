@@ -26,6 +26,11 @@ struct SweepBase {
   std::uint64_t seed = 0x5C93C0DE;  ///< default experiment seed
   std::vector<std::string> algorithms = {"ucube", "maxport", "combine",
                                          "wsort"};
+  /// Worker threads for the embarrassingly-parallel (m, trial) points.
+  /// Results are bit-identical for any thread count: instances derive
+  /// their seeds from (seed, m, trial) and samples are merged in sweep
+  /// order. Callers must not mutate the algorithm registry concurrently.
+  int threads = 1;
 };
 
 /// Section 5.1's metric: the number of steps needed to reach the last
@@ -49,6 +54,7 @@ struct DelaySweepResult {
   metrics::Series avg;  ///< mean-over-destinations, averaged across sets
   metrics::Series max;  ///< max-over-destinations, averaged across sets
   std::uint64_t blocked_acquisitions = 0;  ///< summed over all runs
+  std::uint64_t events = 0;                ///< DES events, summed over all runs
 };
 
 DelaySweepResult run_delay_sweep(const DelaySweepConfig& config);

@@ -58,9 +58,9 @@ DelaySweepConfig fig13_14_config(bool quick) {
   return config;
 }
 
-void run_and_report_steps(const StepSweepConfig& config,
-                          const std::string& csv_path) {
-  const auto series = run_step_sweep(config);
+metrics::Series run_and_report_steps(const StepSweepConfig& config,
+                                     const std::string& csv_path) {
+  auto series = run_step_sweep(config);
   std::fputs(metrics::format_table(series).c_str(), stdout);
   std::fputs("\n", stdout);
   std::fputs(metrics::format_ascii_plot(series).c_str(), stdout);
@@ -68,12 +68,13 @@ void run_and_report_steps(const StepSweepConfig& config,
     metrics::write_csv(series, csv_path);
     std::printf("wrote %s\n", csv_path.c_str());
   }
+  return series;
 }
 
-void run_and_report_delays(const DelaySweepConfig& config,
-                           const std::string& which,
-                           const std::string& csv_base) {
-  const auto result = run_delay_sweep(config);
+DelaySweepResult run_and_report_delays(const DelaySweepConfig& config,
+                                       const std::string& which,
+                                       const std::string& csv_base) {
+  auto result = run_delay_sweep(config);
   const bool want_avg = which == "avg" || which == "both";
   const bool want_max = which == "max" || which == "both";
   if (want_avg) {
@@ -96,6 +97,7 @@ void run_and_report_delays(const DelaySweepConfig& config,
   }
   std::printf("total blocked channel acquisitions across runs: %llu\n",
               static_cast<unsigned long long>(result.blocked_acquisitions));
+  return result;
 }
 
 }  // namespace hypercast::harness

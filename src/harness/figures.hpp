@@ -25,17 +25,18 @@ DelaySweepConfig fig11_12_config(bool quick = false);
 /// point (the paper's MultiSim experiment).
 DelaySweepConfig fig13_14_config(bool quick = false);
 
-/// Shared driver used by the bench binaries: run the sweep, print the
+/// Shared driver used by the bench runner: run the sweep, print the
 /// paper-style table plus an ASCII shape plot, and write `csv_path`
-/// (skipped when empty).
-void run_and_report_steps(const StepSweepConfig& config,
-                          const std::string& csv_path);
+/// (skipped when empty). Returns the measured series so callers can
+/// record it in machine-readable artifacts.
+metrics::Series run_and_report_steps(const StepSweepConfig& config,
+                                     const std::string& csv_path);
 
 /// As above for delay sweeps; `which` selects avg ("avg"), max ("max")
 /// or both ("both") for reporting, and csv files get -avg/-max suffixes.
-void run_and_report_delays(const DelaySweepConfig& config,
-                           const std::string& which,
-                           const std::string& csv_base);
+DelaySweepResult run_and_report_delays(const DelaySweepConfig& config,
+                                       const std::string& which,
+                                       const std::string& csv_base);
 
 }  // namespace hypercast::harness
 

@@ -13,12 +13,28 @@ Options Options::parse(int argc, const char* const* argv, int first) {
     if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
       throw std::invalid_argument("expected --option, got '" + arg + "'");
     }
-    const std::string key = arg.substr(2);
-    std::string value = "true";  // bare flag
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      value = argv[++i];
+    std::string key;
+    Entry entry;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      // --key=value: the escape hatch for values that themselves start
+      // with "--" (labels, pass-through arguments).
+      key = arg.substr(2, eq - 2);
+      entry.value = arg.substr(eq + 1);
+      if (key.empty()) {
+        throw std::invalid_argument("malformed option '" + arg +
+                                    "': empty key before '='");
+      }
+    } else {
+      key = arg.substr(2);
+      entry.value = "true";
+      entry.bare = true;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        entry.value = argv[++i];
+        entry.bare = false;
+      }
     }
-    if (!out.values_.emplace(key, value).second) {
+    if (!out.values_.emplace(key, std::move(entry)).second) {
       throw std::invalid_argument("duplicate option --" + key);
     }
   }
@@ -30,17 +46,31 @@ std::string Options::get(const std::string& key) const {
   if (it == values_.end()) {
     throw std::invalid_argument("missing required option --" + key);
   }
-  return it->second;
+  return it->second.value;
 }
 
 std::string Options::get_or(const std::string& key,
                             std::string fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? std::move(fallback) : it->second;
+  return it == values_.end() ? std::move(fallback) : it->second.value;
+}
+
+const std::string& Options::typed_value(const std::string& key,
+                                        const char* what) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    throw std::invalid_argument("missing required option --" + key);
+  }
+  if (it->second.bare) {
+    throw std::invalid_argument("--" + key + " expects " + what +
+                                " but was given as a bare flag; use --" +
+                                key + "=<value> or --" + key + " <value>");
+  }
+  return it->second.value;
 }
 
 long Options::get_int(const std::string& key) const {
-  const std::string v = get(key);
+  const std::string& v = typed_value(key, "an integer");
   std::size_t pos = 0;
   long out = 0;
   try {
@@ -60,7 +90,7 @@ long Options::get_int_or(const std::string& key, long fallback) const {
 }
 
 double Options::get_double(const std::string& key) const {
-  const std::string v = get(key);
+  const std::string& v = typed_value(key, "a number");
   std::size_t pos = 0;
   double out = 0.0;
   try {

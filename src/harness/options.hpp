@@ -12,15 +12,25 @@
 
 namespace hypercast::harness {
 
-/// Minimal --key value / --flag command-line parser shared by the CLI
-/// tool; kept in the library so it is unit-testable.
+/// Minimal --key value / --key=value / --flag command-line parser shared
+/// by the CLI tool; kept in the library so it is unit-testable.
 class Options {
  public:
   /// Parse argv[first..argc). Throws std::invalid_argument on malformed
-  /// input (an option without the leading "--", duplicate keys).
+  /// input (an option without the leading "--", an empty key, duplicate
+  /// keys). Two value syntaxes: `--key value` (the value must not start
+  /// with "--", or it is taken as the next option) and `--key=value`
+  /// (the value may be anything, including strings starting with "--").
   static Options parse(int argc, const char* const* argv, int first = 1);
 
   bool has(const std::string& key) const { return values_.contains(key); }
+
+  /// True iff the key was given as a bare `--flag` (no value). Typed
+  /// getters reject bare flags with a diagnostic suggesting `--key=<v>`.
+  bool is_bare_flag(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it != values_.end() && it->second.bare;
+  }
 
   /// Value lookups; `get` throws std::invalid_argument when the key is
   /// missing, the *_or forms substitute a default.
@@ -52,7 +62,17 @@ class Options {
   std::vector<std::string> keys() const;
 
  private:
-  std::unordered_map<std::string, std::string> values_;
+  struct Entry {
+    std::string value;
+    bool bare = false;  ///< `--flag` with no value (value is "true")
+  };
+
+  /// Value lookup for typed getters: throws for missing keys and for
+  /// bare flags (`what` names the expected value kind).
+  const std::string& typed_value(const std::string& key,
+                                 const char* what) const;
+
+  std::unordered_map<std::string, Entry> values_;
 };
 
 }  // namespace hypercast::harness

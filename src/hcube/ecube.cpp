@@ -52,11 +52,7 @@ std::vector<NodeId> ecube_path(const Topology& topo, NodeId u, NodeId v) {
 std::vector<Arc> ecube_arcs(const Topology& topo, NodeId u, NodeId v) {
   std::vector<Arc> arcs;
   arcs.reserve(static_cast<std::size_t>(hamming(u, v)));
-  NodeId cur = u;
-  for (const Dim d : route_dims(topo, u, v)) {
-    arcs.push_back(Arc{cur, d});
-    cur = topo.neighbor(cur, d);
-  }
+  for_each_ecube_arc(topo, u, v, [&](Arc a) { arcs.push_back(a); });
   return arcs;
 }
 

@@ -31,6 +31,30 @@ std::vector<NodeId> ecube_path(const Topology& topo, NodeId u, NodeId v);
 /// Size = distance(u, v).
 std::vector<Arc> ecube_arcs(const Topology& topo, NodeId u, NodeId v);
 
+/// Visit the arcs of P(u, v) in traversal order without materialising a
+/// vector — the allocation-free workhorse behind ecube_arcs, the
+/// simulator's path acquisition and the channel-load analyser.
+template <typename Fn>
+void for_each_ecube_arc(const Topology& topo, NodeId u, NodeId v, Fn&& fn) {
+  const std::uint32_t diff = u ^ v;
+  NodeId cur = u;
+  if (topo.resolution() == Resolution::HighToLow) {
+    for (Dim d = topo.dim() - 1; d >= 0; --d) {
+      if (test_bit(diff, d)) {
+        fn(Arc{cur, d});
+        cur = topo.neighbor(cur, d);
+      }
+    }
+  } else {
+    for (Dim d = 0; d < topo.dim(); ++d) {
+      if (test_bit(diff, d)) {
+        fn(Arc{cur, d});
+        cur = topo.neighbor(cur, d);
+      }
+    }
+  }
+}
+
 /// True iff P(u, v) and P(x, y) share no directed external channel. The
 /// theorems of Section 3.3 give cheap sufficient conditions for this;
 /// this function is the exact (brute-force) predicate the theorems are

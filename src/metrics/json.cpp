@@ -1,0 +1,136 @@
+#include "metrics/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace hypercast::metrics {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value completes a "key": pair; no comma, no element mark
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  has_element_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  has_element_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ += ',';
+    has_element_.back() = true;
+  }
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  if (!std::isfinite(d)) return null();
+  comma_if_needed();
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  if (ec != std::errc{}) return null();
+  out_.append(buf, end);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  comma_if_needed();
+  out_ += std::to_string(i);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  comma_if_needed();
+  out_ += std::to_string(u);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma_if_needed();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::str() && { return std::move(out_); }
+
+}  // namespace hypercast::metrics

@@ -1,0 +1,60 @@
+#ifndef HYPERCAST_METRICS_JSON_HPP
+#define HYPERCAST_METRICS_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hypercast::metrics {
+
+/// Minimal streaming JSON writer (no external dependencies): produces
+/// compact, deterministic output for the machine-readable bench
+/// artifacts. Keys are emitted in call order; the writer tracks nesting
+/// and inserts commas, so callers just alternate key()/value() calls.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object().key("name").value("fig09").key("xs").begin_array()
+///    .value(1.0).value(2.0).end_array().end_object();
+///   std::string doc = std::move(w).str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key; must be followed by a value or container opener.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  /// Doubles use shortest round-trip formatting; NaN/Inf become null
+  /// (JSON has no spelling for them).
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// The finished document. Call after every container is closed.
+  std::string str() &&;
+  const std::string& str() const& { return out_; }
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  /// One entry per open container: true once the first element has been
+  /// written (a comma is due before the next one).
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+/// JSON string escaping (quotes not included).
+std::string json_escape(std::string_view s);
+
+}  // namespace hypercast::metrics
+
+#endif  // HYPERCAST_METRICS_JSON_HPP

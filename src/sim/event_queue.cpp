@@ -1,34 +1,48 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace hypercast::sim {
 
 void EventQueue::schedule(SimTime at, Action action) {
-  assert(at >= now_ && "cannot schedule an event in the past");
-  heap_.push(Item{at, next_seq_++, std::move(action)});
+  if (at < now_) {
+    throw std::logic_error("cannot schedule an event in the past (at=" +
+                           std::to_string(at) +
+                           ", now=" + std::to_string(now_) + ")");
+  }
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::move(action));
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+    pool_[slot] = std::move(action);
+  }
+  heap_.push(Ticket{at, next_seq_++, slot});
 }
 
 bool EventQueue::run_next() {
   if (heap_.empty()) return false;
-  // priority_queue::top returns const&; the action must be moved out
-  // before pop. const_cast is contained here and safe: the item is
-  // removed immediately after.
-  Item item = std::move(const_cast<Item&>(heap_.top()));
+  const Ticket ticket = heap_.top();
   heap_.pop();
-  now_ = item.at;
+  Action action = std::move(pool_[ticket.slot]);
+  free_.push_back(ticket.slot);
+  now_ = ticket.at;
   ++processed_;
-  item.action();
+  action();
   return true;
 }
 
 void EventQueue::run_to_completion(std::uint64_t max_events) {
   std::uint64_t fired = 0;
-  while (run_next()) {
-    if (++fired > max_events) {
+  while (!heap_.empty()) {
+    if (fired == max_events) {
       throw std::runtime_error("event budget exhausted: runaway simulation?");
     }
+    run_next();
+    ++fired;
   }
 }
 

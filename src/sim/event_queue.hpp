@@ -2,19 +2,27 @@
 #define HYPERCAST_SIM_EVENT_QUEUE_HPP
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
 #include "sim/cost_model.hpp"
+#include "sim/inplace_function.hpp"
 
 namespace hypercast::sim {
 
 /// A deterministic discrete-event queue: events fire in (time, insertion
-/// order). Scheduling in the past is a programming error (asserted).
+/// order). Scheduling in the past is a programming error and throws
+/// std::logic_error in every build type — a release build silently
+/// running time backwards would corrupt every delay figure downstream.
+///
+/// Hot-path layout: the heap orders small POD tickets {time, seq, slot};
+/// the actions themselves live in a pooled slot array (slots are
+/// recycled through a free list), so heap sift operations move 24-byte
+/// PODs and an action is constructed and moved exactly once each,
+/// with no per-event heap allocation (see InplaceFunction).
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InplaceFunction<void(), 48>;
 
   /// Current simulated time: the firing time of the event being
   /// processed, 0 before the first event.
@@ -24,6 +32,7 @@ class EventQueue {
 
   bool empty() const { return heap_.empty(); }
 
+  /// Throws std::logic_error when `at` lies before now().
   void schedule(SimTime at, Action action);
 
   /// Convenience: schedule relative to now().
@@ -34,23 +43,26 @@ class EventQueue {
   /// Pop and run the earliest event. Returns false when empty.
   bool run_next();
 
-  /// Drain the queue. Throws std::runtime_error if more than
-  /// `max_events` fire (runaway-simulation guard).
+  /// Drain the queue. Fires at most `max_events` events: as soon as a
+  /// further event would exceed the budget, throws std::runtime_error
+  /// (runaway-simulation guard) with exactly `max_events` fired.
   void run_to_completion(std::uint64_t max_events = 100'000'000);
 
  private:
-  struct Item {
+  struct Ticket {
     SimTime at;
     std::uint64_t seq;
-    Action action;
+    std::uint32_t slot;
   };
   struct Later {
-    bool operator()(const Item& a, const Item& b) const {
+    bool operator()(const Ticket& a, const Ticket& b) const {
       return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::priority_queue<Ticket, std::vector<Ticket>, Later> heap_;
+  std::vector<Action> pool_;          ///< slot -> pending action
+  std::vector<std::uint32_t> free_;   ///< recycled pool slots
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;

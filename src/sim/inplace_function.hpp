@@ -1,0 +1,105 @@
+#ifndef HYPERCAST_SIM_INPLACE_FUNCTION_HPP
+#define HYPERCAST_SIM_INPLACE_FUNCTION_HPP
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hypercast::sim {
+
+/// A move-only type-erased callable with guaranteed inline storage: the
+/// captured state lives inside the object, never on the heap. This is
+/// the event payload of the discrete-event simulator — scheduling an
+/// event must not allocate, whatever the capture size, which
+/// std::function only promises for tiny captures.
+///
+/// Callables larger than `Capacity` bytes are rejected at compile time;
+/// widen the capacity at the typedef if an event ever legitimately needs
+/// more state.
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InplaceFunction>)
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    static_assert(sizeof(D) <= Capacity,
+                  "callable too large for inline event storage");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "callable over-aligned for inline event storage");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "event callables must be nothrow movable");
+    ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    ops_ = &ops_for<D>;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args...);
+    void (*relocate)(void* dst, void* src);  ///< move into dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops ops_for{
+      [](void* s, Args... args) -> R {
+        return (*static_cast<D*>(s))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        D* from = static_cast<D*>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) { static_cast<D*>(s)->~D(); },
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hypercast::sim
+
+#endif  // HYPERCAST_SIM_INPLACE_FUNCTION_HPP

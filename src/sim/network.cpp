@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -17,10 +18,18 @@ Network::Network(const Topology& topo, PortModel port,
     capacity_[i] = pool_capacity;
   }
   in_use_.assign(total, 0);
-  waiters_.resize(total);
+  waiters_.assign(total, WaitList{});
 }
 
 std::vector<ResourceId> Network::path_resources(NodeId from, NodeId to) const {
+  std::vector<ResourceId> out;
+  out.reserve(static_cast<std::size_t>(topo_.distance(from, to)) + 2);
+  append_path_resources(from, to, out);
+  return out;
+}
+
+void Network::append_path_resources(NodeId from, NodeId to,
+                                    std::vector<ResourceId>& out) const {
   assert(from != to);
   if (faults_ != nullptr &&
       (faults_->node_failed(from) || faults_->node_failed(to))) {
@@ -28,11 +37,11 @@ std::vector<ResourceId> Network::path_resources(NodeId from, NodeId to) const {
                            topo_.format(faults_->node_failed(from) ? from
                                                                    : to));
   }
-  std::vector<ResourceId> out;
-  const auto arcs = hcube::ecube_arcs(topo_, from, to);
-  out.reserve(arcs.size() + 2);
+  // No reserve here: an exact reserve on every append would defeat the
+  // geometric growth of the engine's pooled path buffer (quadratic
+  // copying); callers wanting tight capacity reserve up front.
   out.push_back(injection_pool(from));
-  for (const hcube::Arc& a : arcs) {
+  hcube::for_each_ecube_arc(topo_, from, to, [&](hcube::Arc a) {
     if (faults_ != nullptr && faults_->arc_failed(a)) {
       throw std::logic_error(
           "worm " + topo_.format(from) + " -> " + topo_.format(to) +
@@ -41,9 +50,8 @@ std::vector<ResourceId> Network::path_resources(NodeId from, NodeId to) const {
           " (schedule is not fault-aware?)");
     }
     out.push_back(external_arc(a));
-  }
+  });
   out.push_back(consumption_pool(to));
-  return out;
 }
 
 void Network::take(ResourceId r) {
@@ -53,24 +61,45 @@ void Network::take(ResourceId r) {
 
 void Network::enqueue(ResourceId r, MessageId m) {
   assert(!available(r));
-  waiters_[r.index].push_back(m);
+  if (m >= waiter_next_.size()) {
+    waiter_next_.resize(static_cast<std::size_t>(m) + 1, kNone);
+  }
+  waiter_next_[m] = kNone;
+  WaitList& list = waiters_[r.index];
+  if (list.head == kNone) {
+    list.head = list.tail = m;
+  } else {
+    waiter_next_[list.tail] = m;
+    list.tail = m;
+  }
 }
 
 std::optional<MessageId> Network::release(ResourceId r) {
   assert(in_use_[r.index] > 0);
   --in_use_[r.index];
-  if (!waiters_[r.index].empty()) {
-    const MessageId m = waiters_[r.index].front();
-    waiters_[r.index].pop_front();
+  WaitList& list = waiters_[r.index];
+  if (list.head != kNone) {
+    const MessageId m = list.head;
+    list.head = waiter_next_[m];
+    if (list.head == kNone) list.tail = kNone;
     ++in_use_[r.index];  // re-grant the freed unit to the head waiter
     return m;
   }
   return std::nullopt;
 }
 
+std::size_t Network::waiting_count(ResourceId r) const {
+  std::size_t n = 0;
+  for (MessageId m = waiters_[r.index].head; m != kNone;
+       m = waiter_next_[m]) {
+    ++n;
+  }
+  return n;
+}
+
 bool Network::quiescent() const {
   for (std::size_t i = 0; i < in_use_.size(); ++i) {
-    if (in_use_[i] != 0 || !waiters_[i].empty()) return false;
+    if (in_use_[i] != 0 || waiters_[i].head != kNone) return false;
   }
   return true;
 }

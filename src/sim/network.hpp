@@ -1,7 +1,6 @@
 #ifndef HYPERCAST_SIM_NETWORK_HPP
 #define HYPERCAST_SIM_NETWORK_HPP
 
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -35,6 +34,12 @@ struct ResourceId {
 ///    channel necessarily share the adjacent external channel too — but
 ///    is kept for uniformity.
 ///
+/// All per-resource state is held in flat arrays indexed by the dense
+/// resource index (arc index, then pools); waiter FIFOs are intrusive
+/// singly-linked lists threaded through a per-message next array, so
+/// constructing and running a network performs no per-resource or
+/// per-wait heap allocation.
+///
 /// The Network knows nothing about time; the simulator drives it and
 /// interprets grants.
 class Network {
@@ -56,6 +61,12 @@ class Network {
   /// route crosses a failed arc or dead node of the fault set.
   std::vector<ResourceId> path_resources(NodeId from, NodeId to) const;
 
+  /// Allocation-free variant: append the same resources to `out`
+  /// (reusing its capacity) instead of returning a fresh vector — the
+  /// engine pools every worm's path in one flat buffer this way.
+  void append_path_resources(NodeId from, NodeId to,
+                             std::vector<ResourceId>& out) const;
+
   /// True iff an ext-channel resource (whose acquisition costs a header
   /// hop) as opposed to an internal pool slot.
   bool is_external(ResourceId r) const {
@@ -69,7 +80,8 @@ class Network {
   /// Take one unit. Precondition: available(r).
   void take(ResourceId r);
 
-  /// Enqueue a message waiting for one unit of r.
+  /// Enqueue a message waiting for one unit of r. A message may wait on
+  /// at most one resource at a time (worms acquire their path in order).
   void enqueue(ResourceId r, MessageId m);
 
   /// Release one unit of r. If a message is waiting, one unit is
@@ -77,14 +89,19 @@ class Network {
   /// simulator can resume it.
   std::optional<MessageId> release(ResourceId r);
 
-  std::size_t waiting_count(ResourceId r) const {
-    return waiters_[r.index].size();
-  }
+  std::size_t waiting_count(ResourceId r) const;
 
   /// All units idle and no waiters — the invariant at the end of a run.
   bool quiescent() const;
 
  private:
+  static constexpr MessageId kNone = static_cast<MessageId>(-1);
+
+  struct WaitList {
+    MessageId head = kNone;
+    MessageId tail = kNone;
+  };
+
   ResourceId external_arc(hcube::Arc a) const {
     return ResourceId{static_cast<std::uint32_t>(topo_.arc_index(a))};
   }
@@ -101,7 +118,10 @@ class Network {
   std::uint32_t num_external_;
   std::vector<int> capacity_;
   std::vector<int> in_use_;
-  std::vector<std::deque<MessageId>> waiters_;
+  std::vector<WaitList> waiters_;
+  /// waiter_next_[m] = the message behind m in whichever wait list m is
+  /// on (kNone for the tail); grown on demand as messages enqueue.
+  std::vector<MessageId> waiter_next_;
 };
 
 }  // namespace hypercast::sim

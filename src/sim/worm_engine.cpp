@@ -11,11 +11,13 @@ MessageId WormEngine::inject(hcube::NodeId from, hcube::NodeId to,
   Worm w;
   w.to = to;
   w.bytes = bytes;
-  w.path = net_.path_resources(from, to);
+  w.path_begin = static_cast<std::uint32_t>(path_pool_.size());
+  net_.append_path_resources(from, to, path_pool_);
+  w.path_len = static_cast<std::uint16_t>(path_pool_.size() - w.path_begin);
   w.on_delivered = std::move(on_delivered);
   w.trace.from = from;
   w.trace.to = to;
-  w.trace.hops = static_cast<int>(w.path.size()) - 2;
+  w.trace.hops = static_cast<int>(w.path_len) - 2;
   w.trace.header_start = header_start;
   worms_.push_back(std::move(w));
   queue_.schedule(header_start, [this, id] { advance(id); });
@@ -25,11 +27,11 @@ MessageId WormEngine::inject(hcube::NodeId from, hcube::NodeId to,
 void WormEngine::advance(MessageId id) {
   Worm& w = worms_[id];
   while (true) {
-    if (w.next == w.path.size()) {
+    if (w.next == w.path_len) {
       header_arrived(id);
       return;
     }
-    const ResourceId r = w.path[w.next];
+    const ResourceId r = path_at(w, w.next);
     if (!net_.available(r)) {
       net_.enqueue(r, id);
       w.block_start = queue_.now();
@@ -51,7 +53,7 @@ void WormEngine::resume(MessageId id) {
   const SimTime waited = queue_.now() - w.block_start;
   w.trace.blocked_ns += waited;
   total_blocked_ += waited;
-  const ResourceId r = w.path[w.next];
+  const ResourceId r = path_at(w, w.next);
   ++w.next;  // release() already took the unit on our behalf
   if (net_.is_external(r)) {
     queue_.schedule_in(cost_.per_hop, [this, id] { advance(id); });
@@ -70,15 +72,18 @@ void WormEngine::header_arrived(MessageId id) {
 void WormEngine::tail_arrived(MessageId id) {
   Worm& w = worms_[id];
   w.trace.tail = queue_.now();
-  for (const ResourceId r : w.path) {
-    if (const auto granted = net_.release(r)) {
+  for (std::size_t i = 0; i < w.path_len; ++i) {
+    if (const auto granted = net_.release(path_at(w, i))) {
       const MessageId g = *granted;
       queue_.schedule_in(0, [this, g] { resume(g); });
     }
   }
   ++delivered_;
   assert(w.on_delivered);
-  w.on_delivered(id, queue_.now());
+  // Moved to a local: the callback may inject new worms, and a growing
+  // worms_ vector must not relocate the callable mid-invocation.
+  DeliveryCallback deliver = std::move(w.on_delivered);
+  deliver(id, queue_.now());
 }
 
 }  // namespace hypercast::sim

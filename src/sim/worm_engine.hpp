@@ -1,11 +1,11 @@
 #ifndef HYPERCAST_SIM_WORM_ENGINE_HPP
 #define HYPERCAST_SIM_WORM_ENGINE_HPP
 
-#include <functional>
 #include <vector>
 
 #include "sim/cost_model.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/inplace_function.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
 
@@ -20,10 +20,16 @@ namespace hypercast::sim {
 /// The engine owns the network resources and shares the caller's event
 /// queue; processor modelling (startups, receive overheads) is the
 /// caller's business.
+///
+/// Hot-path layout: every worm's resource path is a slice of one shared
+/// flat buffer (indexed by path_begin/path_len), and delivery callbacks
+/// use inline storage — injecting a worm costs no heap allocation beyond
+/// amortised buffer growth.
 class WormEngine {
  public:
   /// Called at tail-arrival time; the network path has been released.
-  using DeliveryCallback = std::function<void(MessageId, SimTime)>;
+  /// Inline-storage callable: captures up to 48 bytes, never allocates.
+  using DeliveryCallback = InplaceFunction<void(MessageId, SimTime), 48>;
 
   /// `faults` (optional, caller-owned) is forwarded to the Network:
   /// injecting a worm whose E-cube route touches a failed resource is a
@@ -56,13 +62,18 @@ class WormEngine {
  private:
   struct Worm {
     hcube::NodeId to = 0;
+    std::uint32_t path_begin = 0;  ///< offset into the shared path pool
+    std::uint16_t path_len = 0;
+    std::uint16_t next = 0;        ///< next path resource to acquire
     std::size_t bytes = 0;
-    std::vector<ResourceId> path;
-    std::size_t next = 0;
     SimTime block_start = 0;
     DeliveryCallback on_delivered;
     MessageTrace trace;
   };
+
+  ResourceId path_at(const Worm& w, std::size_t i) const {
+    return path_pool_[w.path_begin + i];
+  }
 
   void advance(MessageId id);
   void resume(MessageId id);
@@ -73,6 +84,7 @@ class WormEngine {
   Network net_;
   EventQueue& queue_;
   std::vector<Worm> worms_;
+  std::vector<ResourceId> path_pool_;  ///< all worms' paths, back to back
   std::uint64_t blocked_ = 0;
   SimTime total_blocked_ = 0;
   std::size_t delivered_ = 0;

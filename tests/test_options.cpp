@@ -43,6 +43,46 @@ TEST(Options, RejectsMalformedArguments) {
   EXPECT_THROW(parse({"--n", "4", "--n", "5"}), std::invalid_argument);
 }
 
+TEST(Options, KeyEqualsValueSyntax) {
+  const auto o = parse({"--n=6", "--label=fig09"});
+  EXPECT_EQ(o.get_int("n"), 6);
+  EXPECT_EQ(o.get("label"), "fig09");
+  EXPECT_FALSE(o.is_bare_flag("n"));
+}
+
+TEST(Options, EqualsSyntaxAcceptsValuesStartingWithDashes) {
+  // The escape hatch the space syntax cannot express: a value that
+  // itself begins with "--".
+  const auto o = parse({"--passthrough=--benchmark_filter=all", "--x=-2"});
+  EXPECT_EQ(o.get("passthrough"), "--benchmark_filter=all");
+  EXPECT_EQ(o.get_int("x"), -2);
+}
+
+TEST(Options, EqualsSyntaxAllowsEmptyValue) {
+  const auto o = parse({"--out="});
+  EXPECT_TRUE(o.has("out"));
+  EXPECT_EQ(o.get("out"), "");
+}
+
+TEST(Options, EmptyKeyBeforeEqualsThrows) {
+  EXPECT_THROW(parse({"--=5"}), std::invalid_argument);
+}
+
+TEST(Options, DuplicateDetectedAcrossSyntaxes) {
+  EXPECT_THROW(parse({"--n", "4", "--n=5"}), std::invalid_argument);
+}
+
+TEST(Options, BareFlagRejectedByTypedGetters) {
+  // "--n --quick": n swallows no value (next token is an option), so
+  // asking for an integer must fail loudly instead of parsing "true".
+  const auto o = parse({"--n", "--quick"});
+  EXPECT_TRUE(o.is_bare_flag("n"));
+  EXPECT_FALSE(o.is_bare_flag("missing"));
+  EXPECT_THROW(o.get_int("n"), std::invalid_argument);
+  EXPECT_THROW(o.get_double("n"), std::invalid_argument);
+  EXPECT_EQ(o.get("n"), "true");  // untyped access still works
+}
+
 TEST(Options, RejectsNonIntegerInts) {
   const auto o = parse({"--n", "4x"});
   EXPECT_THROW(o.get_int("n"), std::invalid_argument);

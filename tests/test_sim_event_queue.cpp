@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 namespace hypercast::sim {
@@ -69,6 +70,75 @@ TEST(EventQueue, BudgetGuardThrows) {
   std::function<void()> loop = [&] { q.schedule_in(1, loop); };
   q.schedule(0, loop);
   EXPECT_THROW(q.run_to_completion(1000), std::runtime_error);
+}
+
+TEST(EventQueue, BudgetIsHonoredExactly) {
+  // The guard fires after exactly max_events events — not one more.
+  EventQueue q;
+  std::uint64_t fired = 0;
+  std::function<void()> loop = [&] {
+    ++fired;
+    q.schedule_in(1, loop);
+  };
+  q.schedule(0, loop);
+  EXPECT_THROW(q.run_to_completion(100), std::runtime_error);
+  EXPECT_EQ(fired, 100u);
+  EXPECT_EQ(q.events_processed(), 100u);
+}
+
+TEST(EventQueue, QueueWithExactlyBudgetEventsCompletes) {
+  EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(i, [&] { ++fired; });
+  }
+  EXPECT_NO_THROW(q.run_to_completion(10));
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  // Time only moves forward; a past event is a programming error in
+  // every build type, not just under assertions.
+  EventQueue q;
+  bool threw = false;
+  q.schedule(10, [&] {
+    try {
+      q.schedule(5, [] {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  q.run_to_completion();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(q.now(), 10);
+}
+
+TEST(EventQueue, NegativeRelativeDelayThrows) {
+  EventQueue q;
+  bool threw = false;
+  q.schedule(10, [&] {
+    try {
+      q.schedule_in(-1, [] {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  q.run_to_completion();
+  EXPECT_TRUE(threw);
+}
+
+TEST(EventQueue, RecoversAfterRejectedSchedule) {
+  // A rejected past-schedule must not corrupt the queue: later valid
+  // events still fire in order.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] {
+    order.push_back(1);
+    EXPECT_THROW(q.schedule(5, [] {}), std::logic_error);
+    q.schedule_in(5, [&] { order.push_back(2); });
+  });
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(EventQueue, InterleavedSchedulingKeepsDeterminism) {
