@@ -1,8 +1,8 @@
 #include "core/chain_algorithms.hpp"
 
 #include <cassert>
-#include <deque>
 
+#include "core/tree_builder.hpp"
 #include "hcube/bits.hpp"
 
 namespace hypercast::core {
@@ -22,9 +22,6 @@ std::vector<Send> local_sends(const Topology& topo, NodeId local,
     key[i + 1] = topo.key(field[i]);
     assert(key[i + 1] != key[0] && "field must not contain the local node");
   }
-  const auto chain_at = [&](std::size_t i) {
-    return i == 0 ? local : field[i - 1];
-  };
 
   std::size_t left = 0;
   std::size_t right = field.size();
@@ -59,14 +56,10 @@ std::vector<Send> local_sends(const Topology& topo, NodeId local,
     }
 
     // Steps 5-6: transmit to d_next along with the address field
-    // D = {d_next+1, ..., d_right}.
-    Send send;
-    send.to = chain_at(next);
-    send.payload.reserve(right - next);
-    for (std::size_t i = next + 1; i <= right; ++i) {
-      send.payload.push_back(chain_at(i));
-    }
-    sends.push_back(std::move(send));
+    // D = {d_next+1, ..., d_right} — in chain position i >= 1 that is
+    // field[i - 1], so the field is the contiguous segment
+    // field[next .. right - 1]. Emit it as a view, not a copy.
+    sends.push_back(Send{field[next - 1], field.subspan(next, right - next)});
 
     // Step 7.
     right = next - 1;
@@ -79,52 +72,33 @@ MulticastSchedule build_chain_schedule(const Topology& topo,
                                        NextRule rule) {
   assert(!chain.empty());
   MulticastSchedule schedule(topo, chain[0]);
-  if (chain.size() == 1) return schedule;
-
-  // Execute the distributed recursion: deliver each address field and
-  // let the recipient compute its own sends.
-  struct Delivery {
-    NodeId node;
-    std::vector<NodeId> field;
-  };
-  std::deque<Delivery> inbox;
-  inbox.push_back(
-      Delivery{chain[0], std::vector<NodeId>(chain.begin() + 1, chain.end())});
-  while (!inbox.empty()) {
-    Delivery d = std::move(inbox.front());
-    inbox.pop_front();
-    for (Send& send : local_sends(topo, d.node, d.field, rule)) {
-      if (!send.payload.empty()) {
-        inbox.push_back(Delivery{send.to, send.payload});
-      }
-      schedule.add_send(d.node, std::move(send));
-    }
-  }
+  TreeBuilder builder;
+  builder.build_chain_into(topo, chain, rule, schedule);
   return schedule;
 }
 
 namespace {
 
-MulticastSchedule run_on_sorted_chain(const MulticastRequest& req,
-                                      NextRule rule) {
-  req.validate();
-  const auto chain =
-      hcube::make_relative_chain(req.topo, req.source, req.destinations);
-  return build_chain_schedule(req.topo, chain, rule);
+TreeBuilder& local_builder() {
+  // One scratch arena per thread: registry-driven callers (sweeps,
+  // benches, the CLI) amortize all construction allocations without
+  // sharing state across sweep workers.
+  thread_local TreeBuilder builder;
+  return builder;
 }
 
 }  // namespace
 
 MulticastSchedule ucube(const MulticastRequest& req) {
-  return run_on_sorted_chain(req, NextRule::Center);
+  return local_builder().build(req, NextRule::Center);
 }
 
 MulticastSchedule maxport(const MulticastRequest& req) {
-  return run_on_sorted_chain(req, NextRule::HighDim);
+  return local_builder().build(req, NextRule::HighDim);
 }
 
 MulticastSchedule combine(const MulticastRequest& req) {
-  return run_on_sorted_chain(req, NextRule::MaxOfBoth);
+  return local_builder().build(req, NextRule::MaxOfBoth);
 }
 
 }  // namespace hypercast::core

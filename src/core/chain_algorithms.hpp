@@ -28,16 +28,24 @@ enum class NextRule {
 /// runs in the message handler — it needs no knowledge of the global
 /// source, only the field it received. Precondition: {local} + field is
 /// a cube-ordered chain (Definition 5) of distinct nodes.
+///
+/// Every payload is a contiguous suffix-segment of the received field,
+/// so the returned sends carry spans *into `field`* — zero copies. The
+/// caller must keep `field`'s storage alive and unchanged while the
+/// sends are in use.
 std::vector<Send> local_sends(const Topology& topo, NodeId local,
                               std::span<const NodeId> field, NextRule rule);
 
 /// Run the Algorithm-1 loop over an explicit chain (position 0 is the
 /// source / local node). The chain must be cube-ordered (Definition 5);
 /// dimension-ordered chains always qualify (Theorem 4), and so do
-/// weighted_sort outputs (Theorem 5). Returns the full multicast
-/// schedule obtained by executing the distributed recursion — i.e. by
-/// delivering each address field and invoking local_sends at every
-/// recipient.
+/// weighted_sort outputs (Theorem 5). Equivalent to executing the
+/// distributed recursion — delivering each address field and invoking
+/// local_sends at every recipient — but implemented as an explicit
+/// worklist of (node, first, last) index ranges over the one shared
+/// chain buffer (every delivered field is a contiguous chain segment),
+/// so nothing is copied per hop. Convenience wrapper over
+/// TreeBuilder::build_chain_into.
 MulticastSchedule build_chain_schedule(const Topology& topo,
                                        std::span<const NodeId> chain,
                                        NextRule rule);

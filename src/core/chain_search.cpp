@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/tree_builder.hpp"
 #include "hcube/bits.hpp"
 #include "hcube/chain.hpp"
 
@@ -127,22 +128,24 @@ ChainSearchResult best_cube_ordered_chain(const MulticastRequest& req,
 
   const auto rel = sorted_relative_keys(req);
   const std::uint32_t source_key = req.topo.key(req.source);
+  std::vector<NodeId> chain;
   const auto to_chain = [&](const std::vector<std::uint32_t>& keys) {
-    std::vector<NodeId> chain;
-    chain.reserve(keys.size());
-    for (const std::uint32_t k : keys) {
-      chain.push_back(req.topo.unkey(k ^ source_key));
+    chain.resize(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      chain[i] = req.topo.unkey(keys[i] ^ source_key);
     }
-    return chain;
   };
 
+  // One builder + one schedule recycled across the whole (potentially
+  // huge) chain space: the search allocates nothing per candidate.
+  TreeBuilder builder;
+  MulticastSchedule schedule(req.topo, req.source);
   result.best_steps = -1;
   for (const auto& keys :
        orderings(rel, 0, rel.size() - 1, req.topo.dim(), true)) {
     ++result.chains_examined;
-    const auto chain = to_chain(keys);
-    const auto schedule =
-        build_chain_schedule(req.topo, chain, NextRule::HighDim);
+    to_chain(keys);
+    builder.build_chain_into(req.topo, chain, NextRule::HighDim, schedule);
     const int steps =
         assign_steps(schedule, port, req.destinations).total_steps;
     if (result.best_steps < 0 || steps < result.best_steps) {

@@ -1,6 +1,5 @@
 #include "core/multicast.hpp"
 
-#include <deque>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
@@ -11,7 +10,9 @@ void MulticastRequest::validate() const {
   if (!topo.contains(source)) {
     throw std::invalid_argument("multicast source outside the cube");
   }
-  std::unordered_set<NodeId> seen;
+  // One bit per node: duplicate and source checks in a single linear
+  // pass (no hashing, no rescans).
+  std::vector<std::uint64_t> seen((topo.num_nodes() + 63) / 64, 0);
   for (const NodeId d : destinations) {
     if (!topo.contains(d)) {
       throw std::invalid_argument("multicast destination outside the cube");
@@ -19,30 +20,80 @@ void MulticastRequest::validate() const {
     if (d == source) {
       throw std::invalid_argument("source listed as a destination");
     }
-    if (!seen.insert(d).second) {
+    std::uint64_t& word = seen[d >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (d & 63);
+    if (word & bit) {
       throw std::invalid_argument("duplicate destination");
     }
+    word |= bit;
   }
 }
 
-void MulticastSchedule::add_send(NodeId from, Send send) {
-  sends_[from].push_back(std::move(send));
-  ++num_sends_;
+void MulticastSchedule::reset(Topology topo, NodeId source) {
+  topo_ = std::move(topo);
+  source_ = source;
+  raw_.clear();
+  pool_.clear();
+  view_.clear();
+  dirty_ = true;
 }
 
-std::span<const Send> MulticastSchedule::sends_from(NodeId u) const {
-  const auto it = sends_.find(u);
-  if (it == sends_.end()) return {};
-  return it->second;
+void MulticastSchedule::reserve(std::size_t sends, std::size_t payload_total) {
+  raw_.reserve(sends);
+  pool_.reserve(payload_total);
+}
+
+void MulticastSchedule::add_send(NodeId from, NodeId to,
+                                 std::span<const NodeId> payload) {
+  RawSend raw;
+  raw.from = from;
+  raw.to = to;
+  raw.pool_begin = static_cast<std::uint32_t>(pool_.size());
+  raw.pool_len = static_cast<std::uint32_t>(payload.size());
+  // The payload may alias pool_ itself (a schedule forwarding one of
+  // its own sends), which reallocation would invalidate — copy through
+  // a temporary index loop after the resize re-reads the span only when
+  // it points elsewhere.
+  if (!payload.empty()) {
+    const NodeId* src = payload.data();
+    const bool aliases_pool =
+        !pool_.empty() && src >= pool_.data() && src < pool_.data() + pool_.size();
+    const std::size_t src_offset =
+        aliases_pool ? static_cast<std::size_t>(src - pool_.data()) : 0;
+    pool_.resize(pool_.size() + payload.size());
+    const NodeId* base = aliases_pool ? pool_.data() + src_offset : src;
+    NodeId* dst = pool_.data() + raw.pool_begin;
+    for (std::size_t i = 0; i < raw.pool_len; ++i) dst[i] = base[i];
+  }
+  raw_.push_back(raw);
+  dirty_ = true;
+}
+
+void MulticastSchedule::finalize() const {
+  if (!dirty_) return;
+  const std::size_t n = topo_.num_nodes();
+  // Counting sort by sender, stable in append order per sender.
+  begin_.assign(n + 1, 0);
+  for (const RawSend& r : raw_) ++begin_[static_cast<std::size_t>(r.from) + 1];
+  for (std::size_t i = 1; i <= n; ++i) begin_[i] += begin_[i - 1];
+  cursor_.assign(begin_.begin(), begin_.end() - 1);
+  view_.resize(raw_.size());
+  const NodeId* pool = pool_.data();
+  for (const RawSend& r : raw_) {
+    view_[cursor_[r.from]++] =
+        Send{r.to, std::span<const NodeId>(pool + r.pool_begin, r.pool_len)};
+  }
+  dirty_ = false;
 }
 
 std::vector<Unicast> MulticastSchedule::unicasts() const {
   std::vector<Unicast> out;
-  out.reserve(num_sends_);
-  std::deque<NodeId> frontier{source_};
-  while (!frontier.empty()) {
-    const NodeId u = frontier.front();
-    frontier.pop_front();
+  out.reserve(raw_.size());
+  // BFS with a flat frontier; a schedule is a tree, so nodes never
+  // repeat and the frontier is bounded by the send count.
+  std::vector<NodeId> frontier{source_};
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId u = frontier[head];
     int issue = 0;
     for (const Send& s : sends_from(u)) {
       out.push_back(Unicast{u, s.to, issue++});
@@ -54,16 +105,16 @@ std::vector<Unicast> MulticastSchedule::unicasts() const {
 
 std::vector<NodeId> MulticastSchedule::recipients() const {
   std::vector<NodeId> out;
-  out.reserve(num_sends_);
+  out.reserve(raw_.size());
   for (const Unicast& u : unicasts()) out.push_back(u.to);
   return out;
 }
 
 std::vector<NodeId> MulticastSchedule::senders() const {
+  finalize();
   std::vector<NodeId> out;
-  out.reserve(sends_.size());
-  for (const auto& [node, list] : sends_) {
-    if (!list.empty()) out.push_back(node);
+  for (std::size_t u = 0; u + 1 < begin_.size(); ++u) {
+    if (begin_[u + 1] > begin_[u]) out.push_back(static_cast<NodeId>(u));
   }
   return out;
 }
@@ -72,10 +123,9 @@ void MulticastSchedule::validate() const {
   std::unordered_set<NodeId> received;
   received.insert(source_);
   std::size_t tree_sends = 0;
-  std::deque<NodeId> frontier{source_};
-  while (!frontier.empty()) {
-    const NodeId u = frontier.front();
-    frontier.pop_front();
+  std::vector<NodeId> frontier{source_};
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const NodeId u = frontier[head];
     for (const Send& s : sends_from(u)) {
       ++tree_sends;
       if (!topo_.contains(s.to)) {
@@ -91,7 +141,7 @@ void MulticastSchedule::validate() const {
       frontier.push_back(s.to);
     }
   }
-  if (tree_sends != num_sends_) {
+  if (tree_sends != raw_.size()) {
     throw std::logic_error(
         "schedule contains sends from nodes that never receive the message");
   }

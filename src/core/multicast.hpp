@@ -1,9 +1,10 @@
 #ifndef HYPERCAST_CORE_MULTICAST_HPP
 #define HYPERCAST_CORE_MULTICAST_HPP
 
+#include <cstdint>
+#include <initializer_list>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "hcube/chain.hpp"
@@ -26,6 +27,8 @@ struct MulticastRequest {
 
   /// Throws std::invalid_argument on malformed requests (duplicate or
   /// out-of-range destinations, source listed as a destination).
+  /// Linear: one pass over the destinations against a bitset over
+  /// topo.num_nodes().
   void validate() const;
 };
 
@@ -33,9 +36,13 @@ struct MulticastRequest {
 /// message goes to `to`, accompanied by the address field `payload` — the
 /// destinations `to` becomes responsible for delivering (Definition 3's
 /// reachable set of `to`, minus `to` itself).
+///
+/// The payload is a *view*: sends handed out by MulticastSchedule point
+/// into the schedule's contiguous payload pool, and sends returned by
+/// local_sends point into the caller's field. Neither owns storage.
 struct Send {
   NodeId to = 0;
-  std::vector<NodeId> payload;
+  std::span<const NodeId> payload;
 };
 
 /// A unicast flattened out of a schedule, tagged with its sender's
@@ -53,19 +60,70 @@ struct Unicast {
 ///
 /// A schedule forms a tree rooted at the source: each non-source
 /// recipient receives exactly once (validate() enforces this).
+///
+/// Storage is CSR-style flat arrays: every add_send appends one fixed
+/// size record plus its payload to one contiguous pool (no per-send
+/// vectors, no per-node map). Accessors group the records per sender
+/// into a cached view, rebuilt lazily after mutation; spans obtained
+/// from sends_from() are invalidated by the next add_send()/reset().
+/// The lazy rebuild means the first accessor call after a mutation is
+/// not safe to race with other readers — finalize() first to share a
+/// schedule across threads read-only.
 class MulticastSchedule {
  public:
   MulticastSchedule(Topology topo, NodeId source)
       : topo_(std::move(topo)), source_(source) {}
 
+  // Copies drop the cached view (it points into the source's pool) and
+  // lazily rebuild against their own storage; moves keep it (the heap
+  // buffers move wholesale, so the spans stay valid).
+  MulticastSchedule(const MulticastSchedule& other)
+      : topo_(other.topo_), source_(other.source_), raw_(other.raw_),
+        pool_(other.pool_) {}
+  MulticastSchedule& operator=(const MulticastSchedule& other) {
+    if (this != &other) {
+      topo_ = other.topo_;
+      source_ = other.source_;
+      raw_ = other.raw_;
+      pool_ = other.pool_;
+      dirty_ = true;
+      view_.clear();
+    }
+    return *this;
+  }
+  MulticastSchedule(MulticastSchedule&&) noexcept = default;
+  MulticastSchedule& operator=(MulticastSchedule&&) noexcept = default;
+
   const Topology& topo() const { return topo_; }
   NodeId source() const { return source_; }
 
-  /// Append a send to `from`'s issue list.
-  void add_send(NodeId from, Send send);
+  /// Re-initialize in place, keeping the flat arrays' capacity. This is
+  /// what lets TreeBuilder sweeps reach a zero-allocation steady state.
+  void reset(Topology topo, NodeId source);
+
+  /// Capacity hint: `sends` future add_send calls carrying
+  /// `payload_total` destination ids altogether.
+  void reserve(std::size_t sends, std::size_t payload_total);
+
+  /// Append a send to `from`'s issue list. The payload is copied into
+  /// the schedule's pool (the argument may alias any storage, including
+  /// this schedule's own pool).
+  void add_send(NodeId from, NodeId to, std::span<const NodeId> payload = {});
+  void add_send(NodeId from, NodeId to, std::initializer_list<NodeId> payload) {
+    add_send(from, to, std::span<const NodeId>(payload.begin(), payload.size()));
+  }
 
   /// The ordered sends issued by node u (empty list if u sends nothing).
-  std::span<const Send> sends_from(NodeId u) const;
+  std::span<const Send> sends_from(NodeId u) const {
+    if (dirty_) finalize();
+    const auto node = static_cast<std::size_t>(u);
+    return {view_.data() + begin_[node], begin_[node + 1] - begin_[node]};
+  }
+
+  /// Build the grouped per-sender view now (idempotent). Called
+  /// implicitly by every accessor; calling it explicitly makes the
+  /// schedule safe for concurrent read-only use.
+  void finalize() const;
 
   /// Every node that receives the message (excludes the source), in
   /// breadth-first tree order. Deterministic.
@@ -75,10 +133,10 @@ class MulticastSchedule {
   std::vector<Unicast> unicasts() const;
 
   /// Total number of unicast messages in the schedule.
-  std::size_t num_unicasts() const { return num_sends_; }
+  std::size_t num_unicasts() const { return raw_.size(); }
 
   /// Nodes with at least one outgoing send, including the source if it
-  /// sends. Unordered.
+  /// sends. Ascending node order.
   std::vector<NodeId> senders() const;
 
   /// Structural validation: all endpoints in the cube, no self-sends,
@@ -100,10 +158,26 @@ class MulticastSchedule {
   std::string format_tree() const;
 
  private:
+  /// One add_send record: fixed size, payload in [pool_begin,
+  /// pool_begin + pool_len) of pool_.
+  struct RawSend {
+    NodeId from = 0;
+    NodeId to = 0;
+    std::uint32_t pool_begin = 0;
+    std::uint32_t pool_len = 0;
+  };
+
   Topology topo_;
   NodeId source_;
-  std::size_t num_sends_ = 0;
-  std::unordered_map<NodeId, std::vector<Send>> sends_;
+  std::vector<RawSend> raw_;   ///< append order
+  std::vector<NodeId> pool_;   ///< all payloads, back to back
+
+  // Cached per-sender grouping (counting-sort by `from`, stable within
+  // a sender): node u's sends are view_[begin_[u] .. begin_[u+1]).
+  mutable bool dirty_ = true;
+  mutable std::vector<Send> view_;
+  mutable std::vector<std::uint32_t> begin_;    ///< num_nodes + 1 offsets
+  mutable std::vector<std::uint32_t> cursor_;   ///< finalize scratch
 };
 
 }  // namespace hypercast::core

@@ -7,8 +7,9 @@ MulticastSchedule separate_addressing(const MulticastRequest& req) {
   MulticastSchedule schedule(req.topo, req.source);
   const auto chain =
       hcube::make_relative_chain(req.topo, req.source, req.destinations);
+  schedule.reserve(chain.size() - 1, 0);
   for (std::size_t i = 1; i < chain.size(); ++i) {
-    schedule.add_send(req.source, Send{chain[i], {}});
+    schedule.add_send(req.source, chain[i]);
   }
   return schedule;
 }

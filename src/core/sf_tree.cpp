@@ -39,6 +39,7 @@ MulticastSchedule sf_tree(const MulticastRequest& req) {
   };
 
   std::deque<Task> work;
+  std::vector<NodeId> payload;  // per-send scratch, copied by add_send
   work.push_back(Task{req.source, topo.dim(), std::move(targets)});
   while (!work.empty()) {
     Task task = std::move(work.front());
@@ -57,17 +58,16 @@ MulticastSchedule sf_tree(const MulticastRequest& req) {
       if (far.empty()) continue;
       const std::uint32_t next_rel = rel_neighbor(here, b);
       const NodeId next = to_node(next_rel);
-      Send send;
-      send.to = next;
-      for (const std::uint32_t t : far) {
-        if (t != next_rel) send.payload.push_back(to_node(t));
-      }
-      schedule.add_send(task.node, std::move(send));
-      // The relay keeps covering the far side with the lower dimensions.
+      payload.clear();
       std::vector<std::uint32_t> sub;
       for (const std::uint32_t t : far) {
-        if (t != next_rel) sub.push_back(t);
+        if (t != next_rel) {
+          payload.push_back(to_node(t));
+          sub.push_back(t);
+        }
       }
+      schedule.add_send(task.node, next, payload);
+      // The relay keeps covering the far side with the lower dimensions.
       if (!sub.empty()) work.push_back(Task{next, b, std::move(sub)});
     }
   }

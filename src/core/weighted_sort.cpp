@@ -82,15 +82,14 @@ void fast_rec(const std::vector<std::uint32_t>& sorted, std::size_t first,
   }
 }
 
-std::vector<std::uint32_t> to_relative(const Topology& topo,
-                                       const std::vector<NodeId>& chain) {
-  std::vector<std::uint32_t> rel(chain.size());
+void to_relative(const Topology& topo, const std::vector<NodeId>& chain,
+                 std::vector<std::uint32_t>& rel) {
+  rel.resize(chain.size());
   for (std::size_t i = 0; i < chain.size(); ++i) {
     rel[i] = hcube::relative_key(topo, chain[0], chain[i]);
   }
   assert(std::is_sorted(rel.begin(), rel.end()) &&
          "weighted_sort input must be a dimension-ordered relative chain");
-  return rel;
 }
 
 void from_relative(const Topology& topo, NodeId source,
@@ -104,34 +103,53 @@ void from_relative(const Topology& topo, NodeId source,
 
 }  // namespace
 
-void weighted_sort_faithful(const Topology& topo, std::vector<NodeId>& chain) {
+void weighted_sort_faithful(const Topology& topo, std::vector<NodeId>& chain,
+                            WeightedSortScratch& scratch) {
   if (chain.size() <= 2) return;
   const NodeId source = chain[0];
-  auto rel = to_relative(topo, chain);
-  faithful_rec(rel, 0, rel.size() - 1, topo.dim());
-  from_relative(topo, source, rel, chain);
+  to_relative(topo, chain, scratch.rel);
+  faithful_rec(scratch.rel, 0, scratch.rel.size() - 1, topo.dim());
+  from_relative(topo, source, scratch.rel, chain);
+}
+
+void weighted_sort_faithful(const Topology& topo, std::vector<NodeId>& chain) {
+  WeightedSortScratch scratch;
+  weighted_sort_faithful(topo, chain, scratch);
+}
+
+void weighted_sort_fast(const Topology& topo, std::vector<NodeId>& chain,
+                        WeightedSortScratch& scratch) {
+  if (chain.size() <= 2) return;
+  const NodeId source = chain[0];
+  to_relative(topo, chain, scratch.rel);
+  scratch.out.clear();
+  scratch.out.reserve(scratch.rel.size());
+  fast_rec(scratch.rel, 0, scratch.rel.size() - 1, topo.dim(),
+           /*pinned=*/true, scratch.out);
+  from_relative(topo, source, scratch.out, chain);
 }
 
 void weighted_sort_fast(const Topology& topo, std::vector<NodeId>& chain) {
-  if (chain.size() <= 2) return;
-  const NodeId source = chain[0];
-  const auto sorted = to_relative(topo, chain);
-  std::vector<std::uint32_t> out;
-  out.reserve(sorted.size());
-  fast_rec(sorted, 0, sorted.size() - 1, topo.dim(), /*pinned=*/true, out);
-  from_relative(topo, source, out, chain);
+  WeightedSortScratch scratch;
+  weighted_sort_fast(topo, chain, scratch);
+}
+
+void weighted_sort(const Topology& topo, std::vector<NodeId>& chain,
+                   WeightedSortImpl impl, WeightedSortScratch& scratch) {
+  switch (impl) {
+    case WeightedSortImpl::Faithful:
+      weighted_sort_faithful(topo, chain, scratch);
+      break;
+    case WeightedSortImpl::Fast:
+      weighted_sort_fast(topo, chain, scratch);
+      break;
+  }
 }
 
 void weighted_sort(const Topology& topo, std::vector<NodeId>& chain,
                    WeightedSortImpl impl) {
-  switch (impl) {
-    case WeightedSortImpl::Faithful:
-      weighted_sort_faithful(topo, chain);
-      break;
-    case WeightedSortImpl::Fast:
-      weighted_sort_fast(topo, chain);
-      break;
-  }
+  WeightedSortScratch scratch;
+  weighted_sort(topo, chain, impl, scratch);
 }
 
 }  // namespace hypercast::core

@@ -22,17 +22,33 @@ namespace hypercast::core {
 ///    output buffer, O(m log N). It stands in for the distributed
 ///    O(m log m) version the paper defers to the technical report.
 
+/// Reusable buffers for the sort: the relative-key image of the chain
+/// and the fast version's output permutation. Both are resized to the
+/// exact chain length per call, so a scratch recycled across a sweep
+/// allocates only on its high-water chain. Plain value type; keep one
+/// per thread (TreeBuilder embeds one).
+struct WeightedSortScratch {
+  std::vector<std::uint32_t> rel;
+  std::vector<std::uint32_t> out;
+};
+
 /// In-place faithful version. `chain` must be the d0-relative
 /// dimension-ordered chain produced by hcube::make_relative_chain.
 void weighted_sort_faithful(const Topology& topo, std::vector<NodeId>& chain);
+void weighted_sort_faithful(const Topology& topo, std::vector<NodeId>& chain,
+                            WeightedSortScratch& scratch);
 
 /// Fast version, same contract and identical output.
 void weighted_sort_fast(const Topology& topo, std::vector<NodeId>& chain);
+void weighted_sort_fast(const Topology& topo, std::vector<NodeId>& chain,
+                        WeightedSortScratch& scratch);
 
 enum class WeightedSortImpl { Faithful, Fast };
 
 void weighted_sort(const Topology& topo, std::vector<NodeId>& chain,
                    WeightedSortImpl impl);
+void weighted_sort(const Topology& topo, std::vector<NodeId>& chain,
+                   WeightedSortImpl impl, WeightedSortScratch& scratch);
 
 }  // namespace hypercast::core
 

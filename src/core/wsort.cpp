@@ -1,5 +1,7 @@
 #include "core/wsort.hpp"
 
+#include "core/tree_builder.hpp"
+
 namespace hypercast::core {
 
 std::vector<NodeId> wsort_chain(const MulticastRequest& req,
@@ -11,8 +13,8 @@ std::vector<NodeId> wsort_chain(const MulticastRequest& req,
 }
 
 MulticastSchedule wsort(const MulticastRequest& req, WeightedSortImpl impl) {
-  const auto chain = wsort_chain(req, impl);
-  return build_chain_schedule(req.topo, chain, NextRule::HighDim);
+  thread_local TreeBuilder builder;
+  return builder.build_wsort(req, impl);
 }
 
 }  // namespace hypercast::core

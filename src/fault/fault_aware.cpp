@@ -67,8 +67,8 @@ class Repairer {
     }
   }
 
-  void deliver(NodeId from, NodeId to, std::vector<NodeId> payload) {
-    out_.add_send(from, core::Send{to, std::move(payload)});
+  void deliver(NodeId from, NodeId to, std::span<const NodeId> payload) {
+    out_.add_send(from, to, payload);  // copied into out_'s payload pool
     received_[to] = true;
     consecutive_defers_ = 0;
   }
@@ -160,21 +160,21 @@ class Repairer {
     for (std::size_t i = start + 1; i < endpoints.size(); ++i) {
       const NodeId w = endpoints[i];
       emitted_hops += topo_.distance(carrier, w);
-      std::vector<NodeId> payload;
       if (w == to) {
-        payload = send.payload;
+        deliver(carrier, w, send.payload);
       } else {
         // A relay inherits responsibility for everything downstream:
         // the remaining relays of the chain, the original target and
         // its subtree.
-        payload.assign(endpoints.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-                       endpoints.end());
-        payload.insert(payload.end(), send.payload.begin(),
-                       send.payload.end());
+        relay_payload_.assign(
+            endpoints.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+            endpoints.end());
+        relay_payload_.insert(relay_payload_.end(), send.payload.begin(),
+                              send.payload.end());
         planned_[w] = true;
         repair.relays.push_back(w);
+        deliver(carrier, w, relay_payload_);
       }
-      deliver(carrier, w, std::move(payload));
       carrier = w;
     }
     report_.relay_nodes_added += repair.relays.size();
@@ -198,6 +198,7 @@ class Repairer {
   std::vector<bool> planned_;   ///< will receive in the final schedule
   std::vector<bool> received_;  ///< receive already emitted (or source)
   std::deque<Item> queue_;
+  std::vector<NodeId> relay_payload_;   ///< emit() scratch
   std::size_t consecutive_defers_ = 0;  ///< defers since the last delivery
   RepairReport report_;
 };

@@ -15,14 +15,18 @@ std::uint32_t relative_key(const Topology& topo, NodeId d0, NodeId u) {
   return topo.key(u) ^ topo.key(d0);
 }
 
-std::vector<NodeId> make_relative_chain(const Topology& topo, NodeId source,
-                                        std::span<const NodeId> destinations) {
-  std::vector<NodeId> chain;
-  chain.reserve(destinations.size() + 1);
-  chain.push_back(source);
-  chain.insert(chain.end(), destinations.begin(), destinations.end());
+void make_relative_chain_into(const Topology& topo, NodeId source,
+                              std::span<const NodeId> destinations,
+                              std::vector<NodeId>& chain) {
+  chain.resize(destinations.size() + 1);
+  chain[0] = source;
+  std::copy(destinations.begin(), destinations.end(), chain.begin() + 1);
+  // Relative keys are XOR-translations of canonical keys, and XOR by a
+  // constant preserves nothing about order in general — but comparing
+  // translated keys is exactly the paper's d0-relative dimension order.
+  const std::uint32_t skey = topo.key(source);
   std::sort(chain.begin() + 1, chain.end(), [&](NodeId a, NodeId b) {
-    return relative_key(topo, source, a) < relative_key(topo, source, b);
+    return (topo.key(a) ^ skey) < (topo.key(b) ^ skey);
   });
 #ifndef NDEBUG
   for (std::size_t i = 1; i < chain.size(); ++i) {
@@ -31,6 +35,12 @@ std::vector<NodeId> make_relative_chain(const Topology& topo, NodeId source,
            "destinations must be distinct");
   }
 #endif
+}
+
+std::vector<NodeId> make_relative_chain(const Topology& topo, NodeId source,
+                                        std::span<const NodeId> destinations) {
+  std::vector<NodeId> chain;
+  make_relative_chain_into(topo, source, destinations, chain);
   return chain;
 }
 

@@ -173,7 +173,7 @@ SimResult simulate_multicast(const core::MulticastSchedule& schedule,
 SimTime simulate_unicast(const hcube::Topology& topo, const SimConfig& config,
                          hcube::NodeId from, hcube::NodeId to) {
   core::MulticastSchedule schedule(topo, from);
-  schedule.add_send(from, core::Send{to, {}});
+  schedule.add_send(from, to);
   return simulate_multicast(schedule, config).delay(to);
 }
 

@@ -13,8 +13,8 @@ using namespace testutil;
 TEST(Contention, DisjointPathsAreFine) {
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{8, {}});
-  s.add_send(0, Send{4, {}});
+  s.add_send(0, 8, {});
+  s.add_send(0, 4, {});
   const auto report = check_contention(s, PortModel::all_port());
   EXPECT_TRUE(report.contention_free());
   EXPECT_EQ(report.pairs_checked, 1u);
@@ -27,9 +27,9 @@ TEST(Contention, SameStepSharedArcIsAViolation) {
   // there. Put both at step 1 by construction.
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{12, {}});
-  s.add_send(0, Send{8, {15}});
-  s.add_send(8, Send{15, {}});
+  s.add_send(0, 12, {});
+  s.add_send(0, 8, {15});
+  s.add_send(8, 15, {});
   // Under the stepwise model 8 arrives in step 2 (channel 3 conflict
   // with 12? no: delta(0,12)=3 and delta(0,8)=3 share the first arc) —
   // craft explicit steps instead to force the overlap.
@@ -52,9 +52,9 @@ TEST(Contention, MixedPairsJudgedIndividually) {
   //   step: a genuine Definition-4 violation).
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{8, {15}});
-  s.add_send(8, Send{15, {}});
-  s.add_send(0, Send{12, {}});
+  s.add_send(0, 8, {15});
+  s.add_send(8, 15, {});
+  s.add_send(0, 12, {});
   const auto steps = assign_steps(s, PortModel::all_port());
   EXPECT_EQ(steps.arrival_step.at(8), 1);
   EXPECT_EQ(steps.arrival_step.at(12), 2);
@@ -72,8 +72,8 @@ TEST(Contention, AncestorSharingArcAcrossStepsIsAllowed) {
   // accepts because 0 is trivially in R_0 and steps differ.
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{8, {}});
-  s.add_send(0, Send{9, {}});
+  s.add_send(0, 8, {});
+  s.add_send(0, 9, {});
   const auto steps = assign_steps(s, PortModel::all_port());
   EXPECT_EQ(steps.arrival_step.at(8), 1);
   EXPECT_EQ(steps.arrival_step.at(9), 2);
@@ -91,7 +91,7 @@ TEST(Contention, SameArcSameStepFromSameSourceNeverHappensViaAssignSteps) {
     const auto req = random_request(topo, 15, rng);
     MulticastSchedule s(topo, req.source);
     for (const NodeId d : req.destinations) {
-      s.add_send(req.source, Send{d, {}});
+      s.add_send(req.source, d, {});
     }
     const auto report = check_contention(s, PortModel::all_port());
     EXPECT_TRUE(report.contention_free()) << report.summary(topo);
@@ -101,9 +101,9 @@ TEST(Contention, SameArcSameStepFromSameSourceNeverHappensViaAssignSteps) {
 TEST(Contention, ViolationSummaryMentionsArc) {
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{12, {}});
-  s.add_send(0, Send{8, {15}});
-  s.add_send(8, Send{15, {}});
+  s.add_send(0, 12, {});
+  s.add_send(0, 8, {15});
+  s.add_send(8, 15, {});
   StepResult forced;
   forced.unicasts = {TimedUnicast{0, 12, 1}, TimedUnicast{8, 15, 1}};
   const auto report = check_contention(s, forced);

@@ -37,9 +37,9 @@ TEST(LocalSends, Figure8SourceSends) {
   const auto sends = local_sends(topo, 0, field, NextRule::HighDim);
   ASSERT_EQ(sends.size(), 4u);
   EXPECT_EQ(sends[0].to, 14u);
-  EXPECT_EQ(sends[0].payload, (std::vector<NodeId>{15, 12, 11}));
+  EXPECT_EQ(to_vec(sends[0].payload), (std::vector<NodeId>{15, 12, 11}));
   EXPECT_EQ(sends[1].to, 5u);
-  EXPECT_EQ(sends[1].payload, (std::vector<NodeId>{7}));
+  EXPECT_EQ(to_vec(sends[1].payload), (std::vector<NodeId>{7}));
   EXPECT_EQ(sends[2].to, 3u);
   EXPECT_EQ(sends[3].to, 1u);
 }
@@ -89,9 +89,11 @@ TEST_P(DistributedEquivalence, MatchesCentralizedSchedules) {
       while (!inbox.empty()) {
         auto [node, field] = std::move(inbox.front());
         inbox.pop_front();
-        for (Send& s : local_sends(topo, node, field, rule)) {
-          inbox.emplace_back(s.to, s.payload);
-          distributed.add_send(node, std::move(s));
+        // The sends' payload spans alias `field`; copy each one into
+        // the inbox (the wire transmission) before field goes away.
+        for (const Send& s : local_sends(topo, node, field, rule)) {
+          inbox.emplace_back(s.to, to_vec(s.payload));
+          distributed.add_send(node, s.to, s.payload);
         }
       }
       EXPECT_EQ(distributed.format_tree(), centralized.format_tree())

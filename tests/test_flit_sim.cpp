@@ -26,7 +26,7 @@ FlitConfig basic_config() {
 MulticastSchedule unicast_schedule(const Topology& topo, NodeId from,
                                    NodeId to) {
   MulticastSchedule s(topo, from);
-  s.add_send(from, Send{to, {}});
+  s.add_send(from, to, {});
   return s;
 }
 
@@ -119,8 +119,8 @@ TEST(FlitSim, EarlyTailReleaseBeatsTheMessageLevelApproximation) {
   // so make routing expensive relative to one flit to expose it.
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{0b1111, {}});
-  s.add_send(0, Send{0b1000, {}});
+  s.add_send(0, 0b1111, {});
+  s.add_send(0, 0b1000, {});
   FlitConfig fconfig = basic_config();
   fconfig.cost.per_hop = microseconds(20);
   fconfig.flit_bytes = 16;
@@ -147,8 +147,8 @@ TEST(FlitSim, EarlyTailReleaseBeatsTheMessageLevelApproximation) {
 TEST(FlitSim, SameChannelSerializationStillHappens) {
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{8, {}});
-  s.add_send(0, Send{9, {}});
+  s.add_send(0, 8, {});
+  s.add_send(0, 9, {});
   const auto result = simulate_multicast_flit(s, basic_config());
   EXPECT_GE(result.stats.blocked_acquisitions, 1u);
   EXPECT_GT(result.delay(9), result.delay(8));
@@ -159,8 +159,8 @@ TEST(FlitSim, OnePortInjectionSerializes) {
   FlitConfig config = basic_config();
   config.port = core::PortModel::one_port();
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{1, {}});
-  s.add_send(0, Send{2, {}});
+  s.add_send(0, 1, {});
+  s.add_send(0, 2, {});
   const auto result = simulate_multicast_flit(s, config);
   EXPECT_GE(result.stats.blocked_acquisitions, 1u);
   // The second worm cannot inject until the first tail leaves the
@@ -255,8 +255,8 @@ TEST(FlitSim, TraceTimelineIsConsistent) {
   FlitConfig config = basic_config();
   config.record_trace = true;
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{0b1010, {0b1011}});
-  s.add_send(0b1010, Send{0b1011, {}});
+  s.add_send(0, 0b1010, {0b1011});
+  s.add_send(0b1010, 0b1011, {});
   const auto result = simulate_multicast_flit(s, config);
   ASSERT_EQ(result.trace.messages.size(), 2u);
   for (const auto& m : result.trace.messages) {

@@ -61,7 +61,7 @@ TEST(LatencyModel, RefusesChannelReusingSchedules) {
 TEST(LatencyModel, SingleUnicastMatchesCostModel) {
   const Topology topo(5);
   core::MulticastSchedule s(topo, 0);
-  s.add_send(0, core::Send{21, {}});
+  s.add_send(0, 21, {});
   const CostModel cost = CostModel::ncube2();
   const auto predicted = predict_delays(s, cost, 2048);
   ASSERT_TRUE(predicted.has_value());

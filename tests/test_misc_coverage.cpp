@@ -35,9 +35,9 @@ TEST(MiscCoverage, FlitSimRespectsKPortInjection) {
   sim::FlitConfig config;
   config.port = core::PortModel::k_port(2);
   core::MulticastSchedule s(topo, 0);
-  s.add_send(0, core::Send{1, {}});
-  s.add_send(0, core::Send{2, {}});
-  s.add_send(0, core::Send{4, {}});
+  s.add_send(0, 1, {});
+  s.add_send(0, 2, {});
+  s.add_send(0, 4, {});
   const auto result = sim::simulate_multicast_flit(s, config);
   // The third worm waits for an injection slot.
   EXPECT_GE(result.stats.blocked_acquisitions, 1u);

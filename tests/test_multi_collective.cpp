@@ -63,9 +63,9 @@ TEST(MultiCollective, SharedChannelJobsSlowEachOtherDown) {
   // Two sources pushing through the same channel: job 1 must wait.
   const Topology topo(4);
   MulticastSchedule s1(topo, 0b0000);
-  s1.add_send(0b0000, Send{0b1100, {}});  // path 0000 -> 1000 -> 1100
+  s1.add_send(0b0000, 0b1100, {});  // path 0000 -> 1000 -> 1100
   MulticastSchedule s2(topo, 0b1000);
-  s2.add_send(0b1000, Send{0b1110, {}});  // path 1000 -> 1100 -> 1110
+  s2.add_send(0b1000, 0b1110, {});  // path 1000 -> 1100 -> 1110
   const SimConfig config;
   // s1's path uses arc (1000, 2); s2's uses (1000, 1)? No: 1000 -> 1100
   // travels dim 2 from 1000 — shared with s1's second hop.
@@ -81,11 +81,11 @@ TEST(MultiCollective, SharedChannelJobsSlowEachOtherDown) {
 TEST(MultiCollective, StaggeredStartsShiftDeliveries) {
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{0b1000, {}});
+  s.add_send(0, 0b1000, {});
   const SimConfig config;
   const SimTime offset = microseconds(500);
   MulticastSchedule s2(topo, 1);
-  s2.add_send(1, Send{0b1001, {}});
+  s2.add_send(1, 0b1001, {});
   const CollectiveJob jobs[] = {{&s, 0}, {&s2, offset}};
   const auto result = simulate_collectives(jobs, config);
   const SimTime lat = config.cost.unicast_latency(1, config.message_bytes);
@@ -98,11 +98,11 @@ TEST(MultiCollective, SharedCpuSerializesSendsAcrossJobs) {
   // serializes all four startups even though channels are distinct.
   const Topology topo(4);
   MulticastSchedule s1(topo, 0);
-  s1.add_send(0, Send{1, {}});
-  s1.add_send(0, Send{2, {}});
+  s1.add_send(0, 1, {});
+  s1.add_send(0, 2, {});
   MulticastSchedule s2(topo, 0);
-  s2.add_send(0, Send{4, {}});
-  s2.add_send(0, Send{8, {}});
+  s2.add_send(0, 4, {});
+  s2.add_send(0, 8, {});
   const SimConfig config;
   const CollectiveJob jobs[] = {{&s1, 0}, {&s2, 0}};
   const auto result = simulate_collectives(jobs, config);

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "test_util.hpp"
+
 namespace hypercast::core {
 namespace {
 
@@ -46,24 +48,25 @@ TEST(MulticastSchedule, EmptyScheduleIsValid) {
 
 TEST(MulticastSchedule, SendsPreserveIssueOrder) {
   MulticastSchedule s(Topology(3), 0);
-  s.add_send(0, Send{4, {5, 6}});
-  s.add_send(0, Send{2, {}});
-  s.add_send(4, Send{5, {}});
-  s.add_send(4, Send{6, {}});
+  s.add_send(0, 4, {5, 6});
+  s.add_send(0, 2, {});
+  s.add_send(4, 5, {});
+  s.add_send(4, 6, {});
   const auto sends = s.sends_from(0);
   ASSERT_EQ(sends.size(), 2u);
   EXPECT_EQ(sends[0].to, 4u);
   EXPECT_EQ(sends[1].to, 2u);
-  EXPECT_EQ(sends[0].payload, (std::vector<hcube::NodeId>{5, 6}));
+  EXPECT_EQ(testutil::to_vec(sends[0].payload),
+            (std::vector<hcube::NodeId>{5, 6}));
   EXPECT_NO_THROW(s.validate());
 }
 
 TEST(MulticastSchedule, UnicastsAreBreadthFirst) {
   MulticastSchedule s(Topology(3), 0);
-  s.add_send(0, Send{4, {}});
-  s.add_send(0, Send{2, {}});
-  s.add_send(4, Send{5, {}});
-  s.add_send(2, Send{3, {}});
+  s.add_send(0, 4, {});
+  s.add_send(0, 2, {});
+  s.add_send(4, 5, {});
+  s.add_send(2, 3, {});
   const auto unis = s.unicasts();
   ASSERT_EQ(unis.size(), 4u);
   EXPECT_EQ(unis[0].from, 0u);
@@ -78,41 +81,41 @@ TEST(MulticastSchedule, UnicastsAreBreadthFirst) {
 
 TEST(MulticastSchedule, ValidateRejectsDoubleDelivery) {
   MulticastSchedule s(Topology(3), 0);
-  s.add_send(0, Send{4, {}});
-  s.add_send(0, Send{4, {}});
+  s.add_send(0, 4, {});
+  s.add_send(0, 4, {});
   EXPECT_THROW(s.validate(), std::logic_error);
 }
 
 TEST(MulticastSchedule, ValidateRejectsSelfSend) {
   MulticastSchedule s(Topology(3), 0);
-  s.add_send(0, Send{0, {}});
+  s.add_send(0, 0, {});
   EXPECT_THROW(s.validate(), std::logic_error);
 }
 
 TEST(MulticastSchedule, ValidateRejectsSendBackToSource) {
   MulticastSchedule s(Topology(3), 0);
-  s.add_send(0, Send{4, {}});
-  s.add_send(4, Send{0, {}});
+  s.add_send(0, 4, {});
+  s.add_send(4, 0, {});
   EXPECT_THROW(s.validate(), std::logic_error);
 }
 
 TEST(MulticastSchedule, ValidateRejectsDisconnectedSender) {
   MulticastSchedule s(Topology(3), 0);
-  s.add_send(0, Send{4, {}});
-  s.add_send(5, Send{6, {}});  // node 5 never receives
+  s.add_send(0, 4, {});
+  s.add_send(5, 6, {});  // node 5 never receives
   EXPECT_THROW(s.validate(), std::logic_error);
 }
 
 TEST(MulticastSchedule, ValidateRejectsOutOfCubeTarget) {
   MulticastSchedule s(Topology(3), 0);
-  s.add_send(0, Send{200, {}});
+  s.add_send(0, 200, {});
   EXPECT_THROW(s.validate(), std::logic_error);
 }
 
 TEST(MulticastSchedule, CoversAndRelays) {
   MulticastSchedule s(Topology(3), 0);
-  s.add_send(0, Send{4, {}});
-  s.add_send(4, Send{6, {}});
+  s.add_send(0, 4, {});
+  s.add_send(4, 6, {});
   const std::vector<hcube::NodeId> dests{6};
   EXPECT_TRUE(s.covers(dests));
   EXPECT_FALSE(s.covers(std::vector<hcube::NodeId>{6, 7}));
@@ -125,8 +128,8 @@ TEST(MulticastSchedule, CoversAndRelays) {
 
 TEST(MulticastSchedule, FormatTreeShowsHierarchy) {
   MulticastSchedule s(Topology(3), 0);
-  s.add_send(0, Send{4, {}});
-  s.add_send(4, Send{5, {}});
+  s.add_send(0, 4, {});
+  s.add_send(4, 5, {});
   const std::string tree = s.format_tree();
   EXPECT_NE(tree.find("000\n"), std::string::npos);
   EXPECT_NE(tree.find("  100\n"), std::string::npos);

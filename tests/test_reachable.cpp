@@ -19,11 +19,11 @@ MulticastSchedule small_tree() {
   //       |
   //       7
   MulticastSchedule s(Topology(3), 0);
-  s.add_send(0, Send{4, {5, 6, 7}});
-  s.add_send(0, Send{2, {}});
-  s.add_send(4, Send{5, {}});
-  s.add_send(4, Send{6, {7}});
-  s.add_send(6, Send{7, {}});
+  s.add_send(0, 4, {5, 6, 7});
+  s.add_send(0, 2, {});
+  s.add_send(4, 5, {});
+  s.add_send(4, 6, {7});
+  s.add_send(6, 7, {});
   return s;
 }
 

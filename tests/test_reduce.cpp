@@ -25,7 +25,7 @@ TEST(Reduce, SingleLeafMatchesClosedForm) {
   // folds after recv + combine.
   const Topology topo(4);
   core::MulticastSchedule tree(topo, 0);
-  tree.add_send(0, Send{0b1100, {}});
+  tree.add_send(0, 0b1100, {});
   const auto config = basic_config();
   const auto result = simulate_reduce(tree, config);
   const SimTime expected =
@@ -49,8 +49,8 @@ TEST(Reduce, ChainFoldsSequentially) {
   // 0 <- 8 <- 12: node 12 is a leaf; 8 folds 12's block then forwards.
   const Topology topo(4);
   core::MulticastSchedule tree(topo, 0);
-  tree.add_send(0, Send{8, {12}});
-  tree.add_send(8, Send{12, {}});
+  tree.add_send(0, 8, {12});
+  tree.add_send(8, 12, {});
   const auto config = basic_config();
   const auto result = simulate_reduce(tree, config);
   const SimTime combine = 4096 * config.combine_ns_per_byte;
@@ -68,8 +68,8 @@ TEST(Reduce, RootWaitsForAllChildren) {
   // one plus its fold.
   const Topology topo(4);
   core::MulticastSchedule tree(topo, 0);
-  tree.add_send(0, Send{1, {}});       // 1 hop
-  tree.add_send(0, Send{0b1110, {}});  // 3 hops, arrives later
+  tree.add_send(0, 1, {});       // 1 hop
+  tree.add_send(0, 0b1110, {});  // 3 hops, arrives later
   const auto config = basic_config();
   const auto result = simulate_reduce(tree, config);
   const SimTime combine = 4096 * config.combine_ns_per_byte;
@@ -88,8 +88,8 @@ TEST(Reduce, GatherModeGrowsMessages) {
   // 0 <- 8 <- 12 in gather mode: 12 sends one block, 8 sends two.
   const Topology topo(4);
   core::MulticastSchedule tree(topo, 0);
-  tree.add_send(0, Send{8, {12}});
-  tree.add_send(8, Send{12, {}});
+  tree.add_send(0, 8, {12});
+  tree.add_send(8, 12, {});
   ReduceConfig config = basic_config();
   config.mode = ReduceConfig::Mode::Gather;
   config.record_trace = true;
@@ -144,8 +144,8 @@ TEST(Reduce, ReverseTreesCanBlock) {
   // with P(0001, 0000).
   const Topology topo(4);
   core::MulticastSchedule tree(topo, 0);
-  tree.add_send(0, Send{0b0011, {}});
-  tree.add_send(0, Send{0b0001, {}});
+  tree.add_send(0, 0b0011, {});
+  tree.add_send(0, 0b0001, {});
   const auto result = simulate_reduce(tree, basic_config());
   EXPECT_GE(result.stats.blocked_acquisitions, 1u);
 }

@@ -18,7 +18,7 @@ using sim::SimTime;
 TEST(Scatter, SingleDestinationIsAUnicastOfOneBlock) {
   const Topology topo(4);
   core::MulticastSchedule tree(topo, 0);
-  tree.add_send(0, Send{0b0110, {}});
+  tree.add_send(0, 0b0110, {});
   ScatterConfig config;
   const auto result = simulate_scatter(tree, config);
   EXPECT_EQ(result.delay(0b0110),
@@ -29,8 +29,8 @@ TEST(Scatter, BundlesShrinkDownTheTree) {
   // 0 -> 8 carries {8's, 12's} blocks; 8 -> 12 carries only 12's.
   const Topology topo(4);
   core::MulticastSchedule tree(topo, 0);
-  tree.add_send(0, Send{8, {12}});
-  tree.add_send(8, Send{12, {}});
+  tree.add_send(0, 8, {12});
+  tree.add_send(8, 12, {});
   ScatterConfig config;
   config.record_trace = true;
   const auto result = simulate_scatter(tree, config);

@@ -58,8 +58,8 @@ TEST(WormholeSim, SameChannelSendsSerialize) {
   const Topology topo(4);
   const SimConfig config = basic_config();
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{8, {}});
-  s.add_send(0, Send{9, {}});
+  s.add_send(0, 8, {});
+  s.add_send(0, 9, {});
   const auto result = simulate_multicast(s, config);
   EXPECT_EQ(result.stats.blocked_acquisitions, 1u);
   const SimTime first = result.delay(8);
@@ -79,10 +79,10 @@ TEST(WormholeSim, DistinctChannelSendsOverlap) {
   const Topology topo(4);
   const SimConfig config = basic_config();
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{1, {}});
-  s.add_send(0, Send{2, {}});
-  s.add_send(0, Send{4, {}});
-  s.add_send(0, Send{8, {}});
+  s.add_send(0, 1, {});
+  s.add_send(0, 2, {});
+  s.add_send(0, 4, {});
+  s.add_send(0, 8, {});
   const auto result = simulate_multicast(s, config);
   EXPECT_EQ(result.stats.blocked_acquisitions, 0u);
   for (int i = 0; i < 4; ++i) {
@@ -100,8 +100,8 @@ TEST(WormholeSim, OnePortSerializesAtTheInjectionPool) {
   SimConfig config = basic_config();
   config.port = PortModel::one_port();
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{1, {}});
-  s.add_send(0, Send{2, {}});
+  s.add_send(0, 1, {});
+  s.add_send(0, 2, {});
   const auto result = simulate_multicast(s, config);
   EXPECT_EQ(result.stats.blocked_acquisitions, 1u);
   EXPECT_EQ(result.delay(1), config.cost.unicast_latency(1, 4096));
@@ -125,10 +125,10 @@ TEST(WormholeSim, OnePortReceiverSerializesArrivals) {
   //   0001 -> 0101 (payload {0100}); 0101 -> 0100
   //   0001 -> 0000 then 0000 -> 0100? 0000->0100 and 0101->0100 meet at
   //   consumption of 0100.
-  s.add_send(0b0001, Send{0b0101, {0b0100}});
-  s.add_send(0b0001, Send{0b0000, {0b1100}});
-  s.add_send(0b0101, Send{0b0100, {}});
-  s.add_send(0b0000, Send{0b1100, {}});
+  s.add_send(0b0001, 0b0101, {0b0100});
+  s.add_send(0b0001, 0b0000, {0b1100});
+  s.add_send(0b0101, 0b0100, {});
+  s.add_send(0b0000, 0b1100, {});
   const auto result = simulate_multicast(s, config);
   // Structural sanity: everyone got it exactly once, simulation drained.
   EXPECT_EQ(result.delivery.size(), 4u);
@@ -144,9 +144,9 @@ TEST(WormholeSim, AllPortReceiverAcceptsConcurrentArrivals) {
   SimConfig config = basic_config();
   config.port = PortModel::k_port(2);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{1, {}});
-  s.add_send(0, Send{2, {}});
-  s.add_send(0, Send{4, {}});
+  s.add_send(0, 1, {});
+  s.add_send(0, 2, {});
+  s.add_send(0, 4, {});
   const auto result = simulate_multicast(s, config);
   // Third worm waits for an injection slot.
   EXPECT_EQ(result.stats.blocked_acquisitions, 1u);
@@ -219,8 +219,8 @@ TEST(WormholeSim, TraceRecordsTimeline) {
   SimConfig config = basic_config();
   config.record_trace = true;
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{8, {12}});
-  s.add_send(8, Send{12, {}});
+  s.add_send(0, 8, {12});
+  s.add_send(8, 12, {});
   const auto result = simulate_multicast(s, config);
   ASSERT_EQ(result.trace.messages.size(), 2u);
   const auto& first = result.trace.messages[0];
@@ -244,8 +244,8 @@ TEST(WormholeSim, AvgAndMaxDelayHelpers) {
   const Topology topo(4);
   const SimConfig config = basic_config();
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{8, {}});
-  s.add_send(0, Send{9, {}});
+  s.add_send(0, 8, {});
+  s.add_send(0, 9, {});
   const auto result = simulate_multicast(s, config);
   const std::vector<NodeId> targets{8, 9};
   EXPECT_EQ(result.max_delay(targets),

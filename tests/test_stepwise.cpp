@@ -24,10 +24,10 @@ TEST(Stepwise, OnePortSerializesAllSends) {
   // serializes them at steps 1, 2, 3, 4.
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{1, {}});
-  s.add_send(0, Send{2, {}});
-  s.add_send(0, Send{4, {}});
-  s.add_send(0, Send{8, {}});
+  s.add_send(0, 1, {});
+  s.add_send(0, 2, {});
+  s.add_send(0, 4, {});
+  s.add_send(0, 8, {});
   const auto steps = assign_steps(s, PortModel::one_port());
   EXPECT_EQ(steps.arrival_step.at(1), 1);
   EXPECT_EQ(steps.arrival_step.at(2), 2);
@@ -39,10 +39,10 @@ TEST(Stepwise, OnePortSerializesAllSends) {
 TEST(Stepwise, AllPortParallelizesDistinctChannels) {
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{1, {}});
-  s.add_send(0, Send{2, {}});
-  s.add_send(0, Send{4, {}});
-  s.add_send(0, Send{8, {}});
+  s.add_send(0, 1, {});
+  s.add_send(0, 2, {});
+  s.add_send(0, 4, {});
+  s.add_send(0, 8, {});
   const auto steps = assign_steps(s, PortModel::all_port());
   for (const NodeId v : {1u, 2u, 4u, 8u}) {
     EXPECT_EQ(steps.arrival_step.at(v), 1);
@@ -55,9 +55,9 @@ TEST(Stepwise, AllPortSerializesSameChannel) {
   // first arc and must go in consecutive steps, in issue order.
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{9, {}});
-  s.add_send(0, Send{8, {}});
-  s.add_send(0, Send{12, {}});
+  s.add_send(0, 9, {});
+  s.add_send(0, 8, {});
+  s.add_send(0, 12, {});
   const auto steps = assign_steps(s, PortModel::all_port());
   EXPECT_EQ(steps.arrival_step.at(9), 1);
   EXPECT_EQ(steps.arrival_step.at(8), 2);
@@ -69,8 +69,8 @@ TEST(Stepwise, ChannelSerializationDependsOnResolutionOrder) {
   // different first channels (0 and 3), so they parallelize.
   const Topology topo(4, Resolution::LowToHigh);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{9, {}});
-  s.add_send(0, Send{8, {}});
+  s.add_send(0, 9, {});
+  s.add_send(0, 8, {});
   const auto steps = assign_steps(s, PortModel::all_port());
   EXPECT_EQ(steps.arrival_step.at(9), 1);
   EXPECT_EQ(steps.arrival_step.at(8), 1);
@@ -79,10 +79,10 @@ TEST(Stepwise, ChannelSerializationDependsOnResolutionOrder) {
 TEST(Stepwise, KPortLimitsConcurrency) {
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{1, {}});
-  s.add_send(0, Send{2, {}});
-  s.add_send(0, Send{4, {}});
-  s.add_send(0, Send{8, {}});
+  s.add_send(0, 1, {});
+  s.add_send(0, 2, {});
+  s.add_send(0, 4, {});
+  s.add_send(0, 8, {});
   const auto steps = assign_steps(s, PortModel::k_port(2));
   // Four distinct channels but only two ports: steps 1,1,2,2.
   EXPECT_EQ(steps.arrival_step.at(1), 1);
@@ -94,9 +94,9 @@ TEST(Stepwise, KPortLimitsConcurrency) {
 TEST(Stepwise, KPortAlsoRespectsChannelConflicts) {
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{8, {}});
-  s.add_send(0, Send{9, {}});   // same channel as 8
-  s.add_send(0, Send{1, {}});
+  s.add_send(0, 8, {});
+  s.add_send(0, 9, {});   // same channel as 8
+  s.add_send(0, 1, {});
   const auto steps = assign_steps(s, PortModel::k_port(2));
   EXPECT_EQ(steps.arrival_step.at(8), 1);
   EXPECT_EQ(steps.arrival_step.at(9), 2);  // channel 3 busy at step 1
@@ -106,8 +106,8 @@ TEST(Stepwise, KPortAlsoRespectsChannelConflicts) {
 TEST(Stepwise, ForwardingStartsOneStepAfterArrival) {
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{8, {12}});
-  s.add_send(8, Send{12, {}});
+  s.add_send(0, 8, {12});
+  s.add_send(8, 12, {});
   const auto steps = assign_steps(s, PortModel::all_port());
   EXPECT_EQ(steps.arrival_step.at(8), 1);
   EXPECT_EQ(steps.arrival_step.at(12), 2);
@@ -116,8 +116,8 @@ TEST(Stepwise, ForwardingStartsOneStepAfterArrival) {
 TEST(Stepwise, TargetsRestrictTotalSteps) {
   const Topology topo(4);
   MulticastSchedule s(topo, 0);
-  s.add_send(0, Send{8, {12}});
-  s.add_send(8, Send{12, {}});
+  s.add_send(0, 8, {12});
+  s.add_send(8, 12, {});
   const std::vector<NodeId> only_first{8};
   const auto steps = assign_steps(s, PortModel::all_port(), only_first);
   EXPECT_EQ(steps.total_steps, 1);  // 12 is a relay for this query

@@ -18,6 +18,12 @@ using hcube::NodeId;
 using hcube::Resolution;
 using hcube::Topology;
 
+/// Owned copy of a payload view (schedule sends carry spans into the
+/// schedule's pool; copy before comparing or outliving the schedule).
+inline std::vector<NodeId> to_vec(std::span<const NodeId> payload) {
+  return {payload.begin(), payload.end()};
+}
+
 /// The children of `from` in issue order.
 inline std::vector<NodeId> children_of(const MulticastSchedule& s,
                                        NodeId from) {

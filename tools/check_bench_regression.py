@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Bench regression gate for hypercast-bench-v1 artifacts.
+
+Compares throughput metrics (any metric key containing "per_sec" or
+"per_s" -- builds_per_sec, events_per_s, sorts_per_sec, ...) in freshly
+produced BENCH_*.json files against the committed baselines under
+results/. Higher is better for every rate metric; the gate fails when a
+fresh rate drops more than --threshold (default 30%) below its baseline.
+
+Benchmarks or individual metrics present on only one side are reported
+but never fail the gate: baselines are refreshed deliberately, and quick
+CI runs may skip heavyweight benchmarks.
+
+Usage:
+  tools/check_bench_regression.py --fresh-dir bench-artifacts \
+      [--baseline-dir results] [--threshold 0.30]
+
+The threshold can also be set via the BENCH_REGRESSION_THRESHOLD
+environment variable (the flag wins). Exit status: 0 pass, 1 regression,
+2 usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+RATE_MARKERS = ("per_sec", "per_s")
+
+
+def is_rate_metric(key: str) -> bool:
+    return any(marker in key for marker in RATE_MARKERS)
+
+
+def load_artifacts(directory: Path):
+    """Map benchmark name -> {metric: value} for rate metrics only."""
+    out = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: cannot parse {path}: {err}", file=sys.stderr)
+            sys.exit(2)
+        if doc.get("schema") != "hypercast-bench-v1":
+            print(f"note: skipping {path.name} (schema {doc.get('schema')!r})")
+            continue
+        rates = {
+            key: value
+            for key, value in doc.get("metrics", {}).items()
+            if is_rate_metric(key) and isinstance(value, (int, float))
+        }
+        out[doc.get("name", path.stem)] = rates
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh-dir", required=True, type=Path,
+                        help="directory with just-produced BENCH_*.json")
+    parser.add_argument("--baseline-dir", type=Path, default=Path("results"),
+                        help="directory with committed baselines "
+                             "(default: results)")
+    parser.add_argument("--threshold", type=float,
+                        default=float(os.environ.get(
+                            "BENCH_REGRESSION_THRESHOLD", "0.30")),
+                        help="max tolerated fractional drop, e.g. 0.30 "
+                             "(default: 0.30 or $BENCH_REGRESSION_THRESHOLD)")
+    args = parser.parse_args()
+
+    if not (0.0 < args.threshold < 1.0):
+        print(f"error: threshold {args.threshold} not in (0, 1)",
+              file=sys.stderr)
+        return 2
+    for directory in (args.fresh_dir, args.baseline_dir):
+        if not directory.is_dir():
+            print(f"error: {directory} is not a directory", file=sys.stderr)
+            return 2
+
+    fresh = load_artifacts(args.fresh_dir)
+    baseline = load_artifacts(args.baseline_dir)
+    if not fresh:
+        print(f"error: no BENCH_*.json artifacts in {args.fresh_dir}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    compared = 0
+    for name, fresh_rates in sorted(fresh.items()):
+        base_rates = baseline.get(name)
+        if base_rates is None:
+            print(f"note: {name}: no committed baseline, skipping")
+            continue
+        for key, fresh_value in sorted(fresh_rates.items()):
+            base_value = base_rates.get(key)
+            if base_value is None:
+                print(f"note: {name}: metric {key!r} not in baseline")
+                continue
+            if base_value <= 0:
+                continue
+            compared += 1
+            ratio = fresh_value / base_value
+            status = "ok"
+            if ratio < 1.0 - args.threshold:
+                status = "REGRESSION"
+                regressions.append((name, key, base_value, fresh_value, ratio))
+            print(f"{status:>10}  {name}: {key}  "
+                  f"{base_value:.4g} -> {fresh_value:.4g}  ({ratio:.2f}x)")
+
+    print(f"\ncompared {compared} rate metrics, "
+          f"threshold {args.threshold:.0%} drop")
+    if regressions:
+        print(f"FAIL: {len(regressions)} metric(s) regressed:")
+        for name, key, base_value, fresh_value, ratio in regressions:
+            print(f"  {name}: {key}  {base_value:.4g} -> {fresh_value:.4g}  "
+                  f"({(1 - ratio):.0%} drop)")
+        return 1
+    print("PASS: no rate metric regressed beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
