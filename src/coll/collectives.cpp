@@ -13,25 +13,40 @@ constexpr std::size_t kBarrierBytes = 8;
 
 Collectives::Collectives(Options options)
     : options_(std::move(options)),
-      algo_(&core::find_algorithm(options_.algorithm)) {}
+      algo_(&core::find_algorithm(options_.algorithm)),
+      pipeline_(std::make_unique<ServePipeline>(
+          options_.algorithm,
+          options_.cache_enabled
+              ? std::make_shared<ScheduleCache>(options_.cache)
+              : nullptr)) {}
+
+ScheduleCache::Stats Collectives::cache_stats() const {
+  return pipeline_->cache() ? pipeline_->cache()->stats()
+                            : ScheduleCache::Stats{};
+}
 
 core::MulticastSchedule Collectives::plan(
+    hcube::NodeId source, std::span<const hcube::NodeId> dests) const {
+  return *plan_shared(source, dests);
+}
+
+std::shared_ptr<const core::MulticastSchedule> Collectives::plan_shared(
     hcube::NodeId source, std::span<const hcube::NodeId> dests) const {
   const core::MulticastRequest req{
       options_.topo, source, std::vector<hcube::NodeId>(dests.begin(),
                                                         dests.end())};
-  return algo_->build(req);
+  return pipeline_->serve(req);
 }
 
 sim::SimResult Collectives::multicast(hcube::NodeId source,
                                       std::span<const hcube::NodeId> dests,
                                       std::size_t bytes) const {
-  const auto schedule = plan(source, dests);
+  const auto schedule = plan_shared(source, dests);
   sim::SimConfig config;
   config.cost = options_.cost;
   config.port = options_.port;
   config.message_bytes = bytes;
-  return sim::simulate_multicast(schedule, config);
+  return sim::simulate_multicast(*schedule, config);
 }
 
 sim::SimResult Collectives::broadcast(hcube::NodeId source,
@@ -43,36 +58,36 @@ sim::SimResult Collectives::broadcast(hcube::NodeId source,
 ReduceResult Collectives::reduce(hcube::NodeId root,
                                  std::span<const hcube::NodeId> participants,
                                  std::size_t bytes) const {
-  const auto tree = plan(root, participants);
+  const auto tree = plan_shared(root, participants);
   ReduceConfig config;
   config.cost = options_.cost;
   config.port = options_.port;
   config.block_bytes = bytes;
   config.mode = ReduceConfig::Mode::Combine;
-  return simulate_reduce(tree, config);
+  return simulate_reduce(*tree, config);
 }
 
 ReduceResult Collectives::gather(hcube::NodeId root,
                                  std::span<const hcube::NodeId> participants,
                                  std::size_t bytes_per_node) const {
-  const auto tree = plan(root, participants);
+  const auto tree = plan_shared(root, participants);
   ReduceConfig config;
   config.cost = options_.cost;
   config.port = options_.port;
   config.block_bytes = bytes_per_node;
   config.mode = ReduceConfig::Mode::Gather;
-  return simulate_reduce(tree, config);
+  return simulate_reduce(*tree, config);
 }
 
 ScatterResult Collectives::scatter(
     hcube::NodeId root, std::span<const hcube::NodeId> destinations,
     std::size_t bytes_per_node) const {
-  const auto tree = plan(root, destinations);
+  const auto tree = plan_shared(root, destinations);
   ScatterConfig config;
   config.cost = options_.cost;
   config.port = options_.port;
   config.block_bytes = bytes_per_node;
-  return simulate_scatter(tree, config);
+  return simulate_scatter(*tree, config);
 }
 
 AllToAllResult Collectives::all_to_all(std::size_t bytes_per_block) const {
@@ -83,22 +98,51 @@ AllToAllResult Collectives::all_to_all(std::size_t bytes_per_block) const {
   return simulate_all_to_all(options_.topo, config);
 }
 
+AllToAllResult Collectives::all_to_all_scatter(
+    std::size_t bytes_per_block) const {
+  ScatterConfig config;
+  config.cost = options_.cost;
+  config.port = options_.port;
+  config.block_bytes = bytes_per_block;
+
+  // One phase per root, network quiescent between phases. Every root's
+  // tree is the XOR-translation of the same relative broadcast tree, so
+  // planning the exchange is one construction + N - 1 cache hits.
+  AllToAllResult out;
+  for (hcube::NodeId root = 0;
+       root < static_cast<hcube::NodeId>(options_.topo.num_nodes()); ++root) {
+    const auto dests = workload::broadcast_destinations(options_.topo, root);
+    const auto tree = plan_shared(root, dests);
+    const ScatterResult phase = simulate_scatter(*tree, config);
+    out.completion += phase.max_delay();
+    out.stats.messages += phase.stats.messages;
+    out.stats.blocked_acquisitions += phase.stats.blocked_acquisitions;
+    out.stats.total_blocked_ns += phase.stats.total_blocked_ns;
+    out.stats.events += phase.stats.events;
+  }
+  for (hcube::NodeId u = 0;
+       u < static_cast<hcube::NodeId>(options_.topo.num_nodes()); ++u) {
+    out.finish[u] = out.completion;
+  }
+  return out;
+}
+
 sim::SimTime Collectives::barrier(
     hcube::NodeId root, std::span<const hcube::NodeId> participants) const {
-  const auto tree = plan(root, participants);
+  const auto tree = plan_shared(root, participants);
 
   ReduceConfig up;
   up.cost = options_.cost;
   up.port = options_.port;
   up.block_bytes = kBarrierBytes;
   up.combine_ns_per_byte = 0;  // a barrier folds nothing
-  const auto arrive = simulate_reduce(tree, up);
+  const auto arrive = simulate_reduce(*tree, up);
 
   sim::SimConfig down;
   down.cost = options_.cost;
   down.port = options_.port;
   down.message_bytes = kBarrierBytes;
-  const auto release = sim::simulate_multicast(tree, down);
+  const auto release = sim::simulate_multicast(*tree, down);
 
   return arrive.completion + release.max_delay(participants);
 }

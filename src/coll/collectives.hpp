@@ -1,11 +1,13 @@
 #ifndef HYPERCAST_COLL_COLLECTIVES_HPP
 #define HYPERCAST_COLL_COLLECTIVES_HPP
 
+#include <memory>
 #include <string>
 
 #include "coll/all_to_all.hpp"
 #include "coll/reduce.hpp"
 #include "coll/scatter.hpp"
+#include "coll/serve_pipeline.hpp"
 #include "core/registry.hpp"
 #include "sim/wormhole_sim.hpp"
 
@@ -25,16 +27,36 @@ class Collectives {
     core::PortModel port = core::PortModel::all_port();
     sim::CostModel cost = sim::CostModel::ncube2();
     std::string algorithm = "wsort";  ///< registry name
+
+    /// Plan through the translation-invariant ScheduleCache (repeated
+    /// and XOR-translated requests pay tree construction once). Cached
+    /// and uncached planning produce bit-identical schedules; disable
+    /// only to measure, or to shed the cache's memory footprint.
+    bool cache_enabled = true;
+    ScheduleCache::Config cache;
   };
 
   explicit Collectives(Options options);
 
   const Options& options() const { return options_; }
 
+  /// The serving pipeline every plan goes through (its cache is null
+  /// when cache_enabled is false).
+  const ServePipeline& pipeline() const { return *pipeline_; }
+
+  /// Planning-cache counters (all zero when the cache is disabled).
+  ScheduleCache::Stats cache_stats() const;
+
   /// The multicast tree the configured algorithm plans for this
   /// source/destination set.
   core::MulticastSchedule plan(hcube::NodeId source,
                                std::span<const hcube::NodeId> dests) const;
+
+  /// Same plan as an immutably shared, finalized schedule — what the
+  /// simulating operations below consume; a cache hit costs a key sort
+  /// plus (for non-zero sources) a linear XOR relabeling.
+  std::shared_ptr<const core::MulticastSchedule> plan_shared(
+      hcube::NodeId source, std::span<const hcube::NodeId> dests) const;
 
   /// One-to-many, arbitrary destination set.
   sim::SimResult multicast(hcube::NodeId source,
@@ -71,9 +93,19 @@ class Collectives {
   /// every node ends up with one block from every other node.
   AllToAllResult all_to_all(std::size_t bytes_per_block) const;
 
+  /// Complete exchange as N phased scatters over multicast trees, one
+  /// rooted at every node — the "n translated multicasts" pattern: all N
+  /// trees are XOR-translations of one relative broadcast tree, so with
+  /// the cache enabled the whole exchange plans one tree. Modeled as
+  /// sequential quiescent phases (an estimator, pessimistic on overlap;
+  /// the dimension-exchange all_to_all above remains the contention-free
+  /// reference).
+  AllToAllResult all_to_all_scatter(std::size_t bytes_per_block) const;
+
  private:
   Options options_;
   const core::AlgorithmEntry* algo_;
+  std::unique_ptr<ServePipeline> pipeline_;
 };
 
 }  // namespace hypercast::coll

@@ -1,0 +1,202 @@
+#include "coll/schedule_cache.hpp"
+
+#include <algorithm>
+#include <array>
+#include <thread>
+
+#include "fault/fault_aware.hpp"
+
+namespace hypercast::coll {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::uint64_t next_instance_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Thread-local L1: a small direct-mapped table shared by every cache
+/// instance in the process (slots are tagged with the owning instance).
+/// Slot residency pins a shared_ptr, so the table is deliberately small:
+/// it exists to make the *hot* path lock-free, not to be a second cache.
+struct L1Slot {
+  std::uint64_t instance = 0;    ///< owning ScheduleCache
+  std::uint64_t generation = 0;  ///< shard generation at stamp time
+  std::uint64_t fault_epoch = 0; ///< stamp for absolute (fault) keys
+  core::CacheKey key;
+  std::shared_ptr<const core::MulticastSchedule> schedule;
+};
+
+constexpr std::size_t kL1Slots = 128;  // power of two
+
+std::array<L1Slot, kL1Slots>& l1_table() {
+  thread_local std::array<L1Slot, kL1Slots> table;
+  return table;
+}
+
+L1Slot& l1_slot_for(std::uint64_t hash) {
+  return l1_table()[(hash >> 8) & (kL1Slots - 1)];
+}
+
+}  // namespace
+
+ScheduleCache::ScheduleCache() : ScheduleCache(Config{}) {}
+
+ScheduleCache::ScheduleCache(Config config)
+    : config_(config), instance_id_(next_instance_id()) {
+  std::size_t shards = config_.shards;
+  if (shards == 0) {
+    shards = std::thread::hardware_concurrency();
+    if (shards == 0) shards = 8;
+  }
+  shards = std::min(round_up_pow2(shards), std::size_t{256});
+  shard_mask_ = shards - 1;
+  per_shard_budget_ = std::max<std::size_t>(config_.max_bytes / shards, 1);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ScheduleCache::~ScheduleCache() = default;
+
+bool ScheduleCache::stale(const core::CacheKey& key,
+                          std::uint64_t entry_epoch) {
+  return key.absolute && entry_epoch != kEpochImmune &&
+         entry_epoch != fault::fault_epoch();
+}
+
+std::shared_ptr<const core::MulticastSchedule> ScheduleCache::get(
+    const core::CacheKey& key) {
+  Shard& shard = *shards_[shard_of(key)];
+
+  // Lock-free fast path: thread-local slot, validated by instance id,
+  // shard generation and (for fault-dependent entries) the fault epoch.
+  L1Slot& slot = l1_slot_for(key.hash);
+  if (slot.instance == instance_id_ &&
+      slot.generation == shard.generation.load(std::memory_order_acquire) &&
+      !stale(key, slot.fault_epoch) && slot.key == key) {
+    shard.l1_hits.fetch_add(1, std::memory_order_relaxed);
+    return slot.schedule;
+  }
+
+  std::shared_ptr<const core::MulticastSchedule> found;
+  std::uint64_t entry_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    if (stale(key, it->second.fault_epoch)) {
+      // Lazy epoch invalidation: the fault set moved on since this
+      // repaired tree was built — drop it and report a miss.
+      shard.bytes -= it->second.bytes;
+      shard.lru.erase(it->second.lru);
+      shard.map.erase(it);
+      shard.invalidations.fetch_add(1, std::memory_order_relaxed);
+      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru);
+    found = it->second.schedule;
+    entry_epoch = it->second.fault_epoch;
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Stamp the L1 slot outside the lock (thread-local, no races).
+  slot.instance = instance_id_;
+  slot.generation = shard.generation.load(std::memory_order_acquire);
+  slot.fault_epoch = entry_epoch;
+  slot.key = key;
+  slot.schedule = found;
+  return found;
+}
+
+void ScheduleCache::put(
+    const core::CacheKey& key,
+    std::shared_ptr<const core::MulticastSchedule> schedule) {
+  put(key, std::move(schedule), fault::fault_epoch());
+}
+
+void ScheduleCache::put(
+    const core::CacheKey& key,
+    std::shared_ptr<const core::MulticastSchedule> schedule,
+    std::uint64_t built_at_epoch) {
+  Shard& shard = *shards_[shard_of(key)];
+  const std::size_t bytes =
+      schedule->footprint_bytes() + key.footprint_bytes() + 64;
+  const std::uint64_t epoch = key.absolute ? built_at_epoch : 0;
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(key);
+  Entry& entry = it->second;
+  if (!inserted) {
+    shard.bytes -= entry.bytes;
+    shard.lru.erase(entry.lru);
+  }
+  entry.schedule = std::move(schedule);
+  entry.bytes = bytes;
+  entry.fault_epoch = epoch;
+  shard.lru.push_front(&it->first);
+  entry.lru = shard.lru.begin();
+  shard.bytes += bytes;
+  evict_over_budget_locked(shard);
+}
+
+std::shared_ptr<const core::MulticastSchedule> ScheduleCache::get_or_build(
+    const core::CacheKey& key,
+    const std::function<std::shared_ptr<const core::MulticastSchedule>()>&
+        build) {
+  if (auto hit = get(key)) return hit;
+  const std::uint64_t epoch_before = fault::fault_epoch();
+  auto built = build();
+  put(key, built, epoch_before);
+  return built;
+}
+
+void ScheduleCache::evict_over_budget_locked(Shard& shard) {
+  while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
+    const core::CacheKey* victim = shard.lru.back();
+    const auto it = shard.map.find(*victim);
+    shard.bytes -= it->second.bytes;
+    shard.lru.pop_back();
+    shard.map.erase(it);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ScheduleCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+    // Generation bump retires every thread-local L1 slot pointing here.
+    shard->generation.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+ScheduleCache::Stats ScheduleCache::stats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    out.hits += shard->hits.load(std::memory_order_relaxed);
+    out.l1_hits += shard->l1_hits.load(std::memory_order_relaxed);
+    out.misses += shard->misses.load(std::memory_order_relaxed);
+    out.evictions += shard->evictions.load(std::memory_order_relaxed);
+    out.invalidations += shard->invalidations.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.entries += shard->map.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+}  // namespace hypercast::coll

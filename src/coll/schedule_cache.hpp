@@ -1,0 +1,175 @@
+#ifndef HYPERCAST_COLL_SCHEDULE_CACHE_HPP
+#define HYPERCAST_COLL_SCHEDULE_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cache_key.hpp"
+#include "core/multicast.hpp"
+
+namespace hypercast::coll {
+
+/// Sharded, striped-lock LRU cache of finalized multicast schedules,
+/// keyed by core::CacheKey (dimension, resolution, algorithm, canonical
+/// relative chain, and — for absolute keys — the source). A *relative*
+/// entry serves every XOR-translation of its request: `(u, D)` and
+/// `(v, v ^ u ^ D)` hit the same schedule, so a broadcast sweep over all
+/// sources, the n translated multicasts of a tree-based all-to-all, or a
+/// repeated hot pattern all pay tree construction exactly once.
+/// *Absolute* entries pin one specific source: fault-aware schedules
+/// (whose repairs depend on absolute link positions, invalidated by
+/// fault-epoch bumps) and materialized translations of relative entries
+/// (epoch-immune; they make exact repeats zero-copy).
+///
+/// Concurrency
+///  * The shared tier is striped: the key's hash selects a shard, each
+///    shard owns a mutex + hash map + LRU list. Writers (miss insert,
+///    eviction, invalidation) only contend within one shard.
+///  * The hot path is lock-free: each thread keeps a small direct-mapped
+///    L1 of recently served entries, validated against the owning
+///    shard's atomic generation tag (bumped by clear()) and — for
+///    fault-dependent entries — against fault::fault_epoch(). An L1 hit
+///    touches no lock and no shared cache line beyond two atomic loads.
+///    Schedules are immutable once published (finalized before insert),
+///    so an L1 entry that outlives its shared-tier eviction still serves
+///    correct bytes; generation tags only guard deliberate invalidation.
+///  * Stats counters are relaxed atomics; stats() is a racy snapshot.
+///
+/// Capacity is a byte budget split evenly across shards; entries charge
+/// their schedule + key footprint and the least-recently *inserted or
+/// shared-tier-hit* entry is evicted first (L1 hits deliberately skip
+/// the LRU touch — approximate recency in exchange for zero locking).
+class ScheduleCache {
+ public:
+  struct Config {
+    /// Number of lock stripes; rounded up to a power of two, clamped to
+    /// [1, 256]. 0 = auto (hardware concurrency).
+    std::size_t shards = 0;
+    /// Total byte budget across all shards.
+    std::size_t max_bytes = std::size_t{64} << 20;
+    /// Seed for the canonical-key hash; independent caches can
+    /// decorrelate their shard mappings.
+    std::uint64_t hash_seed = 0x5ca1ab1e5eedull;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;          ///< shared-tier hits
+    std::uint64_t l1_hits = 0;       ///< lock-free thread-local hits
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;     ///< entries dropped for capacity
+    std::uint64_t invalidations = 0; ///< entries dropped as stale (epoch)
+    std::size_t entries = 0;         ///< resident entries (shared tier)
+    std::size_t bytes = 0;           ///< resident bytes (shared tier)
+
+    std::uint64_t total_hits() const { return hits + l1_hits; }
+    std::uint64_t lookups() const { return total_hits() + misses; }
+    double hit_rate() const {
+      const std::uint64_t n = lookups();
+      return n == 0 ? 0.0 : static_cast<double>(total_hits()) / n;
+    }
+  };
+
+  /// built_at_epoch value for absolute entries whose contents do NOT
+  /// depend on the fault set (cached materializations of one specific
+  /// translation): they survive fault-epoch bumps.
+  static constexpr std::uint64_t kEpochImmune = ~std::uint64_t{0};
+
+  ScheduleCache();  ///< default Config
+  explicit ScheduleCache(Config config);
+  ~ScheduleCache();
+
+  ScheduleCache(const ScheduleCache&) = delete;
+  ScheduleCache& operator=(const ScheduleCache&) = delete;
+
+  const Config& config() const { return config_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// The shard a key maps to (exposed so batch servers can partition
+  /// request groups shard-aligned and keep worker threads lock-disjoint).
+  std::size_t shard_of(const core::CacheKey& key) const {
+    return (key.hash >> 40) & shard_mask_;
+  }
+
+  /// Look the key up; nullptr on miss. The returned schedule is
+  /// finalized, immutable and safe to share across threads.
+  std::shared_ptr<const core::MulticastSchedule> get(const core::CacheKey& key);
+
+  /// Insert (or overwrite) the finalized relative schedule for `key`.
+  /// The schedule must already be finalized; the cache never mutates it.
+  /// For absolute (fault-dependent) keys, `built_at_epoch` must be the
+  /// fault epoch observed *before* the schedule was built — stamping the
+  /// insert-time epoch would let a build that raced a fault change be
+  /// served as fresh. Ignored for translation-invariant keys.
+  void put(const core::CacheKey& key,
+           std::shared_ptr<const core::MulticastSchedule> schedule,
+           std::uint64_t built_at_epoch);
+  void put(const core::CacheKey& key,
+           std::shared_ptr<const core::MulticastSchedule> schedule);
+
+  /// get(), falling back to `build` on a miss and inserting the result.
+  /// `build` runs outside every lock; two threads racing on the same
+  /// cold key may both build (last insert wins) — by design, since
+  /// builds are pure and holding a stripe across a build would serialize
+  /// unrelated misses.
+  std::shared_ptr<const core::MulticastSchedule> get_or_build(
+      const core::CacheKey& key,
+      const std::function<std::shared_ptr<const core::MulticastSchedule>()>&
+          build);
+
+  /// Drop every entry and bump every shard's generation tag (which also
+  /// kills all thread-local L1 entries).
+  void clear();
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::MulticastSchedule> schedule;
+    std::size_t bytes = 0;
+    std::uint64_t fault_epoch = 0;  ///< stamp at insert (absolute keys)
+    std::list<const core::CacheKey*>::iterator lru;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const core::CacheKey& k) const {
+      return static_cast<std::size_t>(k.hash);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<core::CacheKey, Entry, KeyHash> map;
+    /// Front = most recent; elements point at the map's keys (stable:
+    /// unordered_map never moves nodes).
+    std::list<const core::CacheKey*> lru;
+    std::size_t bytes = 0;
+    std::atomic<std::uint64_t> generation{1};
+
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> l1_hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> invalidations{0};
+  };
+
+  /// True iff the entry is stale under the current fault epoch.
+  static bool stale(const core::CacheKey& key, std::uint64_t entry_epoch);
+
+  void evict_over_budget_locked(Shard& shard);
+
+  Config config_;
+  std::size_t shard_mask_ = 0;
+  std::size_t per_shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t instance_id_ = 0;  ///< tags thread-local L1 slots
+};
+
+}  // namespace hypercast::coll
+
+#endif  // HYPERCAST_COLL_SCHEDULE_CACHE_HPP

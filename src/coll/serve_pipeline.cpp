@@ -1,0 +1,274 @@
+#include "coll/serve_pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "core/tree_builder.hpp"
+#include "core/wsort.hpp"
+#include "fault/fault_aware.hpp"
+
+namespace hypercast::coll {
+
+namespace {
+
+/// Fixed algorithm ids for the translation-invariant built-ins; ids for
+/// absolutely-cached registry entries are assigned on first use so that
+/// pipelines sharing one cache never collide.
+constexpr std::uint8_t kUcubeId = 0;
+constexpr std::uint8_t kMaxportId = 1;
+constexpr std::uint8_t kCombineId = 2;
+constexpr std::uint8_t kWsortId = 3;
+
+std::uint8_t entry_algo_id(const std::string& name) {
+  static std::mutex mu;
+  static std::unordered_map<std::string, std::uint8_t> ids;
+  static std::uint8_t next = 4;
+  std::lock_guard<std::mutex> lock(mu);
+  const auto it = ids.find(name);
+  if (it != ids.end()) return it->second;
+  if (next == 0) {  // wrapped: 252 distinct registered names, unlikely
+    throw std::runtime_error("ServePipeline: algorithm id space exhausted");
+  }
+  return ids.emplace(name, next++).first->second;
+}
+
+bool ends_with_ft(const std::string& name) {
+  return name.size() > 3 && name.compare(name.size() - 3, 3, "-ft") == 0;
+}
+
+/// Per-thread serving scratch: the canonical key, the relative chain
+/// reconstruction buffer, the tree builder and the wsort permutation
+/// scratch. One instance per thread serves every pipeline (builders are
+/// stateless between builds), which is what keeps a threaded batch at
+/// the zero-allocation steady state.
+struct ServeTls {
+  core::CacheKey key;
+  std::vector<core::NodeId> chain;
+  core::TreeBuilder builder;
+  core::WeightedSortScratch wsort_scratch;
+};
+
+ServeTls& serve_tls() {
+  thread_local ServeTls tls;
+  return tls;
+}
+
+}  // namespace
+
+ServePipeline::ServePipeline(std::string algorithm,
+                             std::shared_ptr<ScheduleCache> cache)
+    : algorithm_(std::move(algorithm)), cache_(std::move(cache)) {
+  if (algorithm_ == "ucube") {
+    kind_ = Kind::Chain;
+    rule_ = core::NextRule::Center;
+    algo_id_ = kUcubeId;
+  } else if (algorithm_ == "maxport") {
+    kind_ = Kind::Chain;
+    rule_ = core::NextRule::HighDim;
+    algo_id_ = kMaxportId;
+  } else if (algorithm_ == "combine") {
+    kind_ = Kind::Chain;
+    rule_ = core::NextRule::MaxOfBoth;
+    algo_id_ = kCombineId;
+  } else if (algorithm_ == "wsort") {
+    kind_ = Kind::Wsort;
+    algo_id_ = kWsortId;
+  } else {
+    // Resolves (and validates) the name against the registry; throws the
+    // self-diagnosing invalid_argument for typos.
+    kind_ = Kind::Entry;
+    entry_ = &core::find_algorithm(algorithm_);
+    entry_cacheable_ = ends_with_ft(algorithm_);
+    algo_id_ = entry_cacheable_ ? entry_algo_id(algorithm_) : 0;
+  }
+}
+
+std::shared_ptr<const core::MulticastSchedule> ServePipeline::serve(
+    const core::MulticastRequest& request) const {
+  if (cache_ == nullptr) return build_direct(request);
+  switch (kind_) {
+    case Kind::Chain:
+    case Kind::Wsort:
+      return serve_relative(request);
+    case Kind::Entry:
+      return entry_cacheable_ ? serve_absolute(request)
+                              : build_direct(request);
+  }
+  return build_direct(request);  // unreachable
+}
+
+std::shared_ptr<const core::MulticastSchedule> ServePipeline::serve_relative(
+    const core::MulticastRequest& request) const {
+  ServeTls& tls = serve_tls();
+  const core::NodeId mask = request.source;
+  // One canonicalization pass yields both identities: the absolute one
+  // (this exact translation, zero-copy on repeat) and — via a cheap
+  // rekey() of the header — the relative one (shared by every
+  // translation of the chain).
+  core::canonical_key_into(request.topo, request.source, request.destinations,
+                           algo_id_, /*absolute=*/mask != 0,
+                           cache_->config().hash_seed, tls.key);
+  if (mask != 0) {
+    if (auto hit = cache_->get(tls.key)) return hit;
+    core::rekey(tls.key, /*absolute=*/false, 0);
+  }
+  auto rel = cache_->get(tls.key);
+  if (rel == nullptr) {
+    auto built = build_relative(request.topo, tls.key);
+    cache_->put(tls.key, built);
+    rel = std::move(built);
+  }
+  if (mask == 0) return rel;  // zero-copy: the relative origin
+  auto out = std::make_shared<core::MulticastSchedule>(request.topo,
+                                                       request.source);
+  out->assign_translated(*rel, mask);
+  out->finalize();
+  // Publish the materialized translation under its absolute identity so
+  // the next identical request shares it without copying. The entry is
+  // pure translation (no fault dependence), hence epoch-immune.
+  core::rekey(tls.key, /*absolute=*/true, mask);
+  cache_->put(tls.key, out, ScheduleCache::kEpochImmune);
+  return out;
+}
+
+std::shared_ptr<const core::MulticastSchedule> ServePipeline::serve_absolute(
+    const core::MulticastRequest& request) const {
+  ServeTls& tls = serve_tls();
+  core::canonical_key_into(request.topo, request.source, request.destinations,
+                           algo_id_, /*absolute=*/true,
+                           cache_->config().hash_seed, tls.key);
+  if (auto hit = cache_->get(tls.key)) return hit;
+  const std::uint64_t epoch = fault::fault_epoch();
+  auto built =
+      std::make_shared<core::MulticastSchedule>(entry_->build(request));
+  built->finalize();
+  cache_->put(tls.key, built, epoch);
+  return built;
+}
+
+std::shared_ptr<core::MulticastSchedule> ServePipeline::build_relative(
+    const core::Topology& topo, const core::CacheKey& key) const {
+  ServeTls& tls = serve_tls();
+  core::relative_chain_from_key(topo, key, tls.chain);
+  auto out = std::make_shared<core::MulticastSchedule>(topo, 0);
+  core::NextRule rule = rule_;
+  if (kind_ == Kind::Wsort) {
+    core::weighted_sort(topo, tls.chain, core::WeightedSortImpl::Fast,
+                        tls.wsort_scratch);
+    rule = core::NextRule::HighDim;
+  }
+  tls.builder.build_chain_into(topo, tls.chain, rule, *out);
+  out->finalize();
+  return out;
+}
+
+std::shared_ptr<const core::MulticastSchedule> ServePipeline::build_direct(
+    const core::MulticastRequest& request) const {
+  ServeTls& tls = serve_tls();
+  switch (kind_) {
+    case Kind::Chain: {
+      auto out = std::make_shared<core::MulticastSchedule>(request.topo,
+                                                           request.source);
+      tls.builder.build_into(request, rule_, *out);
+      out->finalize();
+      return out;
+    }
+    case Kind::Wsort: {
+      auto out = std::make_shared<core::MulticastSchedule>(request.topo,
+                                                           request.source);
+      tls.builder.build_wsort_into(request, core::WeightedSortImpl::Fast,
+                                   *out);
+      out->finalize();
+      return out;
+    }
+    case Kind::Entry:
+      break;
+  }
+  auto out = std::make_shared<core::MulticastSchedule>(entry_->build(request));
+  out->finalize();
+  return out;
+}
+
+std::vector<std::shared_ptr<const core::MulticastSchedule>>
+ServePipeline::serve_batch(std::span<const core::MulticastRequest> requests,
+                           int threads) const {
+  std::vector<std::shared_ptr<const core::MulticastSchedule>> out(
+      requests.size());
+  const std::size_t n = requests.size();
+  std::size_t workers = threads < 1 ? 1 : static_cast<std::size_t>(threads);
+  workers = std::min(workers, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = serve(requests[i]);
+    return out;
+  }
+
+  // Owner of request i: with a cache, its key's shard (so no two workers
+  // ever touch the same stripe — hits resolve without lock contention);
+  // without one, a contiguous chunk.
+  const bool shard_partition =
+      cache_ != nullptr && (kind_ != Kind::Entry || entry_cacheable_);
+  std::vector<std::uint32_t> owner(n, 0);
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  const auto guard = [&](auto&& fn) {
+    try {
+      fn();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::current_exception();
+    }
+  };
+  const auto parallel_over = [&](auto&& body) {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] { guard([&] { body(w); }); });
+    }
+    for (std::thread& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
+  };
+
+  if (shard_partition) {
+    // Phase 1: canonicalize in parallel chunks to discover each
+    // request's shard (the keys are recomputed thread-locally during
+    // serving; what matters here is only the partition).
+    parallel_over([&](std::size_t w) {
+      core::CacheKey key;
+      for (std::size_t i = w; i < n; i += workers) {
+        // Partition by the identity serve() probes (and inserts) first:
+        // the absolute one for translated or registry requests, the
+        // relative one at the relative origin. The fallback probe of a
+        // cold relative entry may touch a foreign stripe, but that is a
+        // once-per-chain event, not the steady state.
+        const bool absolute =
+            kind_ == Kind::Entry || requests[i].source != 0;
+        core::canonical_key_into(requests[i].topo, requests[i].source,
+                                 requests[i].destinations, algo_id_, absolute,
+                                 cache_->config().hash_seed, key);
+        owner[i] = static_cast<std::uint32_t>(cache_->shard_of(key) %
+                                              workers);
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      owner[i] = static_cast<std::uint32_t>(i % workers);
+    }
+  }
+
+  // Phase 2: every worker serves exactly its shard group, writing
+  // disjoint result slots.
+  parallel_over([&](std::size_t w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (owner[i] == w) out[i] = serve(requests[i]);
+    }
+  });
+  return out;
+}
+
+}  // namespace hypercast::coll

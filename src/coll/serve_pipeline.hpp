@@ -1,0 +1,97 @@
+#ifndef HYPERCAST_COLL_SERVE_PIPELINE_HPP
+#define HYPERCAST_COLL_SERVE_PIPELINE_HPP
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coll/schedule_cache.hpp"
+#include "core/chain_algorithms.hpp"
+#include "core/registry.hpp"
+
+namespace hypercast::coll {
+
+/// The concurrent schedule-serving front end: turns MulticastRequests
+/// into finalized, immutably shared MulticastSchedules, consulting a
+/// ScheduleCache when one is attached.
+///
+/// Serving strategy by algorithm:
+///  * ucube / maxport / combine / wsort — translation-invariant (the
+///    property tests prove build(u, D) is the XOR-relabeling of
+///    build(0, u ^ D)), so the pipeline caches at two levels sharing one
+///    canonicalization pass: the *relative* schedule under the canonical
+///    relative chain (paying tree construction once per chain shape),
+///    and each *materialized translation* under its absolute identity
+///    (paying the XOR relabeling copy once per (source, shape) pair).
+///    In steady state a hit is zero-copy: key canonicalization plus a
+///    shared_ptr share, never a construction and never a copy.
+///  * "<algo>-ft" fault-aware variants — repairs depend on the absolute
+///    fault positions, so these cache under absolute keys (source folded
+///    in, shared back without translation) and are invalidated by fault
+///    epoch bumps.
+///  * anything else (separate, sftree, other registered entries) — the
+///    output may depend on caller-supplied destination *order*, which
+///    canonicalization erases, so these are served pass-through
+///    (built per request, never cached).
+///
+/// Misses build through a thread-local core::TreeBuilder, so a pipeline
+/// shared by many worker threads reaches the same zero-allocation steady
+/// state as PR 3's sweeps while staying bit-identical to uncached
+/// construction at any thread count.
+class ServePipeline {
+ public:
+  /// `cache` may be nullptr: the pipeline then serves every request by
+  /// direct construction (the --cache=off mode everywhere).
+  ServePipeline(std::string algorithm, std::shared_ptr<ScheduleCache> cache);
+
+  const std::string& algorithm() const { return algorithm_; }
+  const std::shared_ptr<ScheduleCache>& cache() const { return cache_; }
+  bool cached() const { return cache_ != nullptr; }
+
+  /// Serve one request. The returned schedule is finalized and safe to
+  /// share read-only across threads. Throws std::invalid_argument on
+  /// malformed requests (same contract as MulticastRequest::validate).
+  std::shared_ptr<const core::MulticastSchedule> serve(
+      const core::MulticastRequest& request) const;
+
+  /// Serve a batch, results in request order. With `threads` > 1 the
+  /// batch is partitioned by cache shard — every shard's requests are
+  /// handled by exactly one worker, so workers never contend on a
+  /// stripe and hits resolve lock-free (uncached pipelines fall back to
+  /// contiguous chunks). Output is bit-identical to serving the batch
+  /// sequentially, at any thread count.
+  std::vector<std::shared_ptr<const core::MulticastSchedule>> serve_batch(
+      std::span<const core::MulticastRequest> requests, int threads = 1) const;
+
+ private:
+  enum class Kind {
+    Chain,   ///< ucube / maxport / combine: TreeBuilder + NextRule
+    Wsort,   ///< weighted_sort permutation + HighDim rule
+    Entry,   ///< registry entry; cacheable only under absolute keys
+  };
+
+  std::shared_ptr<const core::MulticastSchedule> serve_relative(
+      const core::MulticastRequest& request) const;
+  std::shared_ptr<const core::MulticastSchedule> serve_absolute(
+      const core::MulticastRequest& request) const;
+  std::shared_ptr<const core::MulticastSchedule> build_direct(
+      const core::MulticastRequest& request) const;
+
+  /// Build the relative schedule a canonical key denotes (source 0,
+  /// destinations reconstructed from the key words), finalized.
+  std::shared_ptr<core::MulticastSchedule> build_relative(
+      const core::Topology& topo, const core::CacheKey& key) const;
+
+  std::string algorithm_;
+  Kind kind_ = Kind::Entry;
+  core::NextRule rule_ = core::NextRule::Center;
+  const core::AlgorithmEntry* entry_ = nullptr;  ///< Kind::Entry only
+  bool entry_cacheable_ = false;                 ///< "-ft" entries
+  std::uint8_t algo_id_ = 0;
+  std::shared_ptr<ScheduleCache> cache_;
+};
+
+}  // namespace hypercast::coll
+
+#endif  // HYPERCAST_COLL_SERVE_PIPELINE_HPP

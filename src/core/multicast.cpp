@@ -1,5 +1,6 @@
 #include "core/multicast.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_set>
@@ -36,6 +37,79 @@ void MulticastSchedule::reset(Topology topo, NodeId source) {
   pool_.clear();
   view_.clear();
   dirty_ = true;
+}
+
+void MulticastSchedule::assign_translated(const MulticastSchedule& relative,
+                                          NodeId mask) {
+  topo_ = relative.topo_;
+  source_ = relative.source_ ^ mask;
+  raw_.resize(relative.raw_.size());
+  for (std::size_t i = 0; i < raw_.size(); ++i) {
+    const RawSend& r = relative.raw_[i];
+    raw_[i] = RawSend{r.from ^ mask, r.to ^ mask, r.pool_begin, r.pool_len};
+  }
+  pool_.resize(relative.pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    pool_[i] = relative.pool_[i] ^ mask;
+  }
+  if (relative.dirty_) {
+    // No view to translate; leave the counting sort to the next accessor.
+    view_.clear();
+    dirty_ = true;
+    return;
+  }
+  // The relative view is already grouped by sender, and XOR only permutes
+  // whole buckets (bucket u here is bucket u ^ mask there, contents in
+  // the same stable order), so the translated view is a gather copy —
+  // cheaper than re-running finalize()'s counting sort.
+  const std::size_t n = topo_.num_nodes();
+  begin_.resize(n + 1);
+  view_.resize(relative.view_.size());
+  const NodeId* rel_pool = relative.pool_.data();
+  const NodeId* pool = pool_.data();
+  std::uint32_t out = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    begin_[u] = out;
+    const std::size_t rel = u ^ static_cast<std::size_t>(mask);
+    for (std::uint32_t j = relative.begin_[rel]; j < relative.begin_[rel + 1];
+         ++j) {
+      const Send& s = relative.view_[j];
+      const std::size_t offset =
+          s.payload.empty() ? 0
+                            : static_cast<std::size_t>(s.payload.data() -
+                                                       rel_pool);
+      view_[out++] = Send{s.to ^ mask, std::span<const NodeId>(
+                                           pool + offset, s.payload.size())};
+    }
+  }
+  begin_[n] = out;
+  cursor_.clear();
+  dirty_ = false;
+}
+
+std::size_t MulticastSchedule::footprint_bytes() const {
+  return sizeof(MulticastSchedule) + raw_.capacity() * sizeof(RawSend) +
+         pool_.capacity() * sizeof(NodeId) + view_.capacity() * sizeof(Send) +
+         begin_.capacity() * sizeof(std::uint32_t) +
+         cursor_.capacity() * sizeof(std::uint32_t);
+}
+
+bool operator==(const MulticastSchedule& a, const MulticastSchedule& b) {
+  if (a.topo_ != b.topo_ || a.source_ != b.source_ ||
+      a.raw_.size() != b.raw_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.raw_.size(); ++i) {
+    const MulticastSchedule::RawSend& ra = a.raw_[i];
+    const MulticastSchedule::RawSend& rb = b.raw_[i];
+    if (ra.from != rb.from || ra.to != rb.to || ra.pool_len != rb.pool_len) {
+      return false;
+    }
+    const NodeId* pa = a.pool_.data() + ra.pool_begin;
+    const NodeId* pb = b.pool_.data() + rb.pool_begin;
+    if (!std::equal(pa, pa + ra.pool_len, pb)) return false;
+  }
+  return true;
 }
 
 void MulticastSchedule::reserve(std::size_t sends, std::size_t payload_total) {

@@ -105,6 +105,20 @@ class MulticastSchedule {
   /// `payload_total` destination ids altogether.
   void reserve(std::size_t sends, std::size_t payload_total);
 
+  /// Become the XOR-relabeling of `relative`: every node id (source,
+  /// sender, recipient, payload entry) is XORed with `mask`. This is how
+  /// the schedule cache materializes a caller-facing schedule from a
+  /// cached source-relative one — a straight linear copy of the flat
+  /// arrays (capacity kept, like reset()), with none of the sorting,
+  /// validation or worklist cost of a fresh build. The result compares
+  /// equal (operator==) to building the translated request directly for
+  /// every translation-invariant algorithm. `relative` may not alias
+  /// this schedule. When `relative` is finalized the grouped view is
+  /// translated too (XOR permutes whole sender buckets, so it is a
+  /// gather copy, not a re-sort) and the result is immediately safe to
+  /// share; otherwise the view is left dirty — finalize() first.
+  void assign_translated(const MulticastSchedule& relative, NodeId mask);
+
   /// Append a send to `from`'s issue list. The payload is copied into
   /// the schedule's pool (the argument may alias any storage, including
   /// this schedule's own pool).
@@ -156,6 +170,17 @@ class MulticastSchedule {
 
   /// Multi-line human-readable tree rendering (for examples/debugging).
   std::string format_tree() const;
+
+  /// Heap bytes the flat arrays pin (capacity, not size — what a cache
+  /// entry actually holds resident).
+  std::size_t footprint_bytes() const;
+
+  /// Structural equality: same topology, source, and identical append
+  /// order of sends with identical payload contents (pool offsets are
+  /// an implementation detail and do not participate). This is the
+  /// "bit-identical schedule" relation the cache equality tests assert.
+  friend bool operator==(const MulticastSchedule& a,
+                         const MulticastSchedule& b);
 
  private:
   /// One add_send record: fixed size, payload in [pool_begin,

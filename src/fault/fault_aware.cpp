@@ -1,6 +1,7 @@
 #include "fault/fault_aware.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <sstream>
 #include <stdexcept>
@@ -244,6 +245,22 @@ void register_fault_aware_algorithms(std::shared_ptr<const FaultSet> faults) {
   for (const core::AlgorithmEntry& base : core::paper_algorithms()) {
     core::register_algorithm(fault_aware_entry(base, faults));
   }
+  bump_fault_epoch();
+}
+
+namespace {
+std::atomic<std::uint64_t>& fault_epoch_counter() {
+  static std::atomic<std::uint64_t> epoch{0};
+  return epoch;
+}
+}  // namespace
+
+std::uint64_t fault_epoch() {
+  return fault_epoch_counter().load(std::memory_order_acquire);
+}
+
+void bump_fault_epoch() {
+  fault_epoch_counter().fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace hypercast::fault

@@ -87,8 +87,22 @@ core::AlgorithmEntry fault_aware_entry(const core::AlgorithmEntry& base,
 /// Register fault-aware variants of the four paper algorithms in
 /// core::registry ("ucube-ft", "maxport-ft", "combine-ft", "wsort-ft"),
 /// replacing any previously registered variants (e.g. for a new fault
-/// set).
+/// set). Bumps the fault epoch (below), so cached fault-dependent
+/// schedules built against the previous fault set become stale.
 void register_fault_aware_algorithms(std::shared_ptr<const FaultSet> faults);
+
+/// Monotonic process-wide fault epoch. Repaired schedules depend on the
+/// absolute fault set, not just the relative request, so caches stamp
+/// fault-dependent entries with the epoch current at insertion and treat
+/// an epoch mismatch as a miss (lazy invalidation — no cache walk on a
+/// fault event). The epoch advances on every
+/// register_fault_aware_algorithms call and on explicit bumps.
+std::uint64_t fault_epoch();
+
+/// Advance the fault epoch, invalidating every cached fault-dependent
+/// schedule. Call after mutating or retiring a fault set that registered
+/// algorithms still capture. Thread-safe.
+void bump_fault_epoch();
 
 }  // namespace hypercast::fault
 

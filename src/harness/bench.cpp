@@ -165,13 +165,17 @@ bool matches(const Benchmark& benchmark, const std::string& filter) {
   return filter == kind_name(benchmark.kind);
 }
 
+std::string artifact_name(const Benchmark& benchmark, const RunOptions& opts) {
+  return opts.cache ? benchmark.name + "_cached" : benchmark.name;
+}
+
 std::string benchmark_json(const Benchmark& benchmark, const RunOptions& opts,
                            const Report& report,
                            const std::vector<double>& wall_seconds) {
   metrics::JsonWriter w;
   w.begin_object();
   w.key("schema").value("hypercast-bench-v1");
-  w.key("name").value(benchmark.name);
+  w.key("name").value(artifact_name(benchmark, opts));
   w.key("kind").value(kind_name(benchmark.kind));
   w.key("description").value(benchmark.description);
   w.key("config").begin_object();
@@ -179,6 +183,7 @@ std::string benchmark_json(const Benchmark& benchmark, const RunOptions& opts,
   w.key("threads").value(static_cast<std::int64_t>(opts.threads));
   w.key("repeat").value(static_cast<std::int64_t>(opts.repeat));
   w.key("seed").value(static_cast<std::uint64_t>(opts.seed));
+  w.key("cache").value(opts.cache);
   w.end_object();
   w.key("wall_seconds").begin_array();
   for (const double s : wall_seconds) w.value(s);
@@ -209,6 +214,9 @@ std::vector<RunRecord> run_benchmarks(const RunOptions& opts) {
   ctx.quick = opts.quick;
   ctx.threads = opts.threads;
   ctx.seed = opts.seed;
+  ctx.cache = opts.cache;
+  ctx.cache_shards = opts.cache_shards;
+  ctx.cache_bytes = opts.cache_bytes;
 
   if (!opts.out_dir.empty()) {
     std::filesystem::create_directories(opts.out_dir);
@@ -225,7 +233,7 @@ std::vector<RunRecord> run_benchmarks(const RunOptions& opts) {
       std::fflush(stdout);
     }
     RunRecord record;
-    record.name = b->name;
+    record.name = artifact_name(*b, opts);
     Report report;
     for (int r = 0; r < opts.repeat; ++r) {
       report = Report();
@@ -239,7 +247,8 @@ std::vector<RunRecord> run_benchmarks(const RunOptions& opts) {
     record.json = benchmark_json(*b, opts, report, record.wall_seconds);
     if (!opts.out_dir.empty()) {
       const std::filesystem::path path =
-          std::filesystem::path(opts.out_dir) / ("BENCH_" + b->name + ".json");
+          std::filesystem::path(opts.out_dir) /
+          ("BENCH_" + record.name + ".json");
       std::ofstream out(path, std::ios::binary | std::ios::trunc);
       out << record.json << '\n';
       if (!out) {

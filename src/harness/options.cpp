@@ -199,6 +199,36 @@ std::optional<fault::FaultSet> Options::fault_set(
   return fs;
 }
 
+Options::CacheOptions Options::cache(bool default_enabled) const {
+  CacheOptions out;
+  out.enabled = default_enabled;
+  if (has("cache")) {
+    if (is_bare_flag("cache")) {
+      out.enabled = true;  // bare --cache opts in
+    } else {
+      const std::string v = get("cache");
+      if (v == "on" || v == "true" || v == "1") {
+        out.enabled = true;
+      } else if (v == "off" || v == "false" || v == "0") {
+        out.enabled = false;
+      } else {
+        throw std::invalid_argument("--cache expects on|off, got '" + v + "'");
+      }
+    }
+  }
+  const long shards = get_int_or("cache-shards", 0);
+  if (shards < 0) {
+    throw std::invalid_argument("--cache-shards needs n >= 0 (0 = auto)");
+  }
+  out.shards = static_cast<std::size_t>(shards);
+  const long bytes = get_int_or("cache-bytes", 0);
+  if (bytes < 0) {
+    throw std::invalid_argument("--cache-bytes needs b >= 0 (0 = default)");
+  }
+  out.max_bytes = static_cast<std::size_t>(bytes);
+  return out;
+}
+
 std::vector<std::string> Options::keys() const {
   std::vector<std::string> out;
   out.reserve(values_.size());

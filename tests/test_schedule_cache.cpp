@@ -1,0 +1,346 @@
+// The schedule-serving cache: canonical keys, the two-level (relative +
+// materialized-translation) LRU, fault-epoch invalidation, and the
+// bit-identical guarantee — cached serving returns schedules equal
+// (MulticastSchedule::operator==) to direct construction, sequentially,
+// in batches, and under a multi-threaded hammer with concurrent
+// invalidation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "coll/schedule_cache.hpp"
+#include "coll/serve_pipeline.hpp"
+#include "core/cache_key.hpp"
+#include "fault/fault_aware.hpp"
+#include "fault/fault_set.hpp"
+#include "test_util.hpp"
+#include "workload/random_sets.hpp"
+
+namespace hypercast {
+namespace {
+
+using namespace testutil;
+using coll::ScheduleCache;
+using coll::ServePipeline;
+using core::CacheKey;
+
+constexpr std::uint64_t kSeed = 0x5ca1ab1e5eedull;
+
+CacheKey key_of(const core::MulticastRequest& req, std::uint8_t algo = 0,
+                bool absolute = false) {
+  CacheKey key;
+  core::canonical_key_into(req.topo, req.source, req.destinations, algo,
+                           absolute, kSeed, key);
+  return key;
+}
+
+// ---- canonical keys ------------------------------------------------------
+
+TEST(CacheKey, ValidatesLikeRequestValidate) {
+  // Dense chains take the bitmap counting-sort path...
+  const Topology small(4, Resolution::HighToLow);
+  EXPECT_THROW(key_of({small, 3, {1, 2, 3}}), std::invalid_argument);
+  EXPECT_THROW(key_of({small, 0, {5, 7, 5}}), std::invalid_argument);
+  EXPECT_THROW(key_of({small, 0, {1, 99}}), std::invalid_argument);
+  EXPECT_THROW(key_of({small, 99, {1, 2}}), std::invalid_argument);
+  // ...sparse chains on a big cube take the comparison-sort path.
+  const Topology big(10, Resolution::HighToLow);
+  EXPECT_THROW(key_of({big, 3, {1, 2, 3}}), std::invalid_argument);
+  EXPECT_THROW(key_of({big, 0, {5, 7, 5}}), std::invalid_argument);
+  EXPECT_THROW(key_of({big, 0, {1, 4096}}), std::invalid_argument);
+  EXPECT_NO_THROW(key_of({big, 0, {1, 2, 3}}));
+}
+
+TEST(CacheKey, WordsAreSortedRelativeKeys) {
+  const Topology topo(4, Resolution::HighToLow);
+  const auto key = key_of({topo, 5, {1, 12, 7}});
+  // Relative keys: 1^5=4, 12^5=9, 7^5=2 -> sorted {2, 4, 9}.
+  EXPECT_EQ(key.words, (std::vector<std::uint32_t>{2, 4, 9}));
+  EXPECT_EQ(key.source, 0u);  // relative identity drops the source
+}
+
+TEST(CacheKey, TranslationInvariantIdentity) {
+  // (u, D) and (0, u ^ D) canonicalize to the same relative key, for
+  // both resolution orders and any destination order.
+  for (const Resolution res :
+       {Resolution::HighToLow, Resolution::LowToHigh}) {
+    const Topology topo(6, res);
+    workload::Rng rng(77);
+    for (int trial = 0; trial < 30; ++trial) {
+      const auto req = random_request(topo, 1 + rng() % 40, rng);
+      core::MulticastRequest rel{topo, 0, {}};
+      for (const NodeId d : req.destinations) {
+        rel.destinations.push_back(static_cast<NodeId>(d ^ req.source));
+      }
+      std::reverse(rel.destinations.begin(), rel.destinations.end());
+      const auto a = key_of(req);
+      const auto b = key_of(rel);
+      EXPECT_TRUE(a == b);
+      EXPECT_EQ(a.hash, b.hash);
+    }
+  }
+}
+
+TEST(CacheKey, RekeySwitchesIdentityCheaply) {
+  const Topology topo(6, Resolution::HighToLow);
+  auto key = key_of({topo, 9, {1, 2, 3}}, /*algo=*/3, /*absolute=*/true);
+  EXPECT_TRUE(key.absolute);
+  EXPECT_EQ(key.source, 9u);
+  const auto absolute_hash = key.hash;
+
+  core::rekey(key, /*absolute=*/false, 0);
+  EXPECT_FALSE(key.absolute);
+  EXPECT_EQ(key.source, 0u);
+  EXPECT_NE(key.hash, absolute_hash);
+  EXPECT_TRUE(key == key_of({topo, 9, {1, 2, 3}}, 3, false));
+
+  core::rekey(key, /*absolute=*/true, 9);
+  EXPECT_EQ(key.hash, absolute_hash);
+}
+
+TEST(CacheKey, DistinctIdentitiesDoNotCollide) {
+  const Topology topo(6, Resolution::HighToLow);
+  const core::MulticastRequest req{topo, 0, {1, 2, 3}};
+  const auto base = key_of(req, 0, false);
+  EXPECT_FALSE(base == key_of(req, 1, false));             // algorithm
+  EXPECT_FALSE(base == key_of(req, 0, true));              // absolute bit
+  const Topology low(6, Resolution::LowToHigh);
+  EXPECT_FALSE(base == key_of({low, 0, {1, 2, 3}}, 0, false));  // resolution
+  const Topology seven(7, Resolution::HighToLow);
+  EXPECT_FALSE(base == key_of({seven, 0, {1, 2, 3}}, 0, false));  // dim
+}
+
+// ---- the cache proper ----------------------------------------------------
+
+std::shared_ptr<const core::MulticastSchedule> build_wsort(
+    const core::MulticastRequest& req) {
+  return ServePipeline("wsort", nullptr).serve(req);
+}
+
+TEST(ScheduleCache, MissPutHitAndL1) {
+  ScheduleCache cache;
+  const Topology topo(6, Resolution::HighToLow);
+  const core::MulticastRequest req{topo, 0, {1, 2, 3, 60}};
+  const auto key = key_of(req);
+
+  EXPECT_EQ(cache.get(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  const auto schedule = build_wsort(req);
+  cache.put(key, schedule);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_GT(cache.stats().bytes, 0u);
+
+  EXPECT_EQ(cache.get(key), schedule);  // shared tier
+  EXPECT_EQ(cache.get(key), schedule);  // thread-local L1
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.l1_hits, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 2.0 / 3.0);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.get(key), nullptr);  // generation bump killed the L1 slot
+}
+
+TEST(ScheduleCache, EvictsLeastRecentlyUsedUnderByteBudget) {
+  ScheduleCache::Config config;
+  config.shards = 1;
+  config.max_bytes = 1;  // everything over budget; keeps one entry
+  ScheduleCache cache(config);
+  const Topology topo(6, Resolution::HighToLow);
+  workload::Rng rng(5);
+  for (int i = 0; i < 6; ++i) {
+    const auto req = random_request(topo, 8, rng);
+    cache.put(key_of(req), build_wsort(req));
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);  // never evicts the newest entry
+  EXPECT_EQ(stats.evictions, 5u);
+}
+
+TEST(ScheduleCache, FaultEpochInvalidatesAbsoluteEntries) {
+  ScheduleCache cache;
+  const Topology topo(6, Resolution::HighToLow);
+  const core::MulticastRequest req{topo, 3, {1, 2, 60}};
+  const auto schedule = build_wsort(req);
+
+  const auto absolute = key_of(req, 7, /*absolute=*/true);
+  cache.put(absolute, schedule, fault::fault_epoch());
+  EXPECT_NE(cache.get(absolute), nullptr);
+
+  fault::bump_fault_epoch();
+  EXPECT_EQ(cache.get(absolute), nullptr);  // lazily dropped
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+
+  // Epoch-immune absolute entries (materialized translations) survive.
+  cache.put(absolute, schedule, ScheduleCache::kEpochImmune);
+  fault::bump_fault_epoch();
+  EXPECT_NE(cache.get(absolute), nullptr);
+
+  // Relative entries are never epoch-sensitive.
+  const auto relative = key_of(req, 7, /*absolute=*/false);
+  cache.put(relative, schedule);
+  fault::bump_fault_epoch();
+  EXPECT_NE(cache.get(relative), nullptr);
+}
+
+// ---- the serving pipeline ------------------------------------------------
+
+TEST(ServePipeline, CachedEqualsUncachedForAllInvariantAlgorithms) {
+  for (const Resolution res :
+       {Resolution::HighToLow, Resolution::LowToHigh}) {
+    const Topology topo(6, res);
+    for (const char* name : {"ucube", "maxport", "combine", "wsort"}) {
+      auto cache = std::make_shared<ScheduleCache>();
+      ServePipeline cached(name, cache);
+      ServePipeline uncached(name, nullptr);
+      workload::Rng rng(31);
+      for (int trial = 0; trial < 25; ++trial) {
+        const auto req = random_request(topo, 1 + rng() % 50, rng);
+        // Twice: the first serve materializes, the second must return
+        // the bit-identical cached translation.
+        const auto first = cached.serve(req);
+        const auto second = cached.serve(req);
+        const auto direct = uncached.serve(req);
+        ASSERT_TRUE(*first == *direct) << name << " trial " << trial;
+        ASSERT_TRUE(*second == *direct) << name << " trial " << trial;
+      }
+      EXPECT_GT(cache->stats().total_hits(), 0u);
+    }
+  }
+}
+
+TEST(ServePipeline, PassThroughAlgorithmsNeverTouchTheCache) {
+  const Topology topo(4, Resolution::HighToLow);
+  auto cache = std::make_shared<ScheduleCache>();
+  ServePipeline pipeline("sftree", cache);
+  const core::MulticastRequest req{topo, 0, {1, 2, 3}};
+  const auto a = pipeline.serve(req);
+  const auto b = pipeline.serve(req);
+  EXPECT_TRUE(*a == *b);
+  EXPECT_EQ(cache->stats().lookups(), 0u);
+}
+
+TEST(ServePipeline, FaultAwareServesCachedRepairsUntilEpochBump) {
+  const Topology topo(6, Resolution::HighToLow);
+  auto faults = std::make_shared<const fault::FaultSet>([&] {
+    fault::FaultSet fs(topo);
+    fs.fail_link(0, 1);
+    return fs;
+  }());
+  fault::register_fault_aware_algorithms(faults);
+
+  auto cache = std::make_shared<ScheduleCache>();
+  ServePipeline pipeline("wsort-ft", cache);
+  const core::MulticastRequest req{topo, 0, {1, 2, 3, 42}};
+  const auto first = pipeline.serve(req);
+  const auto second = pipeline.serve(req);
+  EXPECT_EQ(first, second);  // pointer-shared cache hit
+  EXPECT_EQ(cache->stats().total_hits(), 1u);
+
+  // A new fault set re-registers and bumps the epoch: the cached repair
+  // is stale and must be rebuilt against the new faults.
+  auto faults2 = std::make_shared<const fault::FaultSet>([&] {
+    fault::FaultSet fs(topo);
+    fs.fail_link(1, 2);
+    return fs;
+  }());
+  fault::register_fault_aware_algorithms(faults2);
+  ServePipeline pipeline2("wsort-ft", cache);
+  const auto repaired = pipeline2.serve(req);
+  EXPECT_GE(cache->stats().invalidations, 1u);
+  const auto direct = fault::fault_aware_multicast(
+      core::find_algorithm("wsort"), req, *faults2);
+  EXPECT_TRUE(*repaired == direct.schedule);
+}
+
+TEST(ServePipeline, BatchMatchesSequentialAtAnyThreadCount) {
+  const Topology topo(6, Resolution::HighToLow);
+  workload::Rng rng(13);
+  std::vector<core::MulticastRequest> batch;
+  for (int i = 0; i < 60; ++i) {
+    batch.push_back(random_request(topo, 1 + rng() % 40, rng));
+  }
+  ServePipeline uncached("wsort", nullptr);
+  std::vector<std::shared_ptr<const core::MulticastSchedule>> reference;
+  for (const auto& req : batch) reference.push_back(uncached.serve(req));
+
+  for (const int threads : {1, 2, 4, 8}) {
+    auto cache = std::make_shared<ScheduleCache>();
+    ServePipeline cached("wsort", cache);
+    const auto out = cached.serve_batch(batch, threads);
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(*out[i] == *reference[i])
+          << "threads=" << threads << " request " << i;
+    }
+  }
+}
+
+TEST(ServePipeline, BatchPropagatesExceptions) {
+  const Topology topo(4, Resolution::HighToLow);
+  std::vector<core::MulticastRequest> batch;
+  batch.push_back({topo, 0, {1, 2}});
+  batch.push_back({topo, 0, {3, 3}});  // duplicate destination
+  auto cache = std::make_shared<ScheduleCache>();
+  ServePipeline pipeline("wsort", cache);
+  EXPECT_THROW(pipeline.serve_batch(batch, 2), std::invalid_argument);
+}
+
+// ---- concurrency hammer --------------------------------------------------
+
+TEST(ScheduleCacheConcurrency, HammerMixedHitMissInvalidateStaysBitIdentical) {
+  const Topology topo(6, Resolution::HighToLow);
+  ScheduleCache::Config config;
+  config.shards = 4;
+  config.max_bytes = std::size_t{1} << 20;  // small enough to force
+                                            // evictions mid-hammer
+  auto cache = std::make_shared<ScheduleCache>(config);
+  ServePipeline cached("wsort", cache);
+  ServePipeline uncached("wsort", nullptr);
+
+  // A fixed pool of requests with precomputed uncached references.
+  workload::Rng rng(99);
+  std::vector<core::MulticastRequest> pool;
+  std::vector<std::shared_ptr<const core::MulticastSchedule>> reference;
+  for (int i = 0; i < 48; ++i) {
+    pool.push_back(random_request(topo, 1 + rng() % 40, rng));
+    reference.push_back(uncached.serve(pool.back()));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 400;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      workload::Rng local(1000 + t);
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const std::size_t pick = local() % pool.size();
+        const auto served = cached.serve(pool[pick]);
+        if (!(*served == *reference[pick])) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (t == 0 && i % 100 == 50) cache->clear();
+        if (t == 1 && i % 100 == 50) fault::bump_fault_epoch();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto stats = cache->stats();
+  EXPECT_EQ(stats.lookups(), stats.total_hits() + stats.misses);
+  EXPECT_GT(stats.total_hits(), 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace hypercast

@@ -1,0 +1,150 @@
+// The property the schedule cache is built on: for every
+// translation-invariant algorithm, build(u, D) is exactly the node-wise
+// XOR-relabeling by u of build(0, u ^ D) — same topology, same append
+// order, same payload contents (MulticastSchedule::operator==).
+//
+// Verified exhaustively on the 4-cube (every destination subset for a
+// spot-checked algorithm pair, every subset up to size 4 for the full
+// algorithm x resolution matrix) and by randomized sweeps on the
+// 6-cube. This is what licenses ScheduleCache to serve one relative
+// entry to every translation of its chain.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/registry.hpp"
+#include "test_util.hpp"
+#include "workload/random_sets.hpp"
+
+namespace hypercast {
+namespace {
+
+using namespace testutil;
+
+constexpr const char* kInvariantAlgorithms[] = {"ucube", "maxport", "combine",
+                                                "wsort"};
+
+/// The translated request: every destination XORed with the mask.
+MulticastRequest translate(const MulticastRequest& rel, NodeId mask) {
+  MulticastRequest out{rel.topo, static_cast<NodeId>(rel.source ^ mask), {}};
+  out.destinations.reserve(rel.destinations.size());
+  for (const NodeId d : rel.destinations) {
+    out.destinations.push_back(static_cast<NodeId>(d ^ mask));
+  }
+  return out;
+}
+
+/// Check build(mask, S ^ mask) == relabel(build(0, S), mask) for every
+/// source mask of the cube.
+void expect_invariant_all_translations(const core::AlgorithmEntry& algo,
+                                       const MulticastRequest& relative) {
+  const auto rel = algo.build(relative);
+  for (NodeId mask = 0;
+       mask < static_cast<NodeId>(relative.topo.num_nodes()); ++mask) {
+    const auto direct = algo.build(translate(relative, mask));
+    MulticastSchedule expected(relative.topo, mask);
+    expected.assign_translated(rel, mask);
+    ASSERT_TRUE(expected == direct)
+        << algo.name << " is not translation-invariant at mask " << mask
+        << " (m = " << relative.destinations.size() << ")";
+  }
+}
+
+TEST(TranslationInvariance, Exhaustive4CubeEverySubset) {
+  // Every non-empty destination subset of the 4-cube, every source
+  // translation. The full subset space is large, so it runs for one
+  // algorithm per resolution order (the size-limited matrix test below
+  // covers the full algorithm set).
+  for (const auto& [name, res] :
+       {std::pair{"ucube", Resolution::HighToLow},
+        std::pair{"wsort", Resolution::LowToHigh}}) {
+    const Topology topo(4, res);
+    const auto& algo = core::find_algorithm(name);
+    for (std::uint32_t bits = 1; bits < (1u << 15); ++bits) {
+      MulticastRequest rel{topo, 0, {}};
+      for (NodeId d = 1; d < 16; ++d) {
+        if (bits & (1u << (d - 1))) rel.destinations.push_back(d);
+      }
+      const auto relative = algo.build(rel);
+      // Spot-check 3 masks per subset (all 16 for the small subsets);
+      // the randomized 6-cube sweep covers the rest of the space.
+      const NodeId step = rel.destinations.size() <= 4 ? 1 : 5;
+      for (NodeId mask = 0; mask < 16; mask += step) {
+        const auto direct = algo.build(translate(rel, mask));
+        MulticastSchedule expected(topo, mask);
+        expected.assign_translated(relative, mask);
+        ASSERT_TRUE(expected == direct)
+            << name << " subset " << bits << " mask " << int(mask);
+      }
+    }
+  }
+}
+
+TEST(TranslationInvariance, Exhaustive4CubeAllAlgorithmsSmallSubsets) {
+  // Every subset of size <= 4, every mask, all four algorithms, both
+  // resolution orders.
+  for (const Resolution res :
+       {Resolution::HighToLow, Resolution::LowToHigh}) {
+    const Topology topo(4, res);
+    for (const char* name : kInvariantAlgorithms) {
+      const auto& algo = core::find_algorithm(name);
+      for (std::uint32_t bits = 1; bits < (1u << 15); ++bits) {
+        if (std::popcount(bits) > 4) continue;
+        MulticastRequest rel{topo, 0, {}};
+        for (NodeId d = 1; d < 16; ++d) {
+          if (bits & (1u << (d - 1))) rel.destinations.push_back(d);
+        }
+        expect_invariant_all_translations(algo, rel);
+      }
+    }
+  }
+}
+
+TEST(TranslationInvariance, Randomized6Cube) {
+  for (const Resolution res :
+       {Resolution::HighToLow, Resolution::LowToHigh}) {
+    const Topology topo(6, res);
+    workload::Rng rng(0xCAFE);
+    for (const char* name : kInvariantAlgorithms) {
+      const auto& algo = core::find_algorithm(name);
+      for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t m = 1 + rng() % (topo.num_nodes() - 1);
+        MulticastRequest rel{
+            topo, 0, workload::random_destinations(topo, 0, m, rng)};
+        const auto relative = algo.build(rel);
+        // Random masks rather than all 64, to keep the sweep fast.
+        for (int t = 0; t < 8; ++t) {
+          const NodeId mask = static_cast<NodeId>(rng() % topo.num_nodes());
+          const auto direct = algo.build(translate(rel, mask));
+          MulticastSchedule expected(topo, mask);
+          expected.assign_translated(relative, mask);
+          ASSERT_TRUE(expected == direct)
+              << name << " trial " << trial << " mask " << int(mask);
+        }
+      }
+    }
+  }
+}
+
+TEST(TranslationInvariance, TranslatedScheduleIsValidAndCovers) {
+  // The relabeled schedule is not just equal to the direct build — it is
+  // structurally valid and covers the translated destination set.
+  const Topology topo(6, Resolution::HighToLow);
+  workload::Rng rng(0xBEEF);
+  const auto& algo = core::find_algorithm("wsort");
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 1 + rng() % 40;
+    MulticastRequest rel{topo, 0,
+                         workload::random_destinations(topo, 0, m, rng)};
+    const auto relative = algo.build(rel);
+    const NodeId mask = static_cast<NodeId>(rng() % topo.num_nodes());
+    MulticastSchedule translated(topo, mask);
+    translated.assign_translated(relative, mask);
+    EXPECT_NO_THROW(translated.validate());
+    EXPECT_TRUE(translated.covers(translate(rel, mask).destinations));
+  }
+}
+
+}  // namespace
+}  // namespace hypercast

@@ -13,11 +13,14 @@ CI runs may skip heavyweight benchmarks.
 
 Usage:
   tools/check_bench_regression.py --fresh-dir bench-artifacts \
-      [--baseline-dir results] [--threshold 0.30]
+      [--baseline-dir results] [--threshold 0.30] [--only SUBSTR]
 
-The threshold can also be set via the BENCH_REGRESSION_THRESHOLD
-environment variable (the flag wins). Exit status: 0 pass, 1 regression,
-2 usage/IO error.
+--only restricts the comparison to benchmark names containing SUBSTR
+(applied to both sides; used by CI to gate cached-mode "_cached"
+artifacts against their own baselines only). The threshold can also be
+set via the BENCH_REGRESSION_THRESHOLD environment variable (the flag
+wins). Exit status: 0 pass, 1 regression, 2 usage/IO/malformed-artifact
+error.
 """
 
 import argparse
@@ -42,12 +45,21 @@ def load_artifacts(directory: Path):
         except (OSError, json.JSONDecodeError) as err:
             print(f"error: cannot parse {path}: {err}", file=sys.stderr)
             sys.exit(2)
+        if not isinstance(doc, dict):
+            print(f"error: {path} is not a JSON object "
+                  f"(got {type(doc).__name__})", file=sys.stderr)
+            sys.exit(2)
         if doc.get("schema") != "hypercast-bench-v1":
             print(f"note: skipping {path.name} (schema {doc.get('schema')!r})")
             continue
+        metrics = doc.get("metrics", {})
+        if not isinstance(metrics, dict):
+            print(f"error: {path}: \"metrics\" is not an object "
+                  f"(got {type(metrics).__name__})", file=sys.stderr)
+            sys.exit(2)
         rates = {
             key: value
-            for key, value in doc.get("metrics", {}).items()
+            for key, value in metrics.items()
             if is_rate_metric(key) and isinstance(value, (int, float))
         }
         out[doc.get("name", path.stem)] = rates
@@ -66,6 +78,9 @@ def main() -> int:
                             "BENCH_REGRESSION_THRESHOLD", "0.30")),
                         help="max tolerated fractional drop, e.g. 0.30 "
                              "(default: 0.30 or $BENCH_REGRESSION_THRESHOLD)")
+    parser.add_argument("--only", default="",
+                        help="restrict to benchmark names containing this "
+                             "substring (applied to fresh and baseline)")
     args = parser.parse_args()
 
     if not (0.0 < args.threshold < 1.0):
@@ -79,10 +94,17 @@ def main() -> int:
 
     fresh = load_artifacts(args.fresh_dir)
     baseline = load_artifacts(args.baseline_dir)
+    if args.only:
+        fresh = {k: v for k, v in fresh.items() if args.only in k}
+        baseline = {k: v for k, v in baseline.items() if args.only in k}
     if not fresh:
-        print(f"error: no BENCH_*.json artifacts in {args.fresh_dir}",
-              file=sys.stderr)
+        what = (f"artifacts matching {args.only!r}" if args.only
+                else "BENCH_*.json artifacts")
+        print(f"error: no {what} in {args.fresh_dir}", file=sys.stderr)
         return 2
+
+    for name in sorted(baseline.keys() - fresh.keys()):
+        print(f"note: {name}: baseline present but missing from fresh run")
 
     regressions = []
     compared = 0

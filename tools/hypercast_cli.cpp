@@ -7,6 +7,7 @@
 //   hypercast_cli chains --n 4 --source 0 --dests 1,3,5,7,11,12,14,15
 //   hypercast_cli compare --n 6 --m 25 --seed 3
 //   hypercast_cli faults --n 6 --faults 0.10 --fault-seed 42
+//   hypercast_cli serve --n 8 --requests 5000 --shapes 4 --threads 4 --cache
 //
 // Common options: --res high|low, --port one|all|k:<n>, --seed <u64>.
 // Fault injection (all commands): --faults <count|rate> [--fault-seed s],
@@ -15,11 +16,14 @@
 // simulator itself refuses to route a worm into a failed channel, so a
 // clean `delay` run doubles as proof the repair worked.
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "coll/schedule_cache.hpp"
+#include "coll/serve_pipeline.hpp"
 #include "core/chain_search.hpp"
 #include "core/contention.hpp"
 #include "core/registry.hpp"
@@ -199,15 +203,100 @@ int cmd_faults(const harness::Options& opts) {
   return 0;
 }
 
+/// Serve a synthetic request stream through the schedule-serving
+/// pipeline and report throughput plus the cache counters. The stream
+/// cycles `--shapes` distinct destination shapes across random sources,
+/// so every request past the first appearance of its shape is an
+/// XOR-translation the cache can answer without rebuilding.
+int cmd_serve(const harness::Options& opts) {
+  const hcube::Dim n = static_cast<hcube::Dim>(opts.get_int("n"));
+  const hcube::Topology topo(n, opts.resolution());
+  const std::string algo = opts.get_or("algo", "wsort");
+  const std::size_t requests =
+      static_cast<std::size_t>(opts.get_int_or("requests", 1000));
+  const std::size_t shapes =
+      static_cast<std::size_t>(opts.get_int_or("shapes", 4));
+  const std::size_t m = static_cast<std::size_t>(
+      opts.get_int_or("m", static_cast<long>(topo.num_nodes() / 2)));
+  const int threads = static_cast<int>(opts.get_int_or("threads", 1));
+  const auto cache_opts = opts.cache(/*default_enabled=*/true);
+  const auto faults = setup_faults(opts, topo);  // enables --algo <name>-ft
+
+  workload::Rng rng(static_cast<std::uint64_t>(opts.get_int_or("seed", 1)));
+  std::vector<std::vector<hcube::NodeId>> shape_chains;
+  for (std::size_t s = 0; s < std::max<std::size_t>(shapes, 1); ++s) {
+    shape_chains.push_back(workload::random_destinations(topo, 0, m, rng));
+  }
+  std::vector<core::MulticastRequest> stream;
+  stream.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto& shape = shape_chains[i % shape_chains.size()];
+    const hcube::NodeId source =
+        static_cast<hcube::NodeId>(rng() % topo.num_nodes());
+    std::vector<hcube::NodeId> dests;
+    dests.reserve(shape.size());
+    for (const hcube::NodeId d : shape) {
+      const hcube::NodeId t = d ^ source;
+      if (t != source) dests.push_back(t);
+    }
+    stream.push_back(core::MulticastRequest{topo, source, std::move(dests)});
+  }
+
+  std::shared_ptr<coll::ScheduleCache> cache;
+  if (cache_opts.enabled) {
+    coll::ScheduleCache::Config config;
+    config.shards = cache_opts.shards;
+    if (cache_opts.max_bytes != 0) config.max_bytes = cache_opts.max_bytes;
+    cache = std::make_shared<coll::ScheduleCache>(config);
+  }
+  coll::ServePipeline pipeline(algo, cache);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto schedules = pipeline.serve_batch(stream, threads);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  std::size_t unicasts = 0;
+  for (const auto& s : schedules) unicasts += s->num_unicasts();
+  std::printf(
+      "served %zu requests (%zu shapes, %zu dests each) on a %d-cube\n"
+      "  algorithm: %s, threads: %d, cache: %s\n"
+      "  wall: %.3fs  (%.0f requests/s), %zu unicasts planned\n",
+      stream.size(), shape_chains.size(), m, n, algo.c_str(), threads,
+      cache ? "on" : "off", seconds,
+      seconds > 0.0 ? static_cast<double>(stream.size()) / seconds : 0.0,
+      unicasts);
+  if (cache) {
+    const auto stats = cache->stats();
+    std::printf(
+        "  cache: %llu hits (%llu lock-free), %llu misses, "
+        "hit rate %.1f%%\n"
+        "         %llu evictions, %llu invalidations, %zu entries, "
+        "%zu bytes, %zu shards\n",
+        static_cast<unsigned long long>(stats.total_hits()),
+        static_cast<unsigned long long>(stats.l1_hits),
+        static_cast<unsigned long long>(stats.misses),
+        stats.hit_rate() * 100.0,
+        static_cast<unsigned long long>(stats.evictions),
+        static_cast<unsigned long long>(stats.invalidations), stats.entries,
+        stats.bytes, cache->num_shards());
+  }
+  return 0;
+}
+
 int usage() {
   std::fputs(
-      "usage: hypercast_cli <plan|steps|delay|chains|compare|faults> "
+      "usage: hypercast_cli <plan|steps|delay|chains|compare|faults|serve> "
       "[options]\n"
       "  common: --n <dim> (--dests a,b,c | --m <count> [--seed s])\n"
       "          [--source u] [--algo name] [--res high|low]\n"
       "          [--port one|all|k:<n>] [--bytes b]\n"
       "  faults: [--faults count|rate] [--fault-seed s]\n"
-      "          [--fail-links u:d,...] [--fail-nodes a,b]\n",
+      "          [--fail-links u:d,...] [--fail-nodes a,b]\n"
+      "  serve:  --n <dim> [--requests r] [--shapes k] [--m dests]\n"
+      "          [--threads t] [--cache on|off] [--cache-shards n]\n"
+      "          [--cache-bytes b]\n",
       stderr);
   return 2;
 }
@@ -225,6 +314,7 @@ int main(int argc, char** argv) {
     if (cmd == "chains") return cmd_chains(opts);
     if (cmd == "compare") return cmd_compare(opts);
     if (cmd == "faults") return cmd_faults(opts);
+    if (cmd == "serve") return cmd_serve(opts);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
