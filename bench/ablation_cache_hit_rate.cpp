@@ -174,6 +174,8 @@ void run(const bench::Context& ctx, bench::Report& report) {
         });
     const auto after = cache->stats();
 
+    // Field naming follows ScheduleCache::Stats::for_each_field — the
+    // same names the --stats JSON exposition uses for the cache gauge.
     const double lookups =
         static_cast<double>(after.lookups() - before.lookups());
     const double hit_rate =

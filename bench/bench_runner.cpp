@@ -18,6 +18,9 @@
 //                                         "on" suffixes artifacts _cached
 //   bench_runner --cache-shards <n>       lock stripes (0 = auto)
 //   bench_runner --cache-bytes <b>        cache byte budget (0 = default)
+//   bench_runner --stats                  collect obs counters/histograms
+//                                         and embed a "stats" block per
+//                                         artifact
 
 #include <cstdio>
 #include <exception>
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
     run.cache = cache.enabled;
     run.cache_shards = cache.shards;
     run.cache_bytes = cache.max_bytes;
+    run.stats = options.has("stats");
 
     const auto records = bench::run_benchmarks(run);
     if (records.empty()) {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "fault/fault_aware.hpp"
+#include "obs/registry.hpp"
 
 namespace hypercast::coll {
 
@@ -64,7 +65,7 @@ ScheduleCache::ScheduleCache(Config config)
   }
 }
 
-ScheduleCache::~ScheduleCache() = default;
+ScheduleCache::~ScheduleCache() { detach_from_registry(); }
 
 bool ScheduleCache::stale(const core::CacheKey& key,
                           std::uint64_t entry_epoch) {
@@ -82,7 +83,7 @@ std::shared_ptr<const core::MulticastSchedule> ScheduleCache::get(
   if (slot.instance == instance_id_ &&
       slot.generation == shard.generation.load(std::memory_order_acquire) &&
       !stale(key, slot.fault_epoch) && slot.key == key) {
-    shard.l1_hits.fetch_add(1, std::memory_order_relaxed);
+    l1_hits_.inc();
     return slot.schedule;
   }
 
@@ -92,7 +93,7 @@ std::shared_ptr<const core::MulticastSchedule> ScheduleCache::get(
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) {
-      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      misses_.inc();
       return nullptr;
     }
     if (stale(key, it->second.fault_epoch)) {
@@ -101,14 +102,14 @@ std::shared_ptr<const core::MulticastSchedule> ScheduleCache::get(
       shard.bytes -= it->second.bytes;
       shard.lru.erase(it->second.lru);
       shard.map.erase(it);
-      shard.invalidations.fetch_add(1, std::memory_order_relaxed);
-      shard.misses.fetch_add(1, std::memory_order_relaxed);
+      invalidations_.inc();
+      misses_.inc();
       return nullptr;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru);
     found = it->second.schedule;
     entry_epoch = it->second.fault_epoch;
-    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    hits_.inc();
   }
 
   // Stamp the L1 slot outside the lock (thread-local, no races).
@@ -169,7 +170,7 @@ void ScheduleCache::evict_over_budget_locked(Shard& shard) {
     shard.bytes -= it->second.bytes;
     shard.lru.pop_back();
     shard.map.erase(it);
-    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    evictions_.inc();
   }
 }
 
@@ -186,17 +187,39 @@ void ScheduleCache::clear() {
 
 ScheduleCache::Stats ScheduleCache::stats() const {
   Stats out;
+  out.hits = hits_.value();
+  out.l1_hits = l1_hits_.value();
+  out.misses = misses_.value();
+  out.evictions = evictions_.value();
+  out.invalidations = invalidations_.value();
   for (const auto& shard : shards_) {
-    out.hits += shard->hits.load(std::memory_order_relaxed);
-    out.l1_hits += shard->l1_hits.load(std::memory_order_relaxed);
-    out.misses += shard->misses.load(std::memory_order_relaxed);
-    out.evictions += shard->evictions.load(std::memory_order_relaxed);
-    out.invalidations += shard->invalidations.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(shard->mu);
     out.entries += shard->map.size();
     out.bytes += shard->bytes;
   }
   return out;
+}
+
+void ScheduleCache::attach_to_registry(obs::Registry& registry,
+                                       const std::string& name) {
+  detach_from_registry();
+  attached_registry_ = &registry;
+  attached_name_ = name;
+  registry.register_gauge_source(name, [this] {
+    std::vector<std::pair<std::string, double>> fields;
+    stats().for_each_field([&fields](const char* field, double value) {
+      fields.emplace_back(field, value);
+    });
+    return fields;
+  });
+}
+
+void ScheduleCache::detach_from_registry() {
+  if (attached_registry_ != nullptr) {
+    attached_registry_->unregister_gauge_source(attached_name_);
+    attached_registry_ = nullptr;
+    attached_name_.clear();
+  }
 }
 
 }  // namespace hypercast::coll

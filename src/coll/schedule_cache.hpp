@@ -7,11 +7,17 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/cache_key.hpp"
 #include "core/multicast.hpp"
+#include "obs/counter.hpp"
+
+namespace hypercast::obs {
+class Registry;
+}
 
 namespace hypercast::coll {
 
@@ -73,6 +79,24 @@ class ScheduleCache {
       const std::uint64_t n = lookups();
       return n == 0 ? 0.0 : static_cast<double>(total_hits()) / n;
     }
+
+    /// The canonical field schema: every exposition of cache stats (the
+    /// serve CLI, registry gauge sources, bench artifacts, the ablation)
+    /// walks this, so field names agree everywhere by construction.
+    /// `visit` is called as visit(const char* name, double value).
+    template <typename Visitor>
+    void for_each_field(Visitor&& visit) const {
+      visit("hits", static_cast<double>(hits));
+      visit("l1_hits", static_cast<double>(l1_hits));
+      visit("misses", static_cast<double>(misses));
+      visit("evictions", static_cast<double>(evictions));
+      visit("invalidations", static_cast<double>(invalidations));
+      visit("entries", static_cast<double>(entries));
+      visit("bytes", static_cast<double>(bytes));
+      visit("total_hits", static_cast<double>(total_hits()));
+      visit("lookups", static_cast<double>(lookups()));
+      visit("hit_rate", hit_rate());
+    }
   };
 
   /// built_at_epoch value for absolute entries whose contents do NOT
@@ -128,6 +152,14 @@ class ScheduleCache {
 
   Stats stats() const;
 
+  /// Expose this instance's stats() as a gauge source named `name` on
+  /// `registry` (field names per Stats::for_each_field). The source is
+  /// unregistered automatically when the cache is destroyed, or
+  /// explicitly via detach_from_registry(). At most one attachment at a
+  /// time; re-attaching replaces the previous one.
+  void attach_to_registry(obs::Registry& registry, const std::string& name);
+  void detach_from_registry();
+
  private:
   struct Entry {
     std::shared_ptr<const core::MulticastSchedule> schedule;
@@ -150,12 +182,6 @@ class ScheduleCache {
     std::list<const core::CacheKey*> lru;
     std::size_t bytes = 0;
     std::atomic<std::uint64_t> generation{1};
-
-    std::atomic<std::uint64_t> hits{0};
-    std::atomic<std::uint64_t> l1_hits{0};
-    std::atomic<std::uint64_t> misses{0};
-    std::atomic<std::uint64_t> evictions{0};
-    std::atomic<std::uint64_t> invalidations{0};
   };
 
   /// True iff the entry is stale under the current fault epoch.
@@ -168,6 +194,19 @@ class ScheduleCache {
   std::size_t per_shard_budget_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t instance_id_ = 0;  ///< tags thread-local L1 slots
+
+  // Instance-owned striped counters (obs::Counter shards internally, so
+  // one set per cache suffices — no per-Shard copies). Owned rather than
+  // registry-named because counters registered under a shared name would
+  // alias across cache instances and break per-instance stats().
+  obs::Counter hits_;
+  obs::Counter l1_hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter invalidations_;
+
+  obs::Registry* attached_registry_ = nullptr;
+  std::string attached_name_;
 };
 
 }  // namespace hypercast::coll

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/stepwise.hpp"
+#include "obs/registry.hpp"
 
 namespace hypercast::fault {
 
@@ -221,7 +222,27 @@ std::string RepairReport::summary() const {
 FaultAwareResult repair_schedule(const core::MulticastSchedule& base,
                                  std::span<const NodeId> destinations,
                                  const FaultSet& faults) {
-  return Repairer(base, destinations, faults).run();
+  HYPERCAST_OBS_SPAN("fault.repair");
+  FaultAwareResult out = Repairer(base, destinations, faults).run();
+  if (obs::stats_enabled()) {
+    obs::Registry& r = obs::default_registry();
+    static obs::Counter* const calls = &r.counter("fault.repair_calls");
+    static obs::Counter* const broken = &r.counter("fault.broken");
+    static obs::Counter* const rerouted =
+        &r.counter("fault.rerouted_shortest");
+    static obs::Counter* const relayed = &r.counter("fault.relayed");
+    static obs::Counter* const relays_added =
+        &r.counter("fault.relay_nodes_added");
+    static obs::Counter* const dead_bypassed =
+        &r.counter("fault.dead_relays_bypassed");
+    calls->inc();
+    broken->add(out.report.broken);
+    rerouted->add(out.report.rerouted_shortest);
+    relayed->add(out.report.relayed);
+    relays_added->add(out.report.relay_nodes_added);
+    dead_bypassed->add(out.report.dead_relays_bypassed);
+  }
+  return out;
 }
 
 FaultAwareResult fault_aware_multicast(const core::AlgorithmEntry& base,
@@ -261,6 +282,9 @@ std::uint64_t fault_epoch() {
 
 void bump_fault_epoch() {
   fault_epoch_counter().fetch_add(1, std::memory_order_acq_rel);
+  if (obs::stats_enabled()) {
+    obs::default_registry().counter("fault.epoch_bumps").inc();
+  }
 }
 
 }  // namespace hypercast::fault

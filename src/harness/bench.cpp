@@ -10,6 +10,7 @@
 
 #include "harness/experiment.hpp"
 #include "metrics/json.hpp"
+#include "obs/registry.hpp"
 
 namespace hypercast::bench {
 
@@ -171,7 +172,8 @@ std::string artifact_name(const Benchmark& benchmark, const RunOptions& opts) {
 
 std::string benchmark_json(const Benchmark& benchmark, const RunOptions& opts,
                            const Report& report,
-                           const std::vector<double>& wall_seconds) {
+                           const std::vector<double>& wall_seconds,
+                           const obs::Registry* stats) {
   metrics::JsonWriter w;
   w.begin_object();
   w.key("schema").value("hypercast-bench-v1");
@@ -196,6 +198,10 @@ std::string benchmark_json(const Benchmark& benchmark, const RunOptions& opts,
   w.key("series").begin_array();
   for (const metrics::Series& s : report.series()) write_series(w, s);
   w.end_array();
+  if (stats != nullptr) {
+    w.key("stats");
+    stats->write_json(w);
+  }
   write_machine(w);
   w.end_object();
   return std::move(w).str();
@@ -222,6 +228,12 @@ std::vector<RunRecord> run_benchmarks(const RunOptions& opts) {
     std::filesystem::create_directories(opts.out_dir);
   }
 
+  // --stats scope: collection on for the whole run, prior flag state
+  // restored on exit (benchmarks that flip the flags themselves, like
+  // micro_obs_overhead, save/restore with their own FlagsGuard).
+  obs::FlagsGuard obs_flags;
+  if (opts.stats) obs::set_stats_enabled(true);
+
   std::vector<RunRecord> records;
   records.reserve(selected.size());
   std::size_t index = 0;
@@ -235,6 +247,8 @@ std::vector<RunRecord> run_benchmarks(const RunOptions& opts) {
     RunRecord record;
     record.name = artifact_name(*b, opts);
     Report report;
+    // Each artifact's stats block covers exactly its own benchmark.
+    if (opts.stats) obs::default_registry().reset();
     for (int r = 0; r < opts.repeat; ++r) {
       report = Report();
       const auto start = std::chrono::steady_clock::now();
@@ -244,7 +258,9 @@ std::vector<RunRecord> run_benchmarks(const RunOptions& opts) {
                                         start)
               .count());
     }
-    record.json = benchmark_json(*b, opts, report, record.wall_seconds);
+    record.json = benchmark_json(*b, opts, report, record.wall_seconds,
+                                 opts.stats ? &obs::default_registry()
+                                            : nullptr);
     if (!opts.out_dir.empty()) {
       const std::filesystem::path path =
           std::filesystem::path(opts.out_dir) /

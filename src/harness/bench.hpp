@@ -13,6 +13,10 @@ namespace hypercast::harness {
 struct DelaySweepResult;
 }
 
+namespace hypercast::obs {
+class Registry;
+}
+
 namespace hypercast::bench {
 
 /// What a benchmark reproduces: a paper figure, an ablation study, or a
@@ -103,6 +107,11 @@ struct RunOptions {
   bool cache = false;
   std::size_t cache_shards = 0;
   std::size_t cache_bytes = 0;
+
+  /// Enable obs stats collection for the run and embed each benchmark's
+  /// registry exposition (reset before every benchmark) as a "stats"
+  /// object in its artifact.
+  bool stats = false;
 };
 
 struct RunRecord {
@@ -124,10 +133,12 @@ std::vector<RunRecord> run_benchmarks(const RunOptions& opts);
 std::string artifact_name(const Benchmark& benchmark, const RunOptions& opts);
 
 /// The JSON document for one benchmark result — exposed so tests can
-/// validate the schema without spawning the runner binary.
+/// validate the schema without spawning the runner binary. When `stats`
+/// is non-null its exposition is embedded under the "stats" key.
 std::string benchmark_json(const Benchmark& benchmark, const RunOptions& opts,
                            const Report& report,
-                           const std::vector<double>& wall_seconds);
+                           const std::vector<double>& wall_seconds,
+                           const obs::Registry* stats = nullptr);
 
 // ---- helpers shared by benchmark definitions ----------------------------
 

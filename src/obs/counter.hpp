@@ -1,0 +1,48 @@
+#ifndef HYPERCAST_OBS_COUNTER_HPP
+#define HYPERCAST_OBS_COUNTER_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "obs/obs.hpp"
+
+namespace hypercast::obs {
+
+/// Sharded relaxed-atomic counter: increments land on one of kStripes
+/// cache-line-padded slots selected by the caller's thread_slot(), so
+/// concurrent writers from different threads never bounce one line.
+/// value() is a racy-but-exact-sum snapshot (every increment is counted
+/// once; concurrent increments may or may not be included). Usable
+/// standalone (e.g. ScheduleCache's per-instance stats) or registered by
+/// name in an obs::Registry.
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;  // power of two
+
+  void add(std::uint64_t n) {
+    slots_[thread_slot() & (kStripes - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const Slot& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() {
+    for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kStripes> slots_{};
+};
+
+}  // namespace hypercast::obs
+
+#endif  // HYPERCAST_OBS_COUNTER_HPP

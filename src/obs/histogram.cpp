@@ -1,0 +1,69 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hypercast::obs {
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  std::uint64_t min = ~std::uint64_t{0};
+  for (const Stripe& s : stripes_) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    min = std::min(min, s.min.load(std::memory_order_relaxed));
+  }
+  for (const std::uint64_t c : out.buckets) out.count += c;
+  out.min = out.count == 0 ? 0 : min;
+  return out;
+}
+
+void Histogram::reset() {
+  for (Stripe& s : stripes_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    s.max.store(0, std::memory_order_relaxed);
+    s.min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The rank we want: the ceil(q * count)-th smallest sample (1-based),
+  // at least the 1st.
+  const double target =
+      std::max(1.0, std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = buckets[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      // Midpoint interpolation inside the bucket, against the tightest
+      // bounds we know: the bucket's range intersected with [min, max].
+      const double lo = static_cast<double>(std::max(bucket_lower(i), min));
+      const double hi = static_cast<double>(
+          std::min(bucket_upper(i), max == ~std::uint64_t{0} ? max : max + 1));
+      const double frac =
+          (target - 0.5 - static_cast<double>(cum)) / static_cast<double>(c);
+      const double v = lo + frac * std::max(hi - lo, 0.0);
+      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+    }
+    cum += c;
+  }
+  return static_cast<double>(max);  // unreachable unless counts raced
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+}  // namespace hypercast::obs

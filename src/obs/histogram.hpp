@@ -1,0 +1,104 @@
+#ifndef HYPERCAST_OBS_HISTOGRAM_HPP
+#define HYPERCAST_OBS_HISTOGRAM_HPP
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+#include "obs/obs.hpp"
+
+namespace hypercast::obs {
+
+/// Mergeable point-in-time view of a Histogram (or several: merge()).
+/// Percentiles interpolate linearly inside the winning log2 bucket,
+/// clamped to the observed [min, max], so they are monotone in q and an
+/// empty snapshot reports 0 everywhere.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when empty
+  std::uint64_t max = 0;
+
+  /// Inclusive lower / exclusive upper value bound of bucket i. Bucket 0
+  /// holds exactly 0; bucket i >= 1 holds [2^(i-1), 2^i); the top bucket
+  /// additionally absorbs everything >= 2^(kBuckets-1) (overflow).
+  static std::uint64_t bucket_lower(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  static std::uint64_t bucket_upper(std::size_t i) {
+    if (i == 0) return 1;
+    if (i >= kBuckets - 1) return ~std::uint64_t{0};
+    return std::uint64_t{1} << i;
+  }
+
+  bool empty() const { return count == 0; }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// q in [0, 1] (clamped). Monotone in q; 0 for an empty snapshot.
+  double percentile(double q) const;
+
+  /// Fold `other` into this snapshot (bucket-wise addition, min/max
+  /// union). Merging snapshots taken from disjoint histograms is exact.
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Log2-bucketed histogram of unsigned samples (latencies in ns, sizes,
+/// ...). record() is wait-free and sharded: each thread's samples land
+/// in a cache-line-padded stripe (bucket increment + sum add + min/max
+/// CAS, all relaxed), so concurrent recorders do not contend. snapshot()
+/// sums the stripes — a racy snapshot, like every exposition here.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+  static constexpr std::size_t kStripes = 8;  // power of two
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v == 0) return 0;
+    const auto w = static_cast<std::size_t>(std::bit_width(v));
+    return w < kBuckets ? w : kBuckets - 1;
+  }
+
+  void record(std::uint64_t v) {
+    Stripe& s = stripes_[thread_slot() & (kStripes - 1)];
+    s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    update_max(s.max, v);
+    update_min(s.min, v);
+  }
+
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  static void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void update_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  struct alignas(64) Stripe {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> max{0};
+    std::atomic<std::uint64_t> min{~std::uint64_t{0}};
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+}  // namespace hypercast::obs
+
+#endif  // HYPERCAST_OBS_HISTOGRAM_HPP

@@ -1,0 +1,158 @@
+#include "obs/registry.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "metrics/json.hpp"
+
+namespace hypercast::obs {
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::register_gauge_source(const std::string& name, GaugeFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = std::move(fn);
+}
+
+void Registry::unregister_gauge_source(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.erase(name);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  tracer_.clear();
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot out;
+  std::vector<std::pair<std::string, GaugeFn>> gauge_fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      out.counters.emplace_back(name, c->value());
+    }
+    out.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      out.histograms.emplace_back(name, h->snapshot());
+    }
+    gauge_fns.reserve(gauges_.size());
+    for (const auto& [name, fn] : gauges_) gauge_fns.emplace_back(name, fn);
+  }
+  // Gauge callbacks run unlocked: they read live objects (cache stats
+  // take shard locks) and must be free to do so without holding mu_.
+  out.gauges.reserve(gauge_fns.size());
+  for (const auto& [name, fn] : gauge_fns) {
+    out.gauges.emplace_back(name, fn());
+  }
+  out.trace_spans = tracer_.size();
+  out.trace_dropped = tracer_.dropped();
+  return out;
+}
+
+void Registry::write_json(metrics::JsonWriter& w) const {
+  const Snapshot snap = snapshot();
+  w.begin_object();
+  w.key("schema").value("hypercast-stats-v1");
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snap.counters) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : snap.histograms) {
+    w.key(name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    w.key("mean").value(h.mean());
+    w.key("min").value(h.min);
+    w.key("max").value(h.max);
+    w.key("p50").value(h.percentile(0.50));
+    w.key("p95").value(h.percentile(0.95));
+    w.key("p99").value(h.percentile(0.99));
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.begin_object();
+      w.key("le").value(HistogramSnapshot::bucket_upper(i));
+      w.key("count").value(h.buckets[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [source, fields] : snap.gauges) {
+    w.key(source).begin_object();
+    for (const auto& [field, value] : fields) {
+      w.key(field).value(value);
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.key("trace_spans").value(static_cast<std::uint64_t>(snap.trace_spans));
+  w.key("trace_dropped").value(snap.trace_dropped);
+  w.end_object();
+}
+
+std::string Registry::to_json() const {
+  metrics::JsonWriter w;
+  write_json(w);
+  return std::move(w).str();
+}
+
+std::string Registry::format_text() const {
+  const Snapshot snap = snapshot();
+  std::ostringstream os;
+  for (const auto& [name, value] : snap.counters) {
+    os << "counter   " << name << " = " << value << '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "histogram %s  count=%llu mean=%.1f p50=%.0f p95=%.0f "
+                  "p99=%.0f max=%llu",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.mean(), h.percentile(0.50), h.percentile(0.95),
+                  h.percentile(0.99),
+                  static_cast<unsigned long long>(h.max));
+    os << line << '\n';
+  }
+  for (const auto& [source, fields] : snap.gauges) {
+    os << "gauges    " << source << ":";
+    for (const auto& [field, value] : fields) {
+      char item[96];
+      std::snprintf(item, sizeof(item), " %s=%g", field.c_str(), value);
+      os << item;
+    }
+    os << '\n';
+  }
+  if (snap.trace_spans > 0 || snap.trace_dropped > 0) {
+    os << "tracer    spans=" << snap.trace_spans
+       << " dropped=" << snap.trace_dropped << '\n';
+  }
+  return os.str();
+}
+
+Registry& default_registry() {
+  static Registry* registry = new Registry();  // never destroyed: span
+  return *registry;  // guards in static-destruction order may still record
+}
+
+}  // namespace hypercast::obs

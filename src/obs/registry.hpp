@@ -1,0 +1,128 @@
+#ifndef HYPERCAST_OBS_REGISTRY_HPP
+#define HYPERCAST_OBS_REGISTRY_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counter.hpp"
+#include "obs/histogram.hpp"
+#include "obs/obs.hpp"
+#include "obs/tracer.hpp"
+
+namespace hypercast::metrics {
+class JsonWriter;
+}
+
+namespace hypercast::obs {
+
+/// Process-wide instrument registry: named counters and histograms
+/// (created on first lookup, stable addresses — call sites resolve once
+/// and keep the pointer), gauge sources (callbacks snapshotting live
+/// objects such as a ScheduleCache at exposition time), and the span
+/// tracer. Expositions are racy snapshots by design.
+///
+/// JSON schema ("hypercast-stats-v1", validated by
+/// tools/check_stats_schema.py):
+///   { "schema": "hypercast-stats-v1",
+///     "counters":   { "<name>": <uint>, ... },
+///     "histograms": { "<name>": { "count", "sum", "mean", "min", "max",
+///                                 "p50", "p95", "p99",
+///                                 "buckets": [ {"le": u, "count": c} ] } },
+///     "gauges":     { "<source>": { "<field>": <number>, ... } },
+///     "trace_spans": <uint>, "trace_dropped": <uint> }
+/// Keys are sorted by name, so two snapshots of the same state are
+/// byte-identical.
+class Registry {
+ public:
+  /// A gauge source returns (field, value) pairs computed on demand.
+  /// Sources run outside the registry lock but must not call back into
+  /// this registry.
+  using GaugeFn =
+      std::function<std::vector<std::pair<std::string, double>>()>;
+
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Tracer& tracer() { return tracer_; }
+
+  void register_gauge_source(const std::string& name, GaugeFn fn);
+  void unregister_gauge_source(const std::string& name);
+
+  /// Zero every counter and histogram and clear the tracer; names and
+  /// gauge sources stay registered.
+  void reset();
+
+  /// Write the exposition object through `w` (caller may be embedding it
+  /// in a larger document, e.g. a bench artifact's "stats" key).
+  void write_json(metrics::JsonWriter& w) const;
+  std::string to_json() const;
+
+  /// Human-readable exposition, one instrument per line, sorted.
+  std::string format_text() const;
+
+ private:
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+    std::vector<std::pair<std::string,
+                          std::vector<std::pair<std::string, double>>>>
+        gauges;
+    std::size_t trace_spans = 0;
+    std::uint64_t trace_dropped = 0;
+  };
+  Snapshot snapshot() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, GaugeFn> gauges_;
+  Tracer tracer_;
+};
+
+/// The process-wide registry every built-in instrument registers with.
+Registry& default_registry();
+
+/// Scoped span: captures obs::now_ns() on entry and records a SpanEvent
+/// into default_registry().tracer() on exit — if and only if tracing was
+/// enabled at entry. `name` must outlive the guard (string literals).
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name) {
+    if (tracing_enabled()) {
+      name_ = name;
+      start_ = now_ns();
+    }
+  }
+  ~SpanGuard() {
+    if (name_ != nullptr) {
+      default_registry().tracer().record(name_, start_, now_ns() - start_);
+    }
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace hypercast::obs
+
+// Statement macro for scoped spans. Compiles to nothing under
+// -DHYPERCAST_OBS_DISABLE; otherwise costs one relaxed load when tracing
+// is off.
+#if defined(HYPERCAST_OBS_DISABLE)
+#define HYPERCAST_OBS_SPAN(name) static_cast<void>(0)
+#else
+#define HYPERCAST_OBS_CONCAT_(a, b) a##b
+#define HYPERCAST_OBS_CONCAT(a, b) HYPERCAST_OBS_CONCAT_(a, b)
+#define HYPERCAST_OBS_SPAN(name)               \
+  const ::hypercast::obs::SpanGuard HYPERCAST_OBS_CONCAT( \
+      hypercast_obs_span_, __LINE__)(name)
+#endif
+
+#endif  // HYPERCAST_OBS_REGISTRY_HPP

@@ -1,0 +1,92 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+
+#include "metrics/json.hpp"
+
+namespace hypercast::obs {
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(SpanEvent{name, thread_slot(), start_ns, dur_ns});
+}
+
+std::vector<SpanEvent> Tracer::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanEvent> out = std::move(events_);
+  events_.clear();
+  dropped_ = 0;
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+namespace {
+
+std::uint64_t earliest_of(const std::vector<SpanEvent>& events) {
+  std::uint64_t earliest = 0;
+  bool any = false;
+  for (const SpanEvent& e : events) {
+    if (!any || e.start_ns < earliest) earliest = e.start_ns;
+    any = true;
+  }
+  return earliest;
+}
+
+void write_events(metrics::JsonWriter& w, const std::vector<SpanEvent>& events,
+                  std::uint64_t epoch_ns) {
+  for (const SpanEvent& e : events) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value("span");
+    w.key("ph").value("X");
+    w.key("ts").value(static_cast<double>(e.start_ns - epoch_ns) / 1000.0);
+    w.key("dur").value(static_cast<double>(e.dur_ns) / 1000.0);
+    w.key("pid").value(std::int64_t{0});
+    w.key("tid").value(static_cast<std::int64_t>(e.tid));
+    w.end_object();
+  }
+}
+
+}  // namespace
+
+std::uint64_t Tracer::earliest_start_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return earliest_of(events_);
+}
+
+void Tracer::write_chrome_events(metrics::JsonWriter& w,
+                                 std::uint64_t epoch_ns) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_events(w, events_, epoch_ns);
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics::JsonWriter w;
+  w.begin_array();
+  write_events(w, events_, earliest_of(events_));
+  w.end_array();
+  return std::move(w).str();
+}
+
+}  // namespace hypercast::obs

@@ -1,0 +1,67 @@
+#ifndef HYPERCAST_OBS_TRACER_HPP
+#define HYPERCAST_OBS_TRACER_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace hypercast::metrics {
+class JsonWriter;
+}
+
+namespace hypercast::obs {
+
+/// One completed span: a named interval on one thread.
+struct SpanEvent {
+  std::string name;
+  std::uint32_t tid = 0;       ///< obs::thread_slot() of the recorder
+  std::uint64_t start_ns = 0;  ///< obs::now_ns() at span entry
+  std::uint64_t dur_ns = 0;
+};
+
+/// Collects spans for Chrome trace-event export. Recording takes one
+/// uncontended mutex (tracing is an explicit debugging mode, not a
+/// steady-state path — the hot-path cost of an *untraced* span is a
+/// relaxed flag load, see SpanGuard). The buffer is capped: events past
+/// kMaxEvents are counted in dropped() instead of stored, so a traced
+/// long-running serve loop cannot exhaust memory.
+class Tracer {
+ public:
+  static constexpr std::size_t kMaxEvents = std::size_t{1} << 20;
+
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+  /// Move the collected events out (oldest first) and reset dropped().
+  std::vector<SpanEvent> drain();
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Append the collected spans (without draining) as Chrome trace-event
+  /// objects — complete ("ph":"X") events with microsecond timestamps
+  /// relative to `epoch_ns` (pass 0 to keep absolute steady-clock time).
+  /// The caller owns the enclosing JSON array.
+  void write_chrome_events(metrics::JsonWriter& w,
+                           std::uint64_t epoch_ns) const;
+
+  /// A standalone chrome://tracing / Perfetto loadable document: a JSON
+  /// array of the spans, timestamps rebased to the earliest span.
+  std::string to_chrome_json() const;
+
+  /// Earliest span start, or 0 when empty — the natural rebasing epoch
+  /// when merging tracer spans with other event sources.
+  std::uint64_t earliest_start_ns() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hypercast::obs
+
+#endif  // HYPERCAST_OBS_TRACER_HPP

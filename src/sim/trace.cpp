@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <set>
 #include <sstream>
+
+#include "metrics/json.hpp"
 
 namespace hypercast::sim {
 
@@ -30,6 +33,79 @@ std::string Trace::format(const hcube::Topology& topo) const {
     os << '\n';
   }
   return os.str();
+}
+
+SimTime Trace::earliest_issue() const {
+  SimTime earliest = 0;
+  bool any = false;
+  for (const MessageTrace& m : messages) {
+    if (!any || m.issue < earliest) earliest = m.issue;
+    any = true;
+  }
+  return earliest;
+}
+
+namespace {
+
+/// One complete event on the destination's row. `begin`/`end` are
+/// absolute SimTimes; Chrome wants microseconds relative to the epoch.
+void write_phase(metrics::JsonWriter& w, const char* name,
+                 const MessageTrace& m, SimTime begin, SimTime end,
+                 SimTime epoch, bool blocked_args) {
+  w.begin_object();
+  w.key("name").value(name);
+  w.key("cat").value("worm");
+  w.key("ph").value("X");
+  w.key("ts").value(to_microseconds(begin - epoch));
+  w.key("dur").value(to_microseconds(end - begin));
+  w.key("pid").value(std::int64_t{0});
+  w.key("tid").value(static_cast<std::int64_t>(m.to));
+  w.key("args").begin_object();
+  w.key("from").value(static_cast<std::int64_t>(m.from));
+  w.key("to").value(static_cast<std::int64_t>(m.to));
+  w.key("hops").value(static_cast<std::int64_t>(m.hops));
+  if (blocked_args) {
+    w.key("blocked_us").value(to_microseconds(m.blocked_ns));
+    w.key("blocked_times").value(static_cast<std::int64_t>(m.blocked_times));
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void Trace::write_chrome_events(metrics::JsonWriter& w,
+                                const hcube::Topology& topo,
+                                SimTime epoch) const {
+  // Name each destination row once so the viewer shows node labels
+  // instead of bare tids.
+  std::set<hcube::NodeId> named;
+  for (const MessageTrace& m : messages) {
+    if (!named.insert(m.to).second) continue;
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(std::int64_t{0});
+    w.key("tid").value(static_cast<std::int64_t>(m.to));
+    w.key("args").begin_object();
+    w.key("name").value("node " + topo.format(m.to));
+    w.end_object();
+    w.end_object();
+  }
+  for (const MessageTrace& m : messages) {
+    write_phase(w, "startup", m, m.issue, m.header_start, epoch, false);
+    write_phase(w, "header", m, m.header_start, m.path_acquired, epoch, true);
+    write_phase(w, "body", m, m.path_acquired, m.tail, epoch, false);
+    write_phase(w, "recv", m, m.tail, m.done, epoch, false);
+  }
+}
+
+std::string Trace::to_chrome_json(const hcube::Topology& topo) const {
+  metrics::JsonWriter w;
+  w.begin_array();
+  write_chrome_events(w, topo, earliest_issue());
+  w.end_array();
+  return std::move(w).str();
 }
 
 }  // namespace hypercast::sim

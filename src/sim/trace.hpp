@@ -7,6 +7,10 @@
 #include "hcube/topology.hpp"
 #include "sim/cost_model.hpp"
 
+namespace hypercast::metrics {
+class JsonWriter;
+}
+
 namespace hypercast::sim {
 
 /// Per-message timeline recorded by the simulator when tracing is on.
@@ -28,6 +32,32 @@ struct Trace {
 
   /// Multi-line rendering, one message per line, ordered by issue time.
   std::string format(const hcube::Topology& topo) const;
+
+  /// Chrome trace-event JSON (chrome://tracing / Perfetto loadable): a
+  /// bare array of events. Each MessageTrace becomes four complete
+  /// ("ph":"X") events on the *destination node's* row (tid = to, so a
+  /// row reads as that node's incoming worm pipeline), timestamps in
+  /// microseconds rebased to the earliest issue:
+  ///   "startup" [issue, header_start)        — CPU send startup
+  ///   "header"  [header_start, path_acquired) — header traversal; worm
+  ///             blocking is part of this interval (the engine folds
+  ///             waits on busy channels into path acquisition), reported
+  ///             via args.blocked_us / args.blocked_times rather than as
+  ///             separate events
+  ///   "body"    [path_acquired, tail)         — body flits streaming
+  ///   "recv"    [tail, done)                  — receive overhead
+  /// plus one "M" thread_name metadata event per destination node.
+  /// See docs/OBSERVABILITY.md for the full mapping rationale.
+  std::string to_chrome_json(const hcube::Topology& topo) const;
+
+  /// Append the same events through `w` (no enclosing array) with
+  /// timestamps rebased to `epoch` — for merging simulator worms and
+  /// obs::Tracer spans into one document.
+  void write_chrome_events(metrics::JsonWriter& w, const hcube::Topology& topo,
+                           SimTime epoch) const;
+
+  /// Earliest issue timestamp, or 0 when empty (the natural epoch).
+  SimTime earliest_issue() const;
 };
 
 }  // namespace hypercast::sim

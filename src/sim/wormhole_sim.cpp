@@ -4,12 +4,37 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/worm_engine.hpp"
 
 namespace hypercast::sim {
 
 namespace {
+
+/// Registry handles resolved once; the simulator publishes aggregate
+/// run/message/event counts plus a per-delivery latency histogram.
+struct SimMetrics {
+  obs::Counter* runs;
+  obs::Counter* jobs;
+  obs::Counter* messages;
+  obs::Counter* events;
+  obs::Counter* blocked_acquisitions;
+  obs::Histogram* delay_ns;
+};
+
+const SimMetrics& sim_metrics() {
+  static const SimMetrics m = [] {
+    obs::Registry& r = obs::default_registry();
+    return SimMetrics{&r.counter("sim.runs"),
+                      &r.counter("sim.jobs"),
+                      &r.counter("sim.messages"),
+                      &r.counter("sim.events"),
+                      &r.counter("sim.blocked_acquisitions"),
+                      &r.histogram("sim.delay_ns")};
+  }();
+  return m;
+}
 
 /// Replays multicast schedules over a shared WormEngine, adding the
 /// processor model: send startups and receive overheads serialize on
@@ -108,6 +133,20 @@ class Engine {
         result_.per_job[job].trace.messages.push_back(t);
       }
     }
+    if (obs::stats_enabled()) {
+      const SimMetrics& m = sim_metrics();
+      m.runs->inc();
+      m.jobs->add(jobs_.size());
+      m.messages->add(result_.stats.messages);
+      m.events->add(result_.stats.events);
+      m.blocked_acquisitions->add(result_.stats.blocked_acquisitions);
+      for (const SimResult& r : result_.per_job) {
+        for (const auto& [node, done] : r.delivery) {
+          (void)node;
+          m.delay_ns->record(static_cast<std::uint64_t>(done));
+        }
+      }
+    }
     return;
   }
 
@@ -157,6 +196,7 @@ SimTime MultiSimResult::makespan() const {
 
 MultiSimResult simulate_collectives(std::span<const CollectiveJob> jobs,
                                     const SimConfig& config) {
+  HYPERCAST_OBS_SPAN("sim.run");
   return Engine(jobs, config).run();
 }
 

@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Schema validator for hypercast observability artifacts.
+
+Validates two artifact families produced by the obs subsystem:
+
+ * Stats expositions ("hypercast-stats-v1"): the object printed by
+   `hypercast_cli --stats=json` / the `stats` command, and the "stats"
+   block embedded in hypercast-bench-v1 artifacts by `bench_runner
+   --stats`. Structural checks plus invariants the instruments
+   guarantee: counters are non-negative integers, every histogram's
+   bucket counts sum to its count, percentiles are ordered
+   (min <= p50 <= p95 <= p99 <= max), empty histograms report zeroes,
+   and gauge fields are numbers.
+
+ * Chrome trace-event JSON: the bare event array written by
+   --trace-out (obs::Tracer spans, sim::Trace worm phases, or both
+   merged). Every event needs "name" and "ph"; complete ("X") events
+   need numeric ts/dur and an integer tid; metadata ("M") events are
+   exempt from timestamps. The result must load in chrome://tracing.
+
+Usage:
+  tools/check_stats_schema.py [--stats FILE ...] [--trace FILE ...] \
+      [--bench-dir DIR]
+
+--bench-dir scans DIR for BENCH_*.json and validates the embedded
+"stats" block of any artifact that has one. At least one input must be
+given. Exit status: 0 pass, 1 validation failure, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+STATS_SCHEMA = "hypercast-stats-v1"
+HIST_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99",
+               "buckets")
+
+
+class Check:
+    """Accumulates per-file validation errors."""
+
+    def __init__(self):
+        self.errors = []
+        self.checked = 0
+
+    def error(self, where: str, message: str):
+        self.errors.append(f"{where}: {message}")
+
+
+def is_uint(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def load_json(path: Path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot parse {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_histogram(chk: Check, where: str, hist):
+    if not isinstance(hist, dict):
+        chk.error(where, f"histogram is not an object "
+                         f"(got {type(hist).__name__})")
+        return
+    for field in HIST_FIELDS:
+        if field not in hist:
+            chk.error(where, f"missing histogram field {field!r}")
+    for field in ("count", "sum"):
+        if field in hist and not is_uint(hist[field]):
+            chk.error(where, f"{field} is not a non-negative integer")
+    for field in ("mean", "min", "max", "p50", "p95", "p99"):
+        if field in hist and not is_number(hist[field]):
+            chk.error(where, f"{field} is not a number")
+    if chk.errors:
+        pass  # structural problems; value invariants below may not apply
+
+    buckets = hist.get("buckets")
+    if not isinstance(buckets, list):
+        chk.error(where, "buckets is not an array")
+        return
+    total = 0
+    prev_le = -1
+    for i, bucket in enumerate(buckets):
+        bwhere = f"{where}.buckets[{i}]"
+        if not isinstance(bucket, dict) or not is_uint(bucket.get("le")) \
+                or not is_uint(bucket.get("count")):
+            chk.error(bwhere, "expected {\"le\": uint, \"count\": uint}")
+            continue
+        if bucket["le"] <= prev_le:
+            chk.error(bwhere, f"bucket bounds not increasing "
+                              f"({bucket['le']} after {prev_le})")
+        prev_le = bucket["le"]
+        total += bucket["count"]
+
+    count = hist.get("count")
+    if is_uint(count):
+        if total != count:
+            chk.error(where, f"bucket counts sum to {total}, count is {count}")
+        if count == 0:
+            for field in ("sum", "mean", "min", "max", "p50", "p95", "p99"):
+                if is_number(hist.get(field)) and hist[field] != 0:
+                    chk.error(where, f"empty histogram has nonzero {field}")
+        else:
+            quantiles = [hist.get(f) for f in ("min", "p50", "p95", "p99",
+                                               "max")]
+            if all(is_number(q) for q in quantiles):
+                for (lo_name, lo), (hi_name, hi) in zip(
+                        zip(("min", "p50", "p95", "p99"), quantiles),
+                        zip(("p50", "p95", "p99", "max"), quantiles[1:])):
+                    if lo > hi:
+                        chk.error(where, f"percentiles out of order: "
+                                         f"{lo_name}={lo} > {hi_name}={hi}")
+
+
+def check_stats_object(chk: Check, where: str, doc):
+    chk.checked += 1
+    if not isinstance(doc, dict):
+        chk.error(where, f"not a JSON object (got {type(doc).__name__})")
+        return
+    if doc.get("schema") != STATS_SCHEMA:
+        chk.error(where, f"schema is {doc.get('schema')!r}, "
+                         f"expected {STATS_SCHEMA!r}")
+
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        chk.error(where, "counters is not an object")
+    else:
+        for name, value in counters.items():
+            if not is_uint(value):
+                chk.error(f"{where}.counters.{name}",
+                          "not a non-negative integer")
+
+    histograms = doc.get("histograms")
+    if not isinstance(histograms, dict):
+        chk.error(where, "histograms is not an object")
+    else:
+        for name, hist in histograms.items():
+            check_histogram(chk, f"{where}.histograms.{name}", hist)
+
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        chk.error(where, "gauges is not an object")
+    else:
+        for source, fields in gauges.items():
+            if not isinstance(fields, dict):
+                chk.error(f"{where}.gauges.{source}", "not an object")
+                continue
+            for field, value in fields.items():
+                if not is_number(value):
+                    chk.error(f"{where}.gauges.{source}.{field}",
+                              "not a number")
+
+    for field in ("trace_spans", "trace_dropped"):
+        if not is_uint(doc.get(field)):
+            chk.error(where, f"{field} missing or not a non-negative integer")
+
+
+def check_trace_document(chk: Check, where: str, doc):
+    chk.checked += 1
+    if not isinstance(doc, list):
+        chk.error(where, f"trace document is not an array "
+                         f"(got {type(doc).__name__})")
+        return
+    if not doc:
+        chk.error(where, "trace document is empty (no events)")
+    for i, event in enumerate(doc):
+        ewhere = f"{where}[{i}]"
+        if not isinstance(event, dict):
+            chk.error(ewhere, "event is not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            chk.error(ewhere, "missing or empty \"name\"")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            chk.error(ewhere, "missing or empty \"ph\"")
+            continue
+        if ph == "M":
+            continue  # metadata events carry no timeline fields
+        ts = event.get("ts")
+        if not is_number(ts) or ts < 0:
+            chk.error(ewhere, "non-metadata event needs numeric ts >= 0")
+        if ph == "X":
+            if not is_number(event.get("dur")) or event["dur"] < 0:
+                chk.error(ewhere, "complete event needs numeric dur >= 0")
+            if not is_uint(event.get("tid")):
+                chk.error(ewhere,
+                          "complete event needs a non-negative integer tid")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--stats", nargs="+", type=Path, default=[],
+                        metavar="FILE",
+                        help="hypercast-stats-v1 JSON files to validate")
+    parser.add_argument("--trace", nargs="+", type=Path, default=[],
+                        metavar="FILE",
+                        help="Chrome trace-event JSON files to validate")
+    parser.add_argument("--bench-dir", type=Path, default=None, metavar="DIR",
+                        help="validate embedded \"stats\" blocks in "
+                             "BENCH_*.json under DIR")
+    args = parser.parse_args()
+
+    if not args.stats and not args.trace and args.bench_dir is None:
+        parser.print_usage(sys.stderr)
+        print("error: nothing to validate (give --stats, --trace, or "
+              "--bench-dir)", file=sys.stderr)
+        return 2
+
+    chk = Check()
+    for path in args.stats:
+        check_stats_object(chk, str(path), load_json(path))
+    for path in args.trace:
+        check_trace_document(chk, str(path), load_json(path))
+    if args.bench_dir is not None:
+        if not args.bench_dir.is_dir():
+            print(f"error: {args.bench_dir} is not a directory",
+                  file=sys.stderr)
+            return 2
+        with_stats = 0
+        for path in sorted(args.bench_dir.glob("BENCH_*.json")):
+            doc = load_json(path)
+            if not isinstance(doc, dict) \
+                    or doc.get("schema") != "hypercast-bench-v1":
+                print(f"note: skipping {path.name} (not hypercast-bench-v1)")
+                continue
+            if "stats" not in doc:
+                continue
+            with_stats += 1
+            check_stats_object(chk, f"{path}:stats", doc["stats"])
+        print(f"{args.bench_dir}: {with_stats} artifact(s) with embedded "
+              f"stats blocks")
+
+    if chk.errors:
+        print(f"FAIL: {len(chk.errors)} schema violation(s):")
+        for err in chk.errors:
+            print(f"  {err}")
+        return 1
+    print(f"PASS: {chk.checked} document(s) conform")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,13 @@
 //   hypercast_cli compare --n 6 --m 25 --seed 3
 //   hypercast_cli faults --n 6 --faults 0.10 --fault-seed 42
 //   hypercast_cli serve --n 8 --requests 5000 --shapes 4 --threads 4 --cache
+//   hypercast_cli stats --n 8 --requests 2048 --trace-out=trace.json
 //
 // Common options: --res high|low, --port one|all|k:<n>, --seed <u64>.
+// Observability (all commands): --stats[=text|json] prints the obs
+// registry exposition after the run; --trace-out=<file> writes Chrome
+// trace-event JSON (worm timelines for delay/faults, pipeline spans for
+// serve, both merged for stats).
 // Fault injection (all commands): --faults <count|rate> [--fault-seed s],
 // --fail-links u:d,..., --fail-nodes a,b. With faults present, trees are
 // built by the requested algorithm and then repaired fault-aware; the
@@ -18,8 +23,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "coll/schedule_cache.hpp"
@@ -29,12 +36,50 @@
 #include "core/registry.hpp"
 #include "fault/fault_aware.hpp"
 #include "harness/options.hpp"
+#include "metrics/json.hpp"
+#include "obs/registry.hpp"
+#include "sim/trace.hpp"
 #include "sim/wormhole_sim.hpp"
 #include "workload/random_sets.hpp"
 
 namespace {
 
 using namespace hypercast;
+
+enum class StatsMode { Off, Text, Json };
+
+StatsMode stats_mode(const harness::Options& opts) {
+  if (!opts.has("stats")) return StatsMode::Off;
+  if (opts.is_bare_flag("stats")) return StatsMode::Text;
+  const std::string v = opts.get("stats");
+  if (v == "text") return StatsMode::Text;
+  if (v == "json") return StatsMode::Json;
+  throw std::invalid_argument("--stats expects text or json, got '" + v +
+                              "'");
+}
+
+void print_registry(StatsMode mode) {
+  if (mode == StatsMode::Off) return;
+  obs::Registry& registry = obs::default_registry();
+  if (mode == StatsMode::Json) {
+    std::printf("%s\n", registry.to_json().c_str());
+  } else {
+    std::fputs(registry.format_text().c_str(), stdout);
+  }
+}
+
+/// Print --stats output if requested. Commands call this *before* their
+/// local gauge sources (e.g. the serve cache) go out of scope.
+void finish_stats(const harness::Options& opts) {
+  print_registry(stats_mode(opts));
+}
+
+void write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body << '\n';
+  if (!out) throw std::runtime_error("failed to write " + path);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
 
 core::MulticastRequest request_from(const harness::Options& opts) {
   const hcube::Dim n = static_cast<hcube::Dim>(opts.get_int("n"));
@@ -96,6 +141,7 @@ int cmd_plan(const harness::Options& opts) {
   std::printf("steps (%s): %d | %s\n", opts.port().name(), steps.total_steps,
               report.contention_free() ? "contention-free"
                                        : report.summary(req.topo).c_str());
+  finish_stats(opts);
   return 0;
 }
 
@@ -111,6 +157,7 @@ int cmd_steps(const harness::Options& opts) {
                 req.topo.format(u.to).c_str());
   }
   std::printf("total: %d steps\n", steps.total_steps);
+  finish_stats(opts);
   return 0;
 }
 
@@ -118,11 +165,13 @@ int cmd_delay(const harness::Options& opts) {
   const auto req = request_from(opts);
   const auto faults = setup_faults(opts, req.topo);
   const auto& algo = core::find_algorithm(opts.get_or("algo", "wsort"));
+  const std::string trace_out = opts.get_or("trace-out", "");
   sim::SimConfig config;
   config.port = opts.port();
   config.message_bytes =
       static_cast<std::size_t>(opts.get_int_or("bytes", 4096));
   config.faults = faults.get();
+  config.record_trace = !trace_out.empty();
   const auto result =
       sim::simulate_multicast(build_schedule(algo, req, faults.get()), config);
   std::printf(
@@ -133,6 +182,10 @@ int cmd_delay(const harness::Options& opts) {
       opts.port().name(), result.avg_delay(req.destinations) / 1000.0,
       sim::to_microseconds(result.max_delay(req.destinations)),
       static_cast<unsigned long long>(result.stats.blocked_acquisitions));
+  if (!trace_out.empty()) {
+    write_text_file(trace_out, result.trace.to_chrome_json(req.topo));
+  }
+  finish_stats(opts);
   return 0;
 }
 
@@ -145,6 +198,7 @@ int cmd_chains(const harness::Options& opts) {
     std::printf(" %s", req.topo.format(node).c_str());
   }
   std::printf("\n");
+  finish_stats(opts);
   return 0;
 }
 
@@ -180,6 +234,7 @@ int cmd_compare(const harness::Options& opts) {
                     result.stats.blocked_acquisitions),
                 repairs);
   }
+  finish_stats(opts);
   return 0;
 }
 
@@ -200,7 +255,62 @@ int cmd_faults(const harness::Options& opts) {
   std::printf("surviving cube %s\n", faults->surviving_connected()
                                          ? "is connected"
                                          : "is PARTITIONED");
+  const std::string trace_out = opts.get_or("trace-out", "");
+  if (!trace_out.empty()) {
+    // Broadcast to every live node from the first one, repaired against
+    // the fault set, and dump the worm timelines — a visual proof of
+    // where the repaired tree detours around the faults.
+    const hcube::NodeId source = faults->live_nodes().front();
+    std::vector<hcube::NodeId> dests;
+    for (const hcube::NodeId u : faults->live_nodes()) {
+      if (u != source) dests.push_back(u);
+    }
+    core::MulticastRequest req{topo, source, std::move(dests)};
+    req.validate();
+    const auto& algo = core::find_algorithm(opts.get_or("algo", "wsort"));
+    auto repaired =
+        fault::repair_schedule(algo.build(req), req.destinations, *faults);
+    std::printf("  %s\n", repaired.report.summary().c_str());
+    sim::SimConfig config;
+    config.port = opts.port();
+    config.message_bytes =
+        static_cast<std::size_t>(opts.get_int_or("bytes", 4096));
+    config.record_trace = true;
+    config.faults = &*faults;
+    const auto result = sim::simulate_multicast(repaired.schedule, config);
+    std::printf("degraded broadcast max delay: %.1f us\n",
+                sim::to_microseconds(result.max_delay(req.destinations)));
+    write_text_file(trace_out, result.trace.to_chrome_json(topo));
+  }
+  finish_stats(opts);
   return 0;
+}
+
+/// `requests` serves cycling `shapes` relative destination chains of
+/// size `m`, each XOR-translated to a pseudorandom source — the cache's
+/// design-target workload (shared by the serve and stats commands).
+std::vector<core::MulticastRequest> translated_stream(
+    const hcube::Topology& topo, std::size_t shapes, std::size_t m,
+    std::size_t requests, workload::Rng& rng) {
+  std::vector<std::vector<hcube::NodeId>> chains;
+  for (std::size_t s = 0; s < std::max<std::size_t>(shapes, 1); ++s) {
+    chains.push_back(workload::random_destinations(topo, 0, m, rng));
+  }
+  std::vector<core::MulticastRequest> stream;
+  stream.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto& shape = chains[i % chains.size()];
+    const hcube::NodeId source =
+        static_cast<hcube::NodeId>(rng() % topo.num_nodes());
+    std::vector<hcube::NodeId> dests;
+    dests.reserve(shape.size());
+    for (const hcube::NodeId d : shape) {
+      const hcube::NodeId t = d ^ source;
+      if (t != source) dests.push_back(t);
+    }
+    stream.push_back(core::MulticastRequest{topo, source, std::move(dests)});
+  }
+  return stream;
 }
 
 /// Serve a synthetic request stream through the schedule-serving
@@ -223,24 +333,7 @@ int cmd_serve(const harness::Options& opts) {
   const auto faults = setup_faults(opts, topo);  // enables --algo <name>-ft
 
   workload::Rng rng(static_cast<std::uint64_t>(opts.get_int_or("seed", 1)));
-  std::vector<std::vector<hcube::NodeId>> shape_chains;
-  for (std::size_t s = 0; s < std::max<std::size_t>(shapes, 1); ++s) {
-    shape_chains.push_back(workload::random_destinations(topo, 0, m, rng));
-  }
-  std::vector<core::MulticastRequest> stream;
-  stream.reserve(requests);
-  for (std::size_t i = 0; i < requests; ++i) {
-    const auto& shape = shape_chains[i % shape_chains.size()];
-    const hcube::NodeId source =
-        static_cast<hcube::NodeId>(rng() % topo.num_nodes());
-    std::vector<hcube::NodeId> dests;
-    dests.reserve(shape.size());
-    for (const hcube::NodeId d : shape) {
-      const hcube::NodeId t = d ^ source;
-      if (t != source) dests.push_back(t);
-    }
-    stream.push_back(core::MulticastRequest{topo, source, std::move(dests)});
-  }
+  const auto stream = translated_stream(topo, shapes, m, requests, rng);
 
   std::shared_ptr<coll::ScheduleCache> cache;
   if (cache_opts.enabled) {
@@ -248,6 +341,7 @@ int cmd_serve(const harness::Options& opts) {
     config.shards = cache_opts.shards;
     if (cache_opts.max_bytes != 0) config.max_bytes = cache_opts.max_bytes;
     cache = std::make_shared<coll::ScheduleCache>(config);
+    cache->attach_to_registry(obs::default_registry(), "cache");
   }
   coll::ServePipeline pipeline(algo, cache);
 
@@ -263,40 +357,111 @@ int cmd_serve(const harness::Options& opts) {
       "served %zu requests (%zu shapes, %zu dests each) on a %d-cube\n"
       "  algorithm: %s, threads: %d, cache: %s\n"
       "  wall: %.3fs  (%.0f requests/s), %zu unicasts planned\n",
-      stream.size(), shape_chains.size(), m, n, algo.c_str(), threads,
-      cache ? "on" : "off", seconds,
+      stream.size(), std::max<std::size_t>(shapes, 1), m, n, algo.c_str(),
+      threads, cache ? "on" : "off", seconds,
       seconds > 0.0 ? static_cast<double>(stream.size()) / seconds : 0.0,
       unicasts);
   if (cache) {
-    const auto stats = cache->stats();
-    std::printf(
-        "  cache: %llu hits (%llu lock-free), %llu misses, "
-        "hit rate %.1f%%\n"
-        "         %llu evictions, %llu invalidations, %zu entries, "
-        "%zu bytes, %zu shards\n",
-        static_cast<unsigned long long>(stats.total_hits()),
-        static_cast<unsigned long long>(stats.l1_hits),
-        static_cast<unsigned long long>(stats.misses),
-        stats.hit_rate() * 100.0,
-        static_cast<unsigned long long>(stats.evictions),
-        static_cast<unsigned long long>(stats.invalidations), stats.entries,
-        stats.bytes, cache->num_shards());
+    // Field names are Stats::for_each_field — identical to the "cache"
+    // gauge source in the --stats JSON exposition by construction.
+    std::printf("  cache:");
+    cache->stats().for_each_field([](const char* field, double value) {
+      std::printf(" %s=%.6g", field, value);
+    });
+    std::printf(" shards=%zu\n", cache->num_shards());
+  }
+  const std::string trace_out = opts.get_or("trace-out", "");
+  if (!trace_out.empty()) {
+    write_text_file(trace_out,
+                    obs::default_registry().tracer().to_chrome_json());
+  }
+  finish_stats(opts);
+  return 0;
+}
+
+/// Diagnostic one-stop shop: run a cached serving batch plus a
+/// simulated broadcast with stats collection forced on and print the
+/// registry exposition (JSON by default, --format text for the human
+/// form). With --trace-out, pipeline spans and worm timelines land in
+/// one Chrome trace document; the two sources are rebased independently
+/// (spans are wall-clock nanoseconds, worm events virtual simulator
+/// time), so the viewer shows both starting at t = 0.
+int cmd_stats(const harness::Options& opts) {
+  obs::set_stats_enabled(true);
+  const std::string trace_out = opts.get_or("trace-out", "");
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
+
+  const hcube::Dim n = static_cast<hcube::Dim>(opts.get_int_or("n", 8));
+  const hcube::Topology topo(n, opts.resolution());
+  const std::string algo_name = opts.get_or("algo", "wsort");
+  const std::size_t requests =
+      static_cast<std::size_t>(opts.get_int_or("requests", 2048));
+  const std::size_t shapes =
+      static_cast<std::size_t>(opts.get_int_or("shapes", 4));
+  const std::size_t m = static_cast<std::size_t>(
+      opts.get_int_or("m", static_cast<long>(topo.num_nodes() / 2)));
+  const int threads = static_cast<int>(opts.get_int_or("threads", 1));
+
+  // A cached serving batch...
+  workload::Rng rng(static_cast<std::uint64_t>(opts.get_int_or("seed", 1)));
+  const auto stream = translated_stream(topo, shapes, m, requests, rng);
+  auto cache = std::make_shared<coll::ScheduleCache>();
+  cache->attach_to_registry(obs::default_registry(), "cache");
+  const coll::ServePipeline pipeline(algo_name, cache);
+  (void)pipeline.serve_batch(stream, threads);
+
+  // ...then one full broadcast through the wormhole simulator.
+  std::vector<hcube::NodeId> dests;
+  for (hcube::NodeId u = 1; u < topo.num_nodes(); ++u) dests.push_back(u);
+  core::MulticastRequest broadcast{topo, 0, std::move(dests)};
+  broadcast.validate();
+  sim::SimConfig config;
+  config.port = opts.port();
+  config.message_bytes =
+      static_cast<std::size_t>(opts.get_int_or("bytes", 4096));
+  config.record_trace = !trace_out.empty();
+  const auto& algo = core::find_algorithm(algo_name);
+  const auto result = sim::simulate_multicast(algo.build(broadcast), config);
+
+  if (!trace_out.empty()) {
+    metrics::JsonWriter w;
+    w.begin_array();
+    obs::Tracer& tracer = obs::default_registry().tracer();
+    tracer.write_chrome_events(w, tracer.earliest_start_ns());
+    result.trace.write_chrome_events(w, topo, result.trace.earliest_issue());
+    w.end_array();
+    write_text_file(trace_out, std::move(w).str());
+  }
+
+  const std::string format = opts.get_or("format", "json");
+  if (format == "json") {
+    print_registry(StatsMode::Json);
+  } else if (format == "text") {
+    print_registry(StatsMode::Text);
+  } else {
+    throw std::invalid_argument("--format expects json or text, got '" +
+                                format + "'");
   }
   return 0;
 }
 
 int usage() {
   std::fputs(
-      "usage: hypercast_cli <plan|steps|delay|chains|compare|faults|serve> "
-      "[options]\n"
+      "usage: hypercast_cli "
+      "<plan|steps|delay|chains|compare|faults|serve|stats> [options]\n"
       "  common: --n <dim> (--dests a,b,c | --m <count> [--seed s])\n"
       "          [--source u] [--algo name] [--res high|low]\n"
       "          [--port one|all|k:<n>] [--bytes b]\n"
+      "  obs:    [--stats[=text|json]] print obs counters/histograms\n"
+      "          [--trace-out=<file>] Chrome trace JSON (delay/faults:\n"
+      "          worm timelines; serve: pipeline spans; stats: merged)\n"
       "  faults: [--faults count|rate] [--fault-seed s]\n"
       "          [--fail-links u:d,...] [--fail-nodes a,b]\n"
       "  serve:  --n <dim> [--requests r] [--shapes k] [--m dests]\n"
       "          [--threads t] [--cache on|off] [--cache-shards n]\n"
-      "          [--cache-bytes b]\n",
+      "          [--cache-bytes b]\n"
+      "  stats:  [--n dim] [--requests r] [--format json|text] — serving\n"
+      "          batch + simulated broadcast with stats forced on\n",
       stderr);
   return 2;
 }
@@ -308,6 +473,14 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const auto opts = hypercast::harness::Options::parse(argc, argv, 2);
+    // Flags go live before the command runs (stats_mode also validates
+    // the value up front, so a typo fails before a long run, not after).
+    if (stats_mode(opts) != StatsMode::Off) {
+      hypercast::obs::set_stats_enabled(true);
+    }
+    if (!opts.get_or("trace-out", "").empty()) {
+      hypercast::obs::set_tracing_enabled(true);
+    }
     if (cmd == "plan") return cmd_plan(opts);
     if (cmd == "steps") return cmd_steps(opts);
     if (cmd == "delay") return cmd_delay(opts);
@@ -315,6 +488,7 @@ int main(int argc, char** argv) {
     if (cmd == "compare") return cmd_compare(opts);
     if (cmd == "faults") return cmd_faults(opts);
     if (cmd == "serve") return cmd_serve(opts);
+    if (cmd == "stats") return cmd_stats(opts);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
