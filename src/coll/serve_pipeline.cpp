@@ -75,6 +75,7 @@ constexpr unsigned kSampleMask = 15;
 struct ServeMetrics {
   obs::Counter* requests;
   obs::Counter* batches;
+  obs::Counter* deadline_shed;
   obs::Histogram* serve_ns;
   obs::Histogram* canonicalize_ns;
   obs::Histogram* hit_ns;
@@ -87,6 +88,7 @@ const ServeMetrics& serve_metrics() {
     obs::Registry& r = obs::default_registry();
     return ServeMetrics{&r.counter("serve.requests"),
                         &r.counter("serve.batches"),
+                        &r.counter("serve.deadline_shed"),
                         &r.histogram("serve.serve_ns"),
                         &r.histogram("serve.canonicalize_ns"),
                         &r.histogram("serve.hit_ns"),
@@ -311,16 +313,29 @@ std::shared_ptr<const core::MulticastSchedule> ServePipeline::build_direct(
 
 std::vector<std::shared_ptr<const core::MulticastSchedule>>
 ServePipeline::serve_batch(std::span<const core::MulticastRequest> requests,
-                           int threads) const {
+                           const BatchPolicy& policy) const {
   HYPERCAST_OBS_SPAN("serve.batch");
   if (obs::stats_enabled()) serve_metrics().batches->inc();
   std::vector<std::shared_ptr<const core::MulticastSchedule>> out(
       requests.size());
   const std::size_t n = requests.size();
-  std::size_t workers = threads < 1 ? 1 : static_cast<std::size_t>(threads);
+  // Deadline check, evaluated immediately before each request's serve
+  // starts. Sampling the clock per request costs ~30ns against serves
+  // of >=1.2us, so no batching of the check is needed.
+  const std::uint64_t deadline = policy.deadline_ns;
+  const auto expired = [deadline] {
+    if (deadline == 0 || obs::now_ns() <= deadline) return false;
+    if (obs::stats_enabled()) serve_metrics().deadline_shed->inc();
+    return true;
+  };
+  std::size_t workers =
+      policy.threads < 1 ? 1 : static_cast<std::size_t>(policy.threads);
   workers = std::min(workers, n);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) out[i] = serve(requests[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (expired()) continue;
+      out[i] = serve(requests[i]);
+    }
     return out;
   }
 
@@ -382,7 +397,9 @@ ServePipeline::serve_batch(std::span<const core::MulticastRequest> requests,
   // disjoint result slots.
   parallel_over([&](std::size_t w) {
     for (std::size_t i = 0; i < n; ++i) {
-      if (owner[i] == w) out[i] = serve(requests[i]);
+      if (owner[i] != w) continue;
+      if (expired()) continue;
+      out[i] = serve(requests[i]);
     }
   });
   return out;

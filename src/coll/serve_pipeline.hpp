@@ -55,14 +55,35 @@ class ServePipeline {
   std::shared_ptr<const core::MulticastSchedule> serve(
       const core::MulticastRequest& request) const;
 
-  /// Serve a batch, results in request order. With `threads` > 1 the
-  /// batch is partitioned by cache shard — every shard's requests are
-  /// handled by exactly one worker, so workers never contend on a
+  /// Batch-serving policy. The default (1 thread, no deadline) serves
+  /// the whole batch sequentially.
+  struct BatchPolicy {
+    int threads = 1;
+    /// Absolute obs::now_ns() deadline; 0 = none. A request whose
+    /// serving has not *started* by the deadline is shed: its result
+    /// slot stays nullptr and the serve.deadline_shed counter bumps.
+    /// This is the hook a queue-backed server uses to stop burning CPU
+    /// on requests whose caller has already given up (the response
+    /// would arrive past its latency SLO anyway) — load-shedding at the
+    /// latest possible moment, after queueing but before construction.
+    std::uint64_t deadline_ns = 0;
+  };
+
+  /// Serve a batch, results in request order. With `policy.threads` > 1
+  /// the batch is partitioned by cache shard — every shard's requests
+  /// are handled by exactly one worker, so workers never contend on a
   /// stripe and hits resolve lock-free (uncached pipelines fall back to
-  /// contiguous chunks). Output is bit-identical to serving the batch
-  /// sequentially, at any thread count.
+  /// contiguous chunks). Without a deadline, output is bit-identical to
+  /// serving the batch sequentially, at any thread count; with one,
+  /// served slots are still bit-identical but trailing requests may be
+  /// shed (nullptr).
   std::vector<std::shared_ptr<const core::MulticastSchedule>> serve_batch(
-      std::span<const core::MulticastRequest> requests, int threads = 1) const;
+      std::span<const core::MulticastRequest> requests,
+      const BatchPolicy& policy) const;
+  std::vector<std::shared_ptr<const core::MulticastSchedule>> serve_batch(
+      std::span<const core::MulticastRequest> requests, int threads = 1) const {
+    return serve_batch(requests, BatchPolicy{threads, 0});
+  }
 
  private:
   enum class Kind {

@@ -36,6 +36,8 @@ std::string utc_timestamp() {
   return buf;
 }
 
+}  // namespace
+
 void write_machine(metrics::JsonWriter& w) {
   w.key("machine").begin_object();
 #if defined(__linux__)
@@ -61,6 +63,8 @@ void write_machine(metrics::JsonWriter& w) {
   w.key("timestamp_utc").value(utc_timestamp());
   w.end_object();
 }
+
+namespace {
 
 void write_series(metrics::JsonWriter& w, const metrics::Series& series) {
   w.begin_object();

@@ -17,6 +17,10 @@ namespace hypercast::obs {
 class Registry;
 }
 
+namespace hypercast::metrics {
+class JsonWriter;
+}
+
 namespace hypercast::bench {
 
 /// What a benchmark reproduces: a paper figure, an ablation study, or a
@@ -141,6 +145,11 @@ std::string benchmark_json(const Benchmark& benchmark, const RunOptions& opts,
                            const obs::Registry* stats = nullptr);
 
 // ---- helpers shared by benchmark definitions ----------------------------
+
+/// Write the artifact's "machine" provenance object (os, compiler,
+/// assertion mode, hardware threads, UTC timestamp). Shared by every
+/// artifact writer, including the net load generator.
+void write_machine(metrics::JsonWriter& w);
 
 /// Append `series` to the report plus one summary metric per curve:
 /// "<curve> <y label> @ x=<last x>" -> the mean at the curve's largest x.

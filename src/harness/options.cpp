@@ -14,29 +14,33 @@ Options Options::parse(int argc, const char* const* argv, int first) {
       throw std::invalid_argument("expected --option, got '" + arg + "'");
     }
     std::string key;
-    Entry entry;
+    std::string value;
+    bool bare = false;
     const std::size_t eq = arg.find('=');
     if (eq != std::string::npos) {
       // --key=value: the escape hatch for values that themselves start
       // with "--" (labels, pass-through arguments).
       key = arg.substr(2, eq - 2);
-      entry.value = arg.substr(eq + 1);
+      value = arg.substr(eq + 1);
       if (key.empty()) {
         throw std::invalid_argument("malformed option '" + arg +
                                     "': empty key before '='");
       }
     } else {
       key = arg.substr(2);
-      entry.value = "true";
-      entry.bare = true;
+      value = "true";
+      bare = true;
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        entry.value = argv[++i];
-        entry.bare = false;
+        value = argv[++i];
+        bare = false;
       }
     }
-    if (!out.values_.emplace(key, std::move(entry)).second) {
-      throw std::invalid_argument("duplicate option --" + key);
-    }
+    // Repeated keys accumulate (multi-value options like --header); the
+    // single-value getters read the last occurrence, so overrides
+    // appended to a base command line win.
+    Entry& entry = out.values_[key];
+    entry.values.push_back(std::move(value));
+    entry.bare = bare;
   }
   return out;
 }
@@ -46,13 +50,18 @@ std::string Options::get(const std::string& key) const {
   if (it == values_.end()) {
     throw std::invalid_argument("missing required option --" + key);
   }
-  return it->second.value;
+  return it->second.last();
 }
 
 std::string Options::get_or(const std::string& key,
                             std::string fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? std::move(fallback) : it->second.value;
+  return it == values_.end() ? std::move(fallback) : it->second.last();
+}
+
+std::vector<std::string> Options::get_all(const std::string& key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::vector<std::string>{} : it->second.values;
 }
 
 const std::string& Options::typed_value(const std::string& key,
@@ -66,7 +75,7 @@ const std::string& Options::typed_value(const std::string& key,
                                 " but was given as a bare flag; use --" +
                                 key + "=<value> or --" + key + " <value>");
   }
-  return it->second.value;
+  return it->second.last();
 }
 
 long Options::get_int(const std::string& key) const {

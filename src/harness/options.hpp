@@ -17,25 +17,43 @@ namespace hypercast::harness {
 class Options {
  public:
   /// Parse argv[first..argc). Throws std::invalid_argument on malformed
-  /// input (an option without the leading "--", an empty key, duplicate
-  /// keys). Two value syntaxes: `--key value` (the value must not start
-  /// with "--", or it is taken as the next option) and `--key=value`
-  /// (the value may be anything, including strings starting with "--").
+  /// input (an option without the leading "--", an empty key). Two value
+  /// syntaxes: `--key value` (the value must not start with "--", or it
+  /// is taken as the next option) and `--key=value` (the value may be
+  /// anything, including strings starting with "--").
+  ///
+  /// A key may repeat: `--header a:1 --header b:2` accumulates both
+  /// values in argv order. Single-value getters (get, get_int, ...)
+  /// see the *last* occurrence — "later flags win", so a script can
+  /// append overrides to a base command line — while get_all returns
+  /// every occurrence for genuinely multi-valued options.
   static Options parse(int argc, const char* const* argv, int first = 1);
 
   bool has(const std::string& key) const { return values_.contains(key); }
 
-  /// True iff the key was given as a bare `--flag` (no value). Typed
-  /// getters reject bare flags with a diagnostic suggesting `--key=<v>`.
+  /// Number of times the key was given (0 when absent).
+  std::size_t count(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? 0 : it->second.values.size();
+  }
+
+  /// True iff the key's last occurrence was a bare `--flag` (no value).
+  /// Typed getters reject bare flags with a diagnostic suggesting
+  /// `--key=<v>`.
   bool is_bare_flag(const std::string& key) const {
     const auto it = values_.find(key);
     return it != values_.end() && it->second.bare;
   }
 
   /// Value lookups; `get` throws std::invalid_argument when the key is
-  /// missing, the *_or forms substitute a default.
+  /// missing, the *_or forms substitute a default. For repeated keys
+  /// these return the last occurrence; use get_all for all of them.
   std::string get(const std::string& key) const;
   std::string get_or(const std::string& key, std::string fallback) const;
+
+  /// Every value given for the key, in argv order (empty vector when the
+  /// key is absent). Bare occurrences contribute "true".
+  std::vector<std::string> get_all(const std::string& key) const;
   long get_int(const std::string& key) const;
   long get_int_or(const std::string& key, long fallback) const;
   double get_double(const std::string& key) const;
@@ -80,8 +98,10 @@ class Options {
 
  private:
   struct Entry {
-    std::string value;
-    bool bare = false;  ///< `--flag` with no value (value is "true")
+    std::vector<std::string> values;  ///< one per occurrence, argv order
+    bool bare = false;  ///< last occurrence was `--flag` (value "true")
+
+    const std::string& last() const { return values.back(); }
   };
 
   /// Value lookup for typed getters: throws for missing keys and for

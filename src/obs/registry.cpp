@@ -150,6 +150,88 @@ std::string Registry::format_text() const {
   return os.str();
 }
 
+namespace {
+
+/// Prometheus metric-name sanitization: project the instrument name
+/// into [a-zA-Z0-9_:] under the "hypercast_" namespace prefix.
+std::string prom_name(const std::string& name) {
+  std::string out = "hypercast_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void prom_value(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+void prom_value(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  const Snapshot snap = snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prom_name(name) + "_total";
+    out += "# TYPE " + n + " counter\n" + n + " ";
+    prom_value(out, value);
+    out += '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    // Cumulative buckets over the log2 boundaries. Only boundaries whose
+    // bucket is populated are emitted (any subset is valid Prometheus as
+    // long as counts are cumulative), plus the mandatory +Inf sample;
+    // the top (overflow) bucket has no finite upper bound and therefore
+    // only ever lands in +Inf.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i + 1 < HistogramSnapshot::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      out += n + "_bucket{le=\"";
+      prom_value(out, HistogramSnapshot::bucket_upper(i));
+      out += "\"} ";
+      prom_value(out, cumulative);
+      out += '\n';
+    }
+    out += n + "_bucket{le=\"+Inf\"} ";
+    prom_value(out, h.count);
+    out += '\n';
+    out += n + "_sum ";
+    prom_value(out, h.sum);
+    out += '\n';
+    out += n + "_count ";
+    prom_value(out, h.count);
+    out += '\n';
+  }
+  for (const auto& [source, fields] : snap.gauges) {
+    for (const auto& [field, value] : fields) {
+      const std::string n = prom_name(source + "_" + field);
+      out += "# TYPE " + n + " gauge\n" + n + " ";
+      prom_value(out, value);
+      out += '\n';
+    }
+  }
+  out += "# TYPE hypercast_trace_spans gauge\nhypercast_trace_spans ";
+  prom_value(out, static_cast<std::uint64_t>(snap.trace_spans));
+  out += "\n# TYPE hypercast_trace_dropped gauge\nhypercast_trace_dropped ";
+  prom_value(out, snap.trace_dropped);
+  out += '\n';
+  return out;
+}
+
 Registry& default_registry() {
   static Registry* registry = new Registry();  // never destroyed: span
   return *registry;  // guards in static-destruction order may still record

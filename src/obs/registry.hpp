@@ -64,6 +64,18 @@ class Registry {
   /// Human-readable exposition, one instrument per line, sorted.
   std::string format_text() const;
 
+  /// Prometheus text exposition (version 0.0.4) of the same snapshot:
+  ///  * counters    -> `hypercast_<name>_total` (TYPE counter)
+  ///  * histograms  -> `hypercast_<name>` (TYPE histogram) with
+  ///    *cumulative* `_bucket{le="..."}` samples ending at le="+Inf",
+  ///    plus `_sum` and `_count`
+  ///  * gauge sources -> `hypercast_<source>_<field>` (TYPE gauge)
+  ///  * the tracer  -> `hypercast_trace_spans` / `hypercast_trace_dropped`
+  /// Instrument names are sanitized into the Prometheus charset
+  /// ([a-zA-Z0-9_:]; '.', '-', '/' and anything else become '_').
+  /// Deterministic like the other expositions: same state, same bytes.
+  std::string to_prometheus() const;
+
  private:
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;

@@ -1,0 +1,418 @@
+// End-to-end loopback tests of the serving front end: byte-identical
+// responses vs direct ServePipeline::serve, queue-full shedding, the
+// graceful drain (no lost or duplicated in-flight requests), the HTTP
+// fallback endpoints, and the in-process load generator.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coll/serve_pipeline.hpp"
+#include "net/loadgen.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "obs/obs.hpp"
+#include "workload/random_sets.hpp"
+
+namespace hypercast {
+namespace {
+
+using net::RequestMsg;
+using net::ResponseMsg;
+using net::Server;
+using net::ServerConfig;
+using net::Status;
+
+/// Blocking loopback client socket (tests want simple sequential IO).
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0)
+        << strerror(errno);
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_all(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Read one binary frame; false on clean EOF before any byte.
+  bool read_frame(std::string& body) {
+    while (true) {
+      const std::size_t size = net::frame_size(buffer_, net::kMaxFrameBytes);
+      if (size != 0) {
+        body = buffer_.substr(4, size - 4);
+        buffer_.erase(0, size);
+        return true;
+      }
+      char chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Read until the connection closes (HTTP Connection: close replies).
+  std::string read_to_eof() {
+    std::string out = std::move(buffer_);
+    buffer_.clear();
+    char chunk[16384];
+    ssize_t n;
+    while ((n = ::recv(fd_, chunk, sizeof(chunk), 0)) > 0) {
+      out.append(chunk, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+  /// Read until a full HTTP response (headers + Content-Length body).
+  std::string read_http_response() {
+    while (true) {
+      const std::size_t head_end = buffer_.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        const std::size_t cl = buffer_.find("Content-Length: ");
+        EXPECT_NE(cl, std::string::npos) << buffer_;
+        const std::size_t len = std::stoul(buffer_.substr(cl + 16));
+        const std::size_t total = head_end + 4 + len;
+        if (buffer_.size() >= total) {
+          std::string out = buffer_.substr(0, total);
+          buffer_.erase(0, total);
+          return out;
+        }
+      }
+      char chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return std::move(buffer_);
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+RequestMsg make_request(std::uint64_t id, int dim, std::size_t m,
+                        workload::Rng& rng) {
+  const hcube::Topology topo(static_cast<hcube::Dim>(dim));
+  RequestMsg msg;
+  msg.id = id;
+  msg.dim = static_cast<hcube::Dim>(dim);
+  msg.source = static_cast<hcube::NodeId>(rng() % topo.num_nodes());
+  msg.destinations = workload::random_destinations(topo, msg.source, m, rng);
+  return msg;
+}
+
+TEST(NetServer, LoopbackResponsesAreByteIdenticalToDirectServe) {
+  obs::FlagsGuard flags;
+  ServerConfig config;
+  config.workers = 3;
+  config.batch_max = 8;
+  Server server(config);
+  server.start();
+
+  // The reference pipeline: same algorithm, no cache (the cache is
+  // bit-identical by the schedule-cache tests; here it must not matter).
+  coll::ServePipeline direct(config.algorithm, nullptr);
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerConn = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      workload::Rng rng(0xC11E47ull + static_cast<std::uint64_t>(t));
+      Client client(server.port());
+      std::string wire;
+      std::map<std::uint64_t, RequestMsg> pending;
+      for (int i = 0; i < kRequestsPerConn; ++i) {
+        const auto id =
+            static_cast<std::uint64_t>(t * kRequestsPerConn + i);
+        RequestMsg msg = make_request(id, 6, 1 + (i % 40), rng);
+        net::encode_request(msg, wire);
+        pending.emplace(id, std::move(msg));
+      }
+      client.send_all(wire);  // all at once: maximal batching pressure
+      std::string body;
+      for (int i = 0; i < kRequestsPerConn; ++i) {
+        if (!client.read_frame(body)) {
+          ++failures;
+          return;
+        }
+        const ResponseMsg response = net::decode_response(body);
+        const auto it = pending.find(response.id);
+        if (it == pending.end() || response.status != Status::Ok) {
+          ++failures;
+          continue;
+        }
+        std::string expected;
+        net::encode_schedule(*direct.serve(it->second.to_request()),
+                             expected);
+        if (response.schedule_body != expected) ++failures;
+        pending.erase(it);  // a duplicate response would fail the find
+      }
+      if (!pending.empty()) ++failures;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+  EXPECT_EQ(server.outstanding(), 0u);
+}
+
+TEST(NetServer, QueueFullSheddingAndAccounting) {
+  obs::FlagsGuard flags;
+  ServerConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.batch_max = 1;
+  config.cache = false;
+  Server server(config);
+  server.start();
+
+  Client client(server.port());
+  workload::Rng rng(0xBADCAFEull);
+
+  // One write carrying an expensive request followed by a flood of
+  // cheap ones. The event loop admits them in order within a single
+  // parse pass: the big request occupies the lone worker for
+  // milliseconds, the capacity-1 queue takes one more, and everything
+  // behind it must shed — not block, not vanish.
+  constexpr int kFlood = 64;
+  std::string wire;
+  net::encode_request(make_request(0, 16, 20000, rng), wire);
+  for (int i = 1; i <= kFlood; ++i) {
+    net::encode_request(make_request(static_cast<std::uint64_t>(i), 6, 8,
+                                     rng),
+                        wire);
+  }
+  client.send_all(wire);
+
+  int ok = 0, shed = 0, other = 0;
+  std::string body;
+  for (int i = 0; i < kFlood + 1; ++i) {
+    ASSERT_TRUE(client.read_frame(body)) << "response " << i << " missing";
+    const ResponseMsg response = net::decode_response(body);
+    if (response.status == Status::Ok) {
+      ++ok;
+    } else if (response.status == Status::ShedQueueFull) {
+      ++shed;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_EQ(ok + shed + other, kFlood + 1);
+  EXPECT_EQ(other, 0);
+  EXPECT_GE(ok, 1);    // the expensive request itself
+  EXPECT_GE(shed, 1);  // a capacity-1 queue cannot absorb the flood
+  server.stop();
+}
+
+TEST(NetServer, GracefulDrainLosesAndDuplicatesNothing) {
+  obs::FlagsGuard flags;
+  ServerConfig config;
+  config.workers = 2;
+  Server server(config);
+  server.start();
+
+  Client client(server.port());
+  workload::Rng rng(0xD1A1Aull);
+  constexpr int kRequests = 64;
+  std::string wire;
+  for (int i = 0; i < kRequests; ++i) {
+    net::encode_request(make_request(static_cast<std::uint64_t>(i), 8, 32,
+                                     rng),
+                        wire);
+  }
+  client.send_all(wire);
+  // Begin the drain while requests are still queued and in flight.
+  server.request_stop();
+
+  std::map<std::uint64_t, Status> answered;
+  std::string body;
+  while (client.read_frame(body)) {
+    const ResponseMsg response = net::decode_response(body);
+    // No duplicated responses.
+    EXPECT_EQ(answered.count(response.id), 0u) << response.id;
+    answered[response.id] = response.status;
+    EXPECT_TRUE(response.status == Status::Ok ||
+                response.status == Status::ShuttingDown)
+        << static_cast<int>(response.status);
+  }
+  server.stop();  // joins; the drain flushed everything admitted
+  EXPECT_EQ(server.outstanding(), 0u);
+  EXPECT_LE(answered.size(), static_cast<std::size_t>(kRequests));
+}
+
+TEST(NetServer, HttpEndpoints) {
+  obs::FlagsGuard flags;
+  Server server(ServerConfig{});
+  server.start();
+
+  {
+    Client client(server.port());
+    client.send_all(
+        "POST /schedule HTTP/1.1\r\nContent-Length: 39\r\n\r\n"
+        R"({"n": 4, "source": 0, "dests": [1,2,3]})");
+    const std::string response = client.read_http_response();
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos)
+        << response;
+    EXPECT_NE(response.find(R"("source":0)"), std::string::npos) << response;
+  }
+  {
+    Client client(server.port());
+    client.send_all("GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+    const std::string response = client.read_to_eof();
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("# TYPE hypercast_net_requests_total counter"),
+              std::string::npos)
+        << response;
+    EXPECT_NE(response.find("hypercast_net_connections"), std::string::npos);
+  }
+  {
+    Client client(server.port());
+    client.send_all("GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n");
+    const std::string response = client.read_to_eof();
+    EXPECT_NE(response.find(R"("schema":"hypercast-stats-v1")"),
+              std::string::npos)
+        << response;
+  }
+  {
+    Client client(server.port());
+    client.send_all("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(client.read_to_eof().find("ok"), std::string::npos);
+  }
+  {
+    Client client(server.port());
+    client.send_all("GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+    EXPECT_NE(client.read_to_eof().find("404"), std::string::npos);
+  }
+  {
+    Client client(server.port());
+    client.send_all(
+        "POST /schedule HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!");
+    const std::string response = client.read_http_response();
+    EXPECT_NE(response.find("400"), std::string::npos) << response;
+  }
+  {
+    // Keep-alive: two requests on one connection, answered in order.
+    Client client(server.port());
+    const std::string post =
+        "POST /schedule HTTP/1.1\r\nContent-Length: 39\r\n\r\n"
+        R"({"n": 4, "source": 0, "dests": [1,2,3]})";
+    client.send_all(post);
+    client.send_all(post);
+    EXPECT_NE(client.read_http_response().find("200"), std::string::npos);
+    EXPECT_NE(client.read_http_response().find("200"), std::string::npos);
+  }
+  server.stop();
+}
+
+TEST(NetServer, InProcessLoadgenClosedLoop) {
+  obs::FlagsGuard flags;
+  ServerConfig config;
+  config.workers = 2;
+  Server server(config);
+  server.start();
+
+  net::LoadgenConfig load;
+  load.port = server.port();
+  load.connections = 2;
+  load.depth = 8;
+  load.total_requests = 400;
+  load.dim = 8;
+  load.dest_count = 24;
+  load.shape_pool = 16;
+  const net::LoadgenResult result = net::run_loadgen(load);
+
+  EXPECT_EQ(result.sent, 400u);
+  EXPECT_EQ(result.ok, 400u);
+  EXPECT_EQ(result.lost, 0u);
+  EXPECT_EQ(result.io_errors, 0u);
+  EXPECT_EQ(result.shed(), 0u);
+  EXPECT_EQ(result.latencies_ns.size(), 400u);
+  EXPECT_GT(result.latency_ns(0.99), 0u);
+  EXPECT_GE(result.latency_ns(0.99), result.latency_ns(0.50));
+
+  const std::string artifact = net::bench_artifact_json(load, result);
+  EXPECT_NE(artifact.find(R"("schema":"hypercast-bench-v1")"),
+            std::string::npos);
+  EXPECT_NE(artifact.find(R"("name":"serve_net")"), std::string::npos);
+  EXPECT_NE(artifact.find("requests_per_sec"), std::string::npos);
+  EXPECT_NE(artifact.find("shed_rate"), std::string::npos);
+  EXPECT_NE(artifact.find("latency_p99_us"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(NetServer, OpenLoopLoadgenAndMixes) {
+  obs::FlagsGuard flags;
+  Server server(ServerConfig{});
+  server.start();
+
+  net::LoadgenConfig load;
+  load.port = server.port();
+  load.connections = 2;
+  load.open_rate = 2000.0;
+  load.duration_s = 0.3;
+  load.dim = 7;
+  load.dest_count = 16;
+  load.mix = "random";
+  const net::LoadgenResult result = net::run_loadgen(load);
+  EXPECT_GT(result.sent, 0u);
+  EXPECT_EQ(result.ok, result.sent);
+  EXPECT_EQ(result.lost, 0u);
+  EXPECT_EQ(result.io_errors, 0u);
+  server.stop();
+}
+
+TEST(NetServer, ConfigValidationAndEphemeralPorts) {
+  EXPECT_THROW(
+      {
+        Server bad(ServerConfig{.algorithm = "no-such-algorithm"});
+        bad.start();
+      },
+      std::invalid_argument);
+
+  // Two servers on ephemeral ports coexist; start/stop is clean.
+  Server a((ServerConfig{}));
+  Server b((ServerConfig{}));
+  a.start();
+  b.start();
+  EXPECT_NE(a.port(), 0);
+  EXPECT_NE(b.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+  a.stop();
+  b.stop();
+}
+
+}  // namespace
+}  // namespace hypercast

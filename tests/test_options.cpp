@@ -40,7 +40,39 @@ TEST(Options, MissingRequiredThrows) {
 TEST(Options, RejectsMalformedArguments) {
   EXPECT_THROW(parse({"n", "4"}), std::invalid_argument);
   EXPECT_THROW(parse({"--"}), std::invalid_argument);
-  EXPECT_THROW(parse({"--n", "4", "--n", "5"}), std::invalid_argument);
+}
+
+TEST(Options, RepeatedKeysAccumulateAndLastWins) {
+  // Multi-value style (--header k:v --header k:v) plus the "append an
+  // override to a base command line" idiom: single-value getters read
+  // the final occurrence.
+  const auto o = parse({"--header", "a:1", "--n", "4", "--header=b:2",
+                        "--n", "5", "--header", "c:3"});
+  EXPECT_EQ(o.count("header"), 3u);
+  EXPECT_EQ(o.get_all("header"),
+            (std::vector<std::string>{"a:1", "b:2", "c:3"}));
+  EXPECT_EQ(o.get("header"), "c:3");
+  EXPECT_EQ(o.get_int("n"), 5);
+  EXPECT_EQ(o.count("n"), 2u);
+}
+
+TEST(Options, GetAllOnMissingAndSingleKeys) {
+  const auto o = parse({"--algo", "wsort"});
+  EXPECT_TRUE(o.get_all("missing").empty());
+  EXPECT_EQ(o.count("missing"), 0u);
+  EXPECT_EQ(o.get_all("algo"), (std::vector<std::string>{"wsort"}));
+}
+
+TEST(Options, RepeatedBareAndValuedMix) {
+  // Bare occurrences contribute "true"; is_bare_flag tracks the last
+  // occurrence, so "--cache --cache off" parses as off and vice versa.
+  const auto off = parse({"--cache", "--cache", "off"});
+  EXPECT_FALSE(off.is_bare_flag("cache"));
+  EXPECT_EQ(off.get("cache"), "off");
+  EXPECT_EQ(off.get_all("cache"), (std::vector<std::string>{"true", "off"}));
+  const auto on = parse({"--cache", "off", "--cache"});
+  EXPECT_TRUE(on.is_bare_flag("cache"));
+  EXPECT_EQ(on.get("cache"), "true");
 }
 
 TEST(Options, KeyEqualsValueSyntax) {
@@ -68,8 +100,10 @@ TEST(Options, EmptyKeyBeforeEqualsThrows) {
   EXPECT_THROW(parse({"--=5"}), std::invalid_argument);
 }
 
-TEST(Options, DuplicateDetectedAcrossSyntaxes) {
-  EXPECT_THROW(parse({"--n", "4", "--n=5"}), std::invalid_argument);
+TEST(Options, RepeatAcrossSyntaxes) {
+  const auto o = parse({"--n", "4", "--n=5"});
+  EXPECT_EQ(o.get_int("n"), 5);
+  EXPECT_EQ(o.get_all("n"), (std::vector<std::string>{"4", "5"}));
 }
 
 TEST(Options, BareFlagRejectedByTypedGetters) {

@@ -1,0 +1,170 @@
+// Adversarial serving-pipeline tests: malformed and oversized
+// destination sets, zero-destination requests, deadline shedding, and
+// fault-epoch bumps racing serve_batch. These run under the sanitize CI
+// job (ASan/UBSan), so "survives" means clean under instrumentation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "coll/schedule_cache.hpp"
+#include "coll/serve_pipeline.hpp"
+#include "fault/fault_aware.hpp"
+#include "obs/obs.hpp"
+#include "workload/random_sets.hpp"
+
+namespace hypercast {
+namespace {
+
+using coll::ScheduleCache;
+using coll::ServePipeline;
+using core::MulticastRequest;
+
+MulticastRequest request_of(int dim, hcube::NodeId source,
+                            std::vector<hcube::NodeId> dests) {
+  return MulticastRequest{hcube::Topology(static_cast<hcube::Dim>(dim)),
+                          source, std::move(dests)};
+}
+
+TEST(ServeAdversarial, MalformedDestinationSetsThrow) {
+  const ServePipeline pipeline("wsort", nullptr);
+
+  // Duplicate destination.
+  EXPECT_THROW(pipeline.serve(request_of(4, 0, {1, 2, 2})),
+               std::invalid_argument);
+  // Source listed as a destination.
+  EXPECT_THROW(pipeline.serve(request_of(4, 3, {3, 5})),
+               std::invalid_argument);
+  // Out-of-range destination (oversized node id for the cube).
+  EXPECT_THROW(pipeline.serve(request_of(4, 0, {16})),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline.serve(request_of(4, 0, {0xffffffffu})),
+               std::invalid_argument);
+  // Out-of-range source.
+  EXPECT_THROW(pipeline.serve(request_of(4, 16, {1})),
+               std::invalid_argument);
+}
+
+TEST(ServeAdversarial, ZeroDestinationRequestsServeEmptySchedules) {
+  for (const char* algo : {"wsort", "ucube"}) {
+    const ServePipeline uncached(algo, nullptr);
+    const ServePipeline cached(algo, std::make_shared<ScheduleCache>(
+                                         ScheduleCache::Config{}));
+    const MulticastRequest empty = request_of(5, 7, {});
+    for (const ServePipeline* pipeline : {&uncached, &cached}) {
+      const auto schedule = pipeline->serve(empty);
+      ASSERT_NE(schedule, nullptr);
+      EXPECT_EQ(schedule->source(), 7u);
+      EXPECT_TRUE(schedule->senders().empty());
+      // Twice: the second serve may come from the cache.
+      EXPECT_EQ(*pipeline->serve(empty), *schedule);
+    }
+  }
+}
+
+TEST(ServeAdversarial, OversizedBroadcastSetsServe) {
+  // The largest legal destination set: every node but the source.
+  const hcube::Topology topo(8);
+  std::vector<hcube::NodeId> all;
+  for (hcube::NodeId u = 1; u < topo.num_nodes(); ++u) all.push_back(u);
+  const ServePipeline pipeline("wsort", std::make_shared<ScheduleCache>(
+                                            ScheduleCache::Config{}));
+  const auto schedule =
+      pipeline.serve(MulticastRequest{topo, 0, all});
+  ASSERT_NE(schedule, nullptr);
+  // One destination too many (a duplicate, since the id space is full).
+  all.push_back(1);
+  EXPECT_THROW(pipeline.serve(MulticastRequest{topo, 0, all}),
+               std::invalid_argument);
+}
+
+TEST(ServeAdversarial, BatchWithExpiredDeadlineShedsEverything) {
+  obs::FlagsGuard flags;
+  obs::set_stats_enabled(true);
+  const ServePipeline pipeline("wsort", nullptr);
+  workload::Rng rng(0xDEAD11ull);
+  const hcube::Topology topo(6);
+  std::vector<MulticastRequest> requests;
+  for (int i = 0; i < 16; ++i) {
+    requests.push_back(MulticastRequest{
+        topo, 0, workload::random_destinations(topo, 0, 12, rng)});
+  }
+
+  // A deadline in the past sheds every slot, single- and multi-worker.
+  for (const int threads : {1, 4}) {
+    const auto shed = pipeline.serve_batch(
+        requests, ServePipeline::BatchPolicy{threads, 1});
+    ASSERT_EQ(shed.size(), requests.size());
+    for (const auto& slot : shed) EXPECT_EQ(slot, nullptr);
+  }
+  // No deadline (0) serves every slot.
+  const auto served = pipeline.serve_batch(
+      requests, ServePipeline::BatchPolicy{2, 0});
+  for (const auto& slot : served) EXPECT_NE(slot, nullptr);
+  // A generous deadline behaves like none.
+  const auto relaxed = pipeline.serve_batch(
+      requests,
+      ServePipeline::BatchPolicy{2, obs::now_ns() + 60'000'000'000ull});
+  for (std::size_t i = 0; i < relaxed.size(); ++i) {
+    ASSERT_NE(relaxed[i], nullptr);
+    EXPECT_EQ(*relaxed[i], *served[i]);
+  }
+}
+
+TEST(ServeAdversarial, ConcurrentFaultEpochBumpsDuringServeBatch) {
+  obs::FlagsGuard flags;
+  auto cache = std::make_shared<ScheduleCache>(ScheduleCache::Config{});
+  const ServePipeline cached("wsort", cache);
+  const ServePipeline direct("wsort", nullptr);
+
+  workload::Rng rng(0xEB0C5ull);
+  const hcube::Topology topo(7);
+  std::vector<MulticastRequest> requests;
+  for (int i = 0; i < 64; ++i) {
+    const auto source =
+        static_cast<hcube::NodeId>(rng() % topo.num_nodes());
+    requests.push_back(MulticastRequest{
+        topo, source,
+        workload::random_destinations(topo, source, 1 + (i % 30), rng)});
+  }
+  std::vector<std::shared_ptr<const core::MulticastSchedule>> expected;
+  expected.reserve(requests.size());
+  for (const MulticastRequest& r : requests) {
+    expected.push_back(direct.serve(r));
+  }
+
+  // Hammer serve_batch while another thread keeps bumping the fault
+  // epoch (invalidating cached entries mid-flight). Results must stay
+  // bit-identical to direct construction throughout.
+  std::atomic<bool> stop{false};
+  std::thread bumper([&] {
+    while (!stop.load()) {
+      fault::bump_fault_epoch();
+      std::this_thread::yield();
+    }
+  });
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < 3; ++t) {
+    hammers.emplace_back([&] {
+      for (int round = 0; round < 30; ++round) {
+        const auto results = cached.serve_batch(requests, 1 + (round % 3));
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          if (results[i] == nullptr || !(*results[i] == *expected[i])) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : hammers) t.join();
+  stop.store(true);
+  bumper.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace hypercast

@@ -18,9 +18,17 @@ Validates two artifact families produced by the obs subsystem:
    need numeric ts/dur and an integer tid; metadata ("M") events are
    exempt from timestamps. The result must load in chrome://tracing.
 
+ * Prometheus text exposition (format 0.0.4): the output of
+   `obs::Registry::to_prometheus()`, served by hypercast_served at
+   GET /metrics and printed by `hypercast_cli --stats=prom`. Checks
+   metric-name charset, a `# TYPE` line for every sample family,
+   `_total`-suffixed counters, and histogram invariants: cumulative
+   non-decreasing `le` buckets ending in `+Inf`, with the `+Inf`
+   bucket equal to the family's `_count` sample.
+
 Usage:
   tools/check_stats_schema.py [--stats FILE ...] [--trace FILE ...] \
-      [--bench-dir DIR]
+      [--prom FILE ...] [--bench-dir DIR]
 
 --bench-dir scans DIR for BENCH_*.json and validates the embedded
 "stats" block of any artifact that has one. At least one input must be
@@ -29,6 +37,8 @@ given. Exit status: 0 pass, 1 validation failure, 2 usage/IO error.
 
 import argparse
 import json
+import math
+import re
 import sys
 from pathlib import Path
 
@@ -194,6 +204,161 @@ def check_trace_document(chk: Check, where: str, doc):
                           "complete event needs a non-negative integer tid")
 
 
+PROM_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+# A sample line: name, optional {labels}, value, optional timestamp.
+PROM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[^\s{]+)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>-?\d+))?$")
+
+
+def prom_family(sample_name: str, types: dict) -> str:
+    """Maps a sample name to its metric family.
+
+    Histogram samples are exposed as <family>_bucket/_sum/_count; other
+    samples expose the family name directly.
+    """
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[:-len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def parse_prom_value(text: str):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def check_prometheus_text(chk: Check, where: str, text: str):
+    chk.checked += 1
+    types = {}       # family -> declared type
+    samples = []     # (line_no, family, sample_name, labels, value)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        lwhere = f"{where}:{line_no}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    chk.error(lwhere, "malformed # TYPE line")
+                    continue
+                _, _, name, kind = parts
+                if not PROM_NAME_RE.match(name):
+                    chk.error(lwhere, f"bad metric name {name!r} in # TYPE")
+                if kind not in PROM_TYPES:
+                    chk.error(lwhere, f"unknown metric type {kind!r}")
+                if name in types:
+                    chk.error(lwhere, f"duplicate # TYPE for {name}")
+                types[name] = kind
+            # "# HELP" and plain comments need no validation.
+            continue
+        match = PROM_SAMPLE_RE.match(line)
+        if not match:
+            chk.error(lwhere, f"unparseable sample line {line!r}")
+            continue
+        name = match.group("name")
+        if not PROM_NAME_RE.match(name):
+            chk.error(lwhere, f"bad metric name {name!r}")
+            continue
+        value = parse_prom_value(match.group("value"))
+        if value is None:
+            chk.error(lwhere, f"bad sample value {match.group('value')!r}")
+            continue
+        labels = {}
+        label_text = match.group("labels")
+        if label_text:
+            for pair in label_text.split(","):
+                if "=" not in pair:
+                    chk.error(lwhere, f"malformed label {pair!r}")
+                    continue
+                key, _, val = pair.partition("=")
+                if not (len(val) >= 2 and val[0] == '"' and val[-1] == '"'):
+                    chk.error(lwhere, f"label value not quoted in {pair!r}")
+                    continue
+                labels[key.strip()] = val[1:-1]
+        samples.append((line_no, prom_family(name, types), name, labels,
+                        value))
+
+    families = {}  # family -> list of samples
+    for sample in samples:
+        families.setdefault(sample[1], []).append(sample)
+
+    for family, rows in sorted(families.items()):
+        fwhere = f"{where}:{family}"
+        kind = types.get(family)
+        if kind is None:
+            chk.error(fwhere, "sample has no preceding # TYPE line")
+            continue
+        if kind == "counter":
+            if not family.endswith("_total"):
+                chk.error(fwhere, "counter name does not end in _total")
+            for line_no, _, _, _, value in rows:
+                if value < 0 or math.isnan(value):
+                    chk.error(f"{where}:{line_no}",
+                              f"counter value {value} is negative or NaN")
+        elif kind == "histogram":
+            buckets = []
+            sum_value = None
+            count_value = None
+            for line_no, _, name, labels, value in rows:
+                if name.endswith("_bucket"):
+                    if "le" not in labels:
+                        chk.error(f"{where}:{line_no}",
+                                  "histogram bucket without le label")
+                        continue
+                    bound = parse_prom_value(labels["le"])
+                    if bound is None or math.isnan(bound):
+                        chk.error(f"{where}:{line_no}",
+                                  f"bad le bound {labels['le']!r}")
+                        continue
+                    buckets.append((line_no, bound, value))
+                elif name.endswith("_sum"):
+                    sum_value = value
+                elif name.endswith("_count"):
+                    count_value = value
+            if not buckets:
+                chk.error(fwhere, "histogram exposes no _bucket samples")
+                continue
+            prev_bound, prev_count = -math.inf, -math.inf
+            for line_no, bound, value in buckets:
+                bwhere = f"{where}:{line_no}"
+                if bound <= prev_bound:
+                    chk.error(bwhere, f"le bounds not increasing "
+                                      f"({bound} after {prev_bound})")
+                if value < prev_count:
+                    chk.error(bwhere, f"bucket counts not cumulative "
+                                      f"({value} after {prev_count})")
+                prev_bound, prev_count = bound, value
+            if buckets[-1][1] != math.inf:
+                chk.error(fwhere, "last bucket is not le=\"+Inf\"")
+            if count_value is None:
+                chk.error(fwhere, "histogram missing _count sample")
+            elif buckets[-1][1] == math.inf \
+                    and buckets[-1][2] != count_value:
+                chk.error(fwhere, f"+Inf bucket {buckets[-1][2]} != "
+                                  f"_count {count_value}")
+            if sum_value is None:
+                chk.error(fwhere, "histogram missing _sum sample")
+
+    declared_only = sorted(set(types) - set(families))
+    for family in declared_only:
+        chk.error(f"{where}:{family}", "# TYPE declared but no samples")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--stats", nargs="+", type=Path, default=[],
@@ -202,15 +367,20 @@ def main() -> int:
     parser.add_argument("--trace", nargs="+", type=Path, default=[],
                         metavar="FILE",
                         help="Chrome trace-event JSON files to validate")
+    parser.add_argument("--prom", nargs="+", type=Path, default=[],
+                        metavar="FILE",
+                        help="Prometheus text expositions to validate "
+                             "(e.g. a saved GET /metrics response)")
     parser.add_argument("--bench-dir", type=Path, default=None, metavar="DIR",
                         help="validate embedded \"stats\" blocks in "
                              "BENCH_*.json under DIR")
     args = parser.parse_args()
 
-    if not args.stats and not args.trace and args.bench_dir is None:
+    if not args.stats and not args.trace and not args.prom \
+            and args.bench_dir is None:
         parser.print_usage(sys.stderr)
-        print("error: nothing to validate (give --stats, --trace, or "
-              "--bench-dir)", file=sys.stderr)
+        print("error: nothing to validate (give --stats, --trace, --prom, "
+              "or --bench-dir)", file=sys.stderr)
         return 2
 
     chk = Check()
@@ -218,6 +388,13 @@ def main() -> int:
         check_stats_object(chk, str(path), load_json(path))
     for path in args.trace:
         check_trace_document(chk, str(path), load_json(path))
+    for path in args.prom:
+        try:
+            text = path.read_text()
+        except OSError as err:
+            print(f"error: cannot read {path}: {err}", file=sys.stderr)
+            return 2
+        check_prometheus_text(chk, str(path), text)
     if args.bench_dir is not None:
         if not args.bench_dir.is_dir():
             print(f"error: {args.bench_dir} is not a directory",

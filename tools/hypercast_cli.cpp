@@ -46,7 +46,7 @@ namespace {
 
 using namespace hypercast;
 
-enum class StatsMode { Off, Text, Json };
+enum class StatsMode { Off, Text, Json, Prometheus };
 
 StatsMode stats_mode(const harness::Options& opts) {
   if (!opts.has("stats")) return StatsMode::Off;
@@ -54,8 +54,9 @@ StatsMode stats_mode(const harness::Options& opts) {
   const std::string v = opts.get("stats");
   if (v == "text") return StatsMode::Text;
   if (v == "json") return StatsMode::Json;
-  throw std::invalid_argument("--stats expects text or json, got '" + v +
-                              "'");
+  if (v == "prom") return StatsMode::Prometheus;
+  throw std::invalid_argument("--stats expects text, json or prom, got '" +
+                              v + "'");
 }
 
 void print_registry(StatsMode mode) {
@@ -63,6 +64,8 @@ void print_registry(StatsMode mode) {
   obs::Registry& registry = obs::default_registry();
   if (mode == StatsMode::Json) {
     std::printf("%s\n", registry.to_json().c_str());
+  } else if (mode == StatsMode::Prometheus) {
+    std::fputs(registry.to_prometheus().c_str(), stdout);
   } else {
     std::fputs(registry.format_text().c_str(), stdout);
   }
@@ -438,8 +441,10 @@ int cmd_stats(const harness::Options& opts) {
     print_registry(StatsMode::Json);
   } else if (format == "text") {
     print_registry(StatsMode::Text);
+  } else if (format == "prom") {
+    print_registry(StatsMode::Prometheus);
   } else {
-    throw std::invalid_argument("--format expects json or text, got '" +
+    throw std::invalid_argument("--format expects json, text or prom, got '" +
                                 format + "'");
   }
   return 0;
@@ -452,7 +457,7 @@ int usage() {
       "  common: --n <dim> (--dests a,b,c | --m <count> [--seed s])\n"
       "          [--source u] [--algo name] [--res high|low]\n"
       "          [--port one|all|k:<n>] [--bytes b]\n"
-      "  obs:    [--stats[=text|json]] print obs counters/histograms\n"
+      "  obs:    [--stats[=text|json|prom]] print obs counters/histograms\n"
       "          [--trace-out=<file>] Chrome trace JSON (delay/faults:\n"
       "          worm timelines; serve: pipeline spans; stats: merged)\n"
       "  faults: [--faults count|rate] [--fault-seed s]\n"
