@@ -122,10 +122,31 @@ ServePipeline::ServePipeline(std::string algorithm,
     // Resolves (and validates) the name against the registry; throws the
     // self-diagnosing invalid_argument for typos.
     kind_ = Kind::Entry;
-    entry_ = &core::find_algorithm(algorithm_);
+    entry_epoch_.store(fault::fault_epoch(), std::memory_order_relaxed);
+    entry_.store(&core::find_algorithm(algorithm_), std::memory_order_relaxed);
     entry_cacheable_ = ends_with_ft(algorithm_);
     algo_id_ = entry_cacheable_ ? entry_algo_id(algorithm_) : 0;
   }
+}
+
+const core::AlgorithmEntry& ServePipeline::resolved_entry() const {
+  const std::uint64_t now = fault::fault_epoch();
+  const core::AlgorithmEntry* e = entry_.load(std::memory_order_acquire);
+  if (e == nullptr || entry_epoch_.load(std::memory_order_acquire) != now) {
+    // The epoch moved since this pipeline last looked the name up:
+    // whoever bumped it may have re-registered the entry against a new
+    // FaultSet (register_fault_aware_algorithms replaces in place and
+    // then bumps). Re-resolve so builds go through the live
+    // registration, not the one captured at construction. The pair of
+    // stores is not atomic; a racing bump at worst leaves a stale
+    // epoch stamp behind, causing one redundant re-resolution — never
+    // a stale entry served as fresh (the post-build epoch recheck in
+    // the callers covers the build window itself).
+    e = &core::find_algorithm(algorithm_);
+    entry_.store(e, std::memory_order_release);
+    entry_epoch_.store(now, std::memory_order_release);
+  }
+  return *e;
 }
 
 std::shared_ptr<const core::MulticastSchedule> ServePipeline::serve(
@@ -241,11 +262,24 @@ std::shared_ptr<const core::MulticastSchedule> ServePipeline::serve_absolute(
   }
   HYPERCAST_OBS_SPAN("serve.build");
   const std::uint64_t t_build = stats ? obs::now_ns() : 0;
-  const std::uint64_t epoch = fault::fault_epoch();
-  auto built =
-      std::make_shared<core::MulticastSchedule>(entry_->build(request));
-  built->finalize();
-  cache_->put(tls.key, built, epoch);
+  // Build-and-recheck: the epoch must be read *before* the build for
+  // the stamp to be safe, and read *again* after it — a bump landing
+  // mid-build may have swapped the registry entry under us, so the
+  // schedule we just built could reflect the retired FaultSet. On a
+  // mismatch, retry against the freshly resolved entry; if the epoch
+  // will not hold still (a bump storm), serve the last build uncached
+  // so nothing stale is ever stamped as current.
+  std::shared_ptr<core::MulticastSchedule> built;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const core::AlgorithmEntry& entry = resolved_entry();
+    const std::uint64_t epoch = fault::fault_epoch();
+    built = std::make_shared<core::MulticastSchedule>(entry.build(request));
+    built->finalize();
+    if (fault::fault_epoch() == epoch) {
+      cache_->put(tls.key, built, epoch);
+      break;
+    }
+  }
   if (stats) {
     const std::uint64_t t_end = obs::now_ns();
     serve_metrics().build_ns->record(t_end - t_build);
@@ -305,8 +339,18 @@ std::shared_ptr<const core::MulticastSchedule> ServePipeline::build_direct(
     case Kind::Entry:
       break;
   }
-  auto out = std::make_shared<core::MulticastSchedule>(entry_->build(request));
-  out->finalize();
+  // Pass-through entries get the same resolve-and-recheck treatment as
+  // the cached absolute path: without it, a pipeline constructed before
+  // a register + bump_fault_epoch would keep building through the
+  // retired registration's captured FaultSet.
+  std::shared_ptr<core::MulticastSchedule> out;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const core::AlgorithmEntry& entry = resolved_entry();
+    const std::uint64_t epoch = fault::fault_epoch();
+    out = std::make_shared<core::MulticastSchedule>(entry.build(request));
+    out->finalize();
+    if (fault::fault_epoch() == epoch) break;
+  }
   record_build(t_build);
   return out;
 }
@@ -321,9 +365,18 @@ ServePipeline::serve_batch(std::span<const core::MulticastRequest> requests,
   const std::size_t n = requests.size();
   // Deadline check, evaluated immediately before each request's serve
   // starts. Sampling the clock per request costs ~30ns against serves
-  // of >=1.2us, so no batching of the check is needed.
-  const std::uint64_t deadline = policy.deadline_ns;
-  const auto expired = [deadline] {
+  // of >=1.2us, so no batching of the check is needed. Slot i is held
+  // to the tighter of the batch-wide deadline and its own entry in
+  // policy.deadlines_ns — a coalesced batch mixes admission times, and
+  // the oldest request must not inherit the newest one's slack.
+  const std::uint64_t batch_deadline = policy.deadline_ns;
+  const std::span<const std::uint64_t> per_request = policy.deadlines_ns;
+  const auto expired = [batch_deadline, per_request](std::size_t i) {
+    std::uint64_t deadline = batch_deadline;
+    if (i < per_request.size() && per_request[i] != 0) {
+      deadline = deadline == 0 ? per_request[i]
+                               : std::min(deadline, per_request[i]);
+    }
     if (deadline == 0 || obs::now_ns() <= deadline) return false;
     if (obs::stats_enabled()) serve_metrics().deadline_shed->inc();
     return true;
@@ -333,7 +386,7 @@ ServePipeline::serve_batch(std::span<const core::MulticastRequest> requests,
   workers = std::min(workers, n);
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
-      if (expired()) continue;
+      if (expired(i)) continue;
       out[i] = serve(requests[i]);
     }
     return out;
@@ -398,10 +451,23 @@ ServePipeline::serve_batch(std::span<const core::MulticastRequest> requests,
   parallel_over([&](std::size_t w) {
     for (std::size_t i = 0; i < n; ++i) {
       if (owner[i] != w) continue;
-      if (expired()) continue;
+      if (expired(i)) continue;
       out[i] = serve(requests[i]);
     }
   });
+  return out;
+}
+
+ServePipeline::CoschedBatch ServePipeline::serve_batch_cosched(
+    std::span<const core::MulticastRequest> requests,
+    const BatchPolicy& policy, const CoschedPolicy& cosched) const {
+  CoschedBatch out;
+  out.schedules = serve_batch(requests, policy);
+  // The plan is a pure function of the served schedules (null slots are
+  // skipped), so co-scheduled serving inherits serve_batch's
+  // thread-count determinism.
+  CoScheduler scheduler(cosched);
+  out.plan = scheduler.plan(out.schedules);
   return out;
 }
 

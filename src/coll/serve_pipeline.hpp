@@ -1,11 +1,13 @@
 #ifndef HYPERCAST_COLL_SERVE_PIPELINE_HPP
 #define HYPERCAST_COLL_SERVE_PIPELINE_HPP
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "coll/coscheduler.hpp"
 #include "coll/schedule_cache.hpp"
 #include "core/chain_algorithms.hpp"
 #include "core/registry.hpp"
@@ -67,6 +69,13 @@ class ServePipeline {
     /// would arrive past its latency SLO anyway) — load-shedding at the
     /// latest possible moment, after queueing but before construction.
     std::uint64_t deadline_ns = 0;
+    /// Optional per-request absolute deadlines (same clock; 0 = none),
+    /// parallel to the request span. A batch coalesced from a queue
+    /// mixes admission times, so one collapsed batch deadline would
+    /// serve the earliest-admitted requests past their own SLO; each
+    /// slot i is shed against min(deadline_ns, deadlines_ns[i]) of the
+    /// nonzero values instead. An empty span means batch-wide only.
+    std::span<const std::uint64_t> deadlines_ns{};
   };
 
   /// Serve a batch, results in request order. With `policy.threads` > 1
@@ -84,6 +93,22 @@ class ServePipeline {
       std::span<const core::MulticastRequest> requests, int threads = 1) const {
     return serve_batch(requests, BatchPolicy{threads, 0});
   }
+
+  /// A served batch plus its contention-bounded launch plan. Plan wave
+  /// members index into `schedules`; shed (nullptr) slots appear in no
+  /// wave.
+  struct CoschedBatch {
+    std::vector<std::shared_ptr<const core::MulticastSchedule>> schedules;
+    CoschedPlan plan;
+  };
+
+  /// serve_batch, then co-schedule the served slots into waves under
+  /// `cosched` (see coll::CoScheduler). The schedules are byte-identical
+  /// to plain serve_batch output and the plan is a pure function of
+  /// them, so the result is deterministic at any policy.threads.
+  CoschedBatch serve_batch_cosched(
+      std::span<const core::MulticastRequest> requests,
+      const BatchPolicy& policy, const CoschedPolicy& cosched) const;
 
  private:
   enum class Kind {
@@ -104,10 +129,23 @@ class ServePipeline {
   std::shared_ptr<core::MulticastSchedule> build_relative(
       const core::Topology& topo, const core::CacheKey& key) const;
 
+  /// The registry entry serving Kind::Entry requests, re-resolved
+  /// whenever the fault epoch moves. register_fault_aware_algorithms
+  /// replaces entries in place and bumps the epoch; a pipeline that
+  /// kept the pointer it resolved at construction would build through
+  /// the *retired* registration (capturing the old FaultSet) forever —
+  /// and stamp those stale builds with the current epoch, so the cache
+  /// would serve them as fresh. Epoch-checked resolution plus the
+  /// post-build epoch recheck in serve_absolute/build_direct closes
+  /// both holes.
+  const core::AlgorithmEntry& resolved_entry() const;
+
   std::string algorithm_;
   Kind kind_ = Kind::Entry;
   core::NextRule rule_ = core::NextRule::Center;
-  const core::AlgorithmEntry* entry_ = nullptr;  ///< Kind::Entry only
+  /// Kind::Entry only; epoch-stamped cache of find_algorithm(algorithm_).
+  mutable std::atomic<const core::AlgorithmEntry*> entry_{nullptr};
+  mutable std::atomic<std::uint64_t> entry_epoch_{0};
   bool entry_cacheable_ = false;                 ///< "-ft" entries
   std::uint8_t algo_id_ = 0;
   std::shared_ptr<ScheduleCache> cache_;

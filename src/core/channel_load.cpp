@@ -55,4 +55,28 @@ ChannelLoadReport analyze_channel_load(const MulticastSchedule& schedule,
   return report;
 }
 
+ArcFootprint arc_footprint(const Topology& topo,
+                           const MulticastSchedule& schedule) {
+  ArcFootprint fp;
+  // Collect raw arc indices, then sort + run-length encode: a tree
+  // touches O(m log N) arcs, so the sort beats a num_arcs-sized scratch
+  // for the small batches the co-scheduler scores.
+  std::vector<std::uint32_t> touched;
+  for (const Unicast& u : schedule.unicasts()) {
+    hcube::for_each_ecube_arc(topo, u.from, u.to, [&](hcube::Arc a) {
+      touched.push_back(static_cast<std::uint32_t>(topo.arc_index(a)));
+    });
+  }
+  std::sort(touched.begin(), touched.end());
+  for (std::size_t i = 0; i < touched.size();) {
+    std::size_t j = i;
+    while (j < touched.size() && touched[j] == touched[i]) ++j;
+    const auto count = static_cast<std::uint32_t>(j - i);
+    fp.arcs.emplace_back(touched[i], count);
+    fp.self_max = std::max(fp.self_max, count);
+    i = j;
+  }
+  return fp;
+}
+
 }  // namespace hypercast::core

@@ -106,7 +106,23 @@ class ConnDriver {
     while (true) {
       const std::uint64_t now = obs::now_ns();
       if (!done_sending_) {
-        done_sending_ = now >= stop_at_ns_ || stats_.sent >= budget_;
+        if (interval_ns == 0) {
+          done_sending_ = now >= stop_at_ns_ || stats_.sent >= budget_;
+        } else {
+          // Open loop: the *schedule*, not the wall clock, decides when
+          // sending is over. next_send_ns only advances when an arrival
+          // is actually generated, so a send that blocked (buffer cap
+          // below) still owes every arrival scheduled before stop — the
+          // offered count cannot drift under backpressure. The grace
+          // window bounds how long a dead server can hold us past stop.
+          done_sending_ = next_send_ns >= stop_at_ns_ ||
+                          stats_.sent >= budget_;
+          if (!done_sending_ && stop_at_ns_ != ~std::uint64_t{0} &&
+              now >= stop_at_ns_ + static_cast<std::uint64_t>(
+                                       config_.drain_timeout_s * 1e9)) {
+            done_sending_ = true;  // give up on the blocked backlog
+          }
+        }
       }
       if (done_sending_) {
         if (outstanding_ == 0 && out_.empty()) return;
@@ -125,8 +141,9 @@ class ConnDriver {
             enqueue_request(now);
           }
         } else {
-          while (!done_sending_ && now >= next_send_ns &&
-                 stats_.sent < budget_) {
+          while (now >= next_send_ns && next_send_ns < stop_at_ns_ &&
+                 stats_.sent < budget_ &&
+                 out_.size() < std::size_t{1} << 20) {
             enqueue_request(now);
             next_send_ns += interval_ns;
           }
@@ -135,8 +152,12 @@ class ConnDriver {
 
       if (!flush(fd)) return;
 
+      // While the buffer cap has generation paused, wait for drain
+      // (POLLOUT / responses) instead of spinning on the past-due
+      // schedule.
       int timeout_ms = 50;
-      if (!done_sending_ && interval_ns != 0) {
+      if (!done_sending_ && interval_ns != 0 &&
+          out_.size() < std::size_t{1} << 20) {
         const std::uint64_t later = obs::now_ns();
         timeout_ms = later >= next_send_ns
                          ? 0

@@ -716,12 +716,16 @@ void Server::worker_loop() {
 
     // Shed already-expired requests and validate the rest into the
     // serve batch; a malformed request must fail alone, not abort its
-    // whole batch.
+    // whole batch. Each live request keeps its *own* absolute deadline
+    // (admission + window): collapsing them into one batch deadline
+    // would let the oldest request ride the newest one's slack and be
+    // served past its SLO instead of shed.
     std::vector<core::MulticastRequest> requests;
     std::vector<std::size_t> live;
+    std::vector<std::uint64_t> deadlines;
     requests.reserve(batch.size());
     live.reserve(batch.size());
-    std::uint64_t batch_deadline = 0;
+    deadlines.reserve(batch.size());
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const Pending& p = batch[i];
       const std::uint64_t deadline =
@@ -736,7 +740,7 @@ void Server::worker_loop() {
         request.validate();
         requests.push_back(std::move(request));
         live.push_back(i);
-        batch_deadline = std::max(batch_deadline, deadline);
+        deadlines.push_back(deadline);
       } catch (const std::exception& e) {
         m.bad_requests->inc();
         respond(p, nullptr, Status::BadRequest, e.what());
@@ -744,25 +748,53 @@ void Server::worker_loop() {
     }
 
     if (!requests.empty()) {
+      const coll::ServePipeline::BatchPolicy policy{1, 0, deadlines};
       std::vector<std::shared_ptr<const core::MulticastSchedule>> schedules;
+      coll::CoschedPlan plan;
       try {
-        schedules = pipeline_->serve_batch(
-            requests, coll::ServePipeline::BatchPolicy{1, batch_deadline});
+        if (config_.cosched && requests.size() > 1) {
+          auto cosched = pipeline_->serve_batch_cosched(
+              requests, policy, config_.cosched_policy);
+          schedules = std::move(cosched.schedules);
+          plan = std::move(cosched.plan);
+        } else {
+          schedules = pipeline_->serve_batch(requests, policy);
+        }
       } catch (const std::exception& e) {
         for (const std::size_t i : live) {
           respond(batch[i], nullptr, Status::InternalError, e.what());
         }
         live.clear();
       }
-      for (std::size_t k = 0; k < live.size(); ++k) {
+      const auto respond_slot = [&](std::size_t k) {
         const Pending& p = batch[live[k]];
         if (schedules[k] != nullptr) {
           respond(p, schedules[k].get(), Status::Ok, {});
         } else {
+          // Exactly one net.shed_deadline increment per shed request:
+          // the pipeline's serve.deadline_shed counter is a different
+          // namespace, and a request shed at pop time never reaches
+          // this path.
           m.shed_deadline->inc();
           respond(p, nullptr, Status::ShedDeadline,
                   "deadline passed before construction");
         }
+      };
+      if (!live.empty() && !plan.waves.empty()) {
+        // Wave launch order: responses release clients wave by wave, so
+        // the co-schedule's stagger survives the wire.
+        std::vector<bool> responded(live.size(), false);
+        for (const auto& wave : plan.waves) {
+          for (const std::size_t k : wave.members) {
+            respond_slot(k);
+            responded[k] = true;
+          }
+        }
+        for (std::size_t k = 0; k < live.size(); ++k) {
+          if (!responded[k]) respond_slot(k);  // shed slots, not planned
+        }
+      } else {
+        for (std::size_t k = 0; k < live.size(); ++k) respond_slot(k);
       }
     }
 

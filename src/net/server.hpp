@@ -45,8 +45,20 @@ struct ServerConfig {
   std::size_t batch_max = 64;  ///< requests coalesced per serve_batch call
 
   /// Queue-time SLO: a request still queued this long after admission
-  /// is shed (ShedDeadline) instead of served late. 0 disables.
+  /// is shed (ShedDeadline) instead of served late. 0 disables. The
+  /// deadline is per request (admission time + window): a request whose
+  /// window expires while queued — or while batched behind
+  /// later-admitted peers — is shed with the same ShedDeadline / 429
+  /// accounting as one caught at pop time, never served late.
   std::uint64_t deadline_ms = 0;
+
+  /// Contention-aware co-scheduling of each served batch (opt-in;
+  /// --cosched). When on, the worker plans every batch's schedules into
+  /// waves under `cosched_policy` (see coll::CoschedPolicy) and emits
+  /// responses in wave launch order, so clients that fire requests on
+  /// receipt inherit the contention-bounded stagger.
+  bool cosched = false;
+  coll::CoschedPolicy cosched_policy{};
 
   std::size_t max_frame_bytes = kMaxFrameBytes;
 

@@ -17,7 +17,12 @@ HistogramSnapshot Histogram::snapshot() const {
     min = std::min(min, s.min.load(std::memory_order_relaxed));
   }
   for (const std::uint64_t c : out.buckets) out.count += c;
-  out.min = out.count == 0 ? 0 : min;
+  // A racy snapshot can observe a stripe's bucket increment before its
+  // min/max CAS lands, leaving count > 0 with the min still at its
+  // ~0 sentinel (and the max at 0). Clamp min to the observed max so
+  // the snapshot's [min, max] is always an ordered interval —
+  // percentile() clamps into it.
+  out.min = out.count == 0 ? 0 : std::min(min, out.max);
   return out;
 }
 
@@ -33,6 +38,13 @@ void Histogram::reset() {
 double HistogramSnapshot::percentile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // Snapshots assembled from racing stripes (or merged across shards)
+  // can carry an inconsistent min > max — e.g. a bucket increment
+  // observed before the recording thread's min CAS landed. Order the
+  // clamp interval defensively: std::clamp(v, lo, hi) with lo > hi is
+  // undefined behaviour, and percentiles must stay monotone regardless.
+  const std::uint64_t lo_bound = std::min(min, max);
+  const std::uint64_t hi_bound = max;
   // The rank we want: the ceil(q * count)-th smallest sample (1-based),
   // at least the 1st.
   const double target =
@@ -44,13 +56,16 @@ double HistogramSnapshot::percentile(double q) const {
     if (static_cast<double>(cum + c) >= target) {
       // Midpoint interpolation inside the bucket, against the tightest
       // bounds we know: the bucket's range intersected with [min, max].
-      const double lo = static_cast<double>(std::max(bucket_lower(i), min));
-      const double hi = static_cast<double>(
-          std::min(bucket_upper(i), max == ~std::uint64_t{0} ? max : max + 1));
+      const double lo =
+          static_cast<double>(std::max(bucket_lower(i), lo_bound));
+      const double hi = static_cast<double>(std::min(
+          bucket_upper(i),
+          hi_bound == ~std::uint64_t{0} ? hi_bound : hi_bound + 1));
       const double frac =
           (target - 0.5 - static_cast<double>(cum)) / static_cast<double>(c);
       const double v = lo + frac * std::max(hi - lo, 0.0);
-      return std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+      return std::clamp(v, static_cast<double>(lo_bound),
+                        static_cast<double>(hi_bound));
     }
     cum += c;
   }

@@ -1,0 +1,154 @@
+#include "workload/concurrent.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hypercast::workload {
+
+namespace {
+
+/// Sample an unused node, preferring `tries` rejection-sampling draws
+/// from `draw` before falling back to a linear probe (the batch sizes
+/// here are far below the cube size, so the fallback is cold).
+template <typename DrawFn>
+NodeId distinct_node(std::vector<bool>& used, DrawFn&& draw,
+                     std::size_t num_nodes) {
+  for (int tries = 0; tries < 64; ++tries) {
+    const NodeId u = draw();
+    if (!used[u]) {
+      used[u] = true;
+      return u;
+    }
+  }
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    if (!used[v]) {
+      used[v] = true;
+      return static_cast<NodeId>(v);
+    }
+  }
+  throw std::invalid_argument("concurrent workload: more sources than nodes");
+}
+
+std::size_t bits_for(std::size_t count) {
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < count) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+std::vector<ConcurrentRequest> multi_tenant_mix(const Topology& topo,
+                                                std::size_t tenants,
+                                                std::size_t per_tenant,
+                                                std::size_t dests, Rng& rng) {
+  if (tenants == 0 || per_tenant == 0) return {};
+  const std::size_t tenant_bits = bits_for(tenants);
+  const auto n = static_cast<std::size_t>(topo.dim());
+  if (tenant_bits >= n) {
+    throw std::invalid_argument("multi_tenant_mix: more tenants than subcubes");
+  }
+  const std::size_t sub_dim = n - tenant_bits;
+  const std::size_t sub_size = std::size_t{1} << sub_dim;
+
+  std::vector<ConcurrentRequest> out;
+  out.reserve(tenants * per_tenant);
+  std::vector<bool> used(topo.num_nodes(), false);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    // Tenant t owns the subcube whose high address bits spell t; its
+    // sources stay home while its destinations roam the whole cube, so
+    // every tenant's trees fight over the inter-subcube channels.
+    const NodeId prefix = static_cast<NodeId>(t << sub_dim);
+    for (std::size_t j = 0; j < per_tenant; ++j) {
+      ConcurrentRequest r;
+      r.tenant = static_cast<int>(t);
+      r.source = distinct_node(
+          used,
+          [&] { return static_cast<NodeId>(prefix | (rng() % sub_size)); },
+          topo.num_nodes());
+      r.destinations = random_destinations(topo, r.source, dests, rng);
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::vector<ConcurrentRequest> bursty_arrivals(const Topology& topo,
+                                               std::size_t bursts,
+                                               std::size_t per_burst,
+                                               std::size_t dests,
+                                               std::uint64_t burst_gap_ns,
+                                               Rng& rng) {
+  std::vector<ConcurrentRequest> out;
+  out.reserve(bursts * per_burst);
+  std::vector<bool> used(topo.num_nodes(), false);
+  for (std::size_t b = 0; b < bursts; ++b) {
+    for (std::size_t j = 0; j < per_burst; ++j) {
+      ConcurrentRequest r;
+      r.tenant = static_cast<int>(b);
+      r.arrival_ns = b * burst_gap_ns;
+      r.source = distinct_node(
+          used, [&] { return static_cast<NodeId>(rng() % topo.num_nodes()); },
+          topo.num_nodes());
+      r.destinations = random_destinations(topo, r.source, dests, rng);
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::vector<ConcurrentRequest> hot_spot_mix(const Topology& topo,
+                                            std::size_t requests,
+                                            std::size_t dests,
+                                            std::size_t hot_nodes, Rng& rng) {
+  if (requests == 0) return {};
+  if (dests + 1 > topo.num_nodes()) {
+    throw std::invalid_argument("hot_spot_mix: dests must leave room for the source");
+  }
+  hot_nodes = std::min<std::size_t>(std::max<std::size_t>(hot_nodes, 1),
+                                    topo.num_nodes() / 2);
+  // The hot region is the subcube of the low `bits_for(hot_nodes)`
+  // dimensions around a random centre: every route toward it funnels
+  // through the same few high-dimension arcs, which is exactly the
+  // convergence an oblivious superposition melts down on.
+  const std::size_t hot_dim = bits_for(hot_nodes);
+  const auto centre = static_cast<NodeId>(rng() % topo.num_nodes());
+  std::vector<NodeId> hot;
+  hot.reserve(std::size_t{1} << hot_dim);
+  for (std::size_t v = 0; v < (std::size_t{1} << hot_dim); ++v) {
+    hot.push_back(static_cast<NodeId>(centre ^ v));
+  }
+
+  std::vector<ConcurrentRequest> out;
+  out.reserve(requests);
+  std::vector<bool> used(topo.num_nodes(), false);
+  for (const NodeId h : hot) used[h] = true;  // sources avoid the hot set
+  std::vector<bool> in_set(topo.num_nodes(), false);
+  for (std::size_t i = 0; i < requests; ++i) {
+    ConcurrentRequest r;
+    r.source = distinct_node(
+        used, [&] { return static_cast<NodeId>(rng() % topo.num_nodes()); },
+        topo.num_nodes());
+    // ~3/4 of destinations in the hot region, the rest cube-wide.
+    std::fill(in_set.begin(), in_set.end(), false);
+    in_set[r.source] = true;
+    const std::size_t want_hot = std::min(dests - dests / 4, hot.size());
+    std::vector<NodeId> pool = hot;
+    std::shuffle(pool.begin(), pool.end(), rng);
+    for (std::size_t k = 0; k < pool.size() && r.destinations.size() < want_hot;
+         ++k) {
+      if (in_set[pool[k]]) continue;
+      in_set[pool[k]] = true;
+      r.destinations.push_back(pool[k]);
+    }
+    while (r.destinations.size() < dests) {
+      const auto u = static_cast<NodeId>(rng() % topo.num_nodes());
+      if (in_set[u]) continue;
+      in_set[u] = true;
+      r.destinations.push_back(u);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace hypercast::workload

@@ -1,0 +1,59 @@
+#ifndef HYPERCAST_WORKLOAD_CONCURRENT_HPP
+#define HYPERCAST_WORKLOAD_CONCURRENT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/random_sets.hpp"
+
+namespace hypercast::workload {
+
+/// Batch workloads for concurrent-multicast studies: many simultaneous
+/// multicasts from *different* sources sharing one network — the
+/// serving-time regime the paper's one-tree-at-a-time analysis (and
+/// Theorem 3's common-source bound) says nothing about. Each generator
+/// is deterministic in its Rng and emits arrival offsets so the same
+/// batch drives both the co-scheduler (collapsed to one admission
+/// instant) and arrival-faithful oblivious superposition.
+struct ConcurrentRequest {
+  NodeId source = 0;
+  std::vector<NodeId> destinations;
+  std::uint64_t arrival_ns = 0;  ///< offset from the batch epoch
+  int tenant = 0;                ///< generator-specific grouping tag
+};
+
+/// Multi-tenant mix: `tenants` tenants, each anchored in its own
+/// ns-dimensional subcube, issuing `per_tenant` multicasts whose
+/// sources live inside the tenant's subcube and whose destinations are
+/// sampled cube-wide. Tenants overlap on the shared inter-subcube
+/// channels — the cross-traffic a per-request scheduler cannot see.
+/// All arrivals are simultaneous (arrival_ns = 0).
+std::vector<ConcurrentRequest> multi_tenant_mix(const Topology& topo,
+                                                std::size_t tenants,
+                                                std::size_t per_tenant,
+                                                std::size_t dests, Rng& rng);
+
+/// Bursty arrivals: `bursts` bursts of `per_burst` random-source
+/// multicasts, consecutive bursts `burst_gap_ns` apart; requests inside
+/// a burst arrive together. tenant = burst index.
+std::vector<ConcurrentRequest> bursty_arrivals(const Topology& topo,
+                                               std::size_t bursts,
+                                               std::size_t per_burst,
+                                               std::size_t dests,
+                                               std::uint64_t burst_gap_ns,
+                                               Rng& rng);
+
+/// Hot-spot destinations: every multicast's destination set is drawn
+/// mostly from one small hot region of the cube (plus a sprinkle of
+/// background nodes), so the arcs converging on the region saturate
+/// first — the adversarial case for oblivious superposition. Sources
+/// are distinct and outside the hot region when possible. All arrivals
+/// simultaneous.
+std::vector<ConcurrentRequest> hot_spot_mix(const Topology& topo,
+                                            std::size_t requests,
+                                            std::size_t dests,
+                                            std::size_t hot_nodes, Rng& rng);
+
+}  // namespace hypercast::workload
+
+#endif  // HYPERCAST_WORKLOAD_CONCURRENT_HPP

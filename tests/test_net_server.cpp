@@ -22,6 +22,7 @@
 #include "net/protocol.hpp"
 #include "net/server.hpp"
 #include "obs/obs.hpp"
+#include "obs/registry.hpp"
 #include "workload/random_sets.hpp"
 
 namespace hypercast {
@@ -236,6 +237,108 @@ TEST(NetServer, QueueFullSheddingAndAccounting) {
   server.stop();
 }
 
+TEST(NetServer, QueuedExpiryShedsWithExactlyOneResponseAndOneCount) {
+  // Regression: requests whose per-request deadline expires while
+  // *batched behind* slower work used to ride the newest request's
+  // slack (the worker collapsed deadlines via max) and be served late.
+  // Each must instead get exactly one ShedDeadline response and exactly
+  // one net.shed_deadline increment — never a double count, never a
+  // silent drop.
+  obs::FlagsGuard flags;
+  ServerConfig config;
+  config.workers = 1;
+  config.batch_max = 1;
+  config.cache = false;
+  config.deadline_ms = 1;
+  Server server(config);
+  server.start();
+
+  obs::Counter& shed_counter =
+      obs::default_registry().counter("net.shed_deadline");
+  const std::uint64_t shed_before = shed_counter.value();
+
+  Client client(server.port());
+  workload::Rng rng(0xDEAD1135ull);
+  // One write: a huge request that holds the lone worker far past the
+  // 1 ms window, then cheap ones that expire while queued behind it.
+  constexpr int kCheap = 8;
+  std::string wire;
+  net::encode_request(make_request(0, 16, 40000, rng), wire);
+  for (int i = 1; i <= kCheap; ++i) {
+    net::encode_request(make_request(static_cast<std::uint64_t>(i), 6, 8, rng),
+                        wire);
+  }
+  client.send_all(wire);
+
+  std::map<std::uint64_t, Status> answered;
+  std::string body;
+  for (int i = 0; i < kCheap + 1; ++i) {
+    ASSERT_TRUE(client.read_frame(body)) << "response " << i << " missing";
+    const ResponseMsg response = net::decode_response(body);
+    EXPECT_EQ(answered.count(response.id), 0u)
+        << "duplicate response for " << response.id;
+    answered[response.id] = response.status;
+  }
+  ASSERT_EQ(answered.size(), static_cast<std::size_t>(kCheap + 1));
+  std::uint64_t shed_responses = 0;
+  for (const auto& [id, status] : answered) {
+    EXPECT_TRUE(status == Status::Ok || status == Status::ShedDeadline)
+        << "id " << id << " status " << static_cast<int>(status);
+    if (status == Status::ShedDeadline) ++shed_responses;
+  }
+  // Every cheap request sat in the queue for the big one's whole build
+  // (>> 1 ms): all of them shed.
+  EXPECT_GE(shed_responses, static_cast<std::uint64_t>(kCheap));
+  // Shed accounting matches responses one-for-one (no double count).
+  EXPECT_EQ(shed_counter.value() - shed_before, shed_responses);
+
+  server.stop();
+  EXPECT_FALSE(client.read_frame(body));  // nothing extra after the drain
+  EXPECT_EQ(server.outstanding(), 0u);
+}
+
+TEST(NetServer, CoschedServingAnswersEverythingByteIdentically) {
+  // --cosched only reorders responses into wave launch order; payloads
+  // and completeness must match plain serving exactly.
+  obs::FlagsGuard flags;
+  ServerConfig config;
+  config.workers = 2;
+  config.batch_max = 32;
+  config.cosched = true;
+  Server server(config);
+  server.start();
+
+  coll::ServePipeline direct(config.algorithm, nullptr);
+  Client client(server.port());
+  workload::Rng rng(0xC05C4EDull);
+  constexpr int kRequests = 48;
+  std::string wire;
+  std::map<std::uint64_t, RequestMsg> pending;
+  for (int i = 0; i < kRequests; ++i) {
+    RequestMsg msg = make_request(static_cast<std::uint64_t>(i), 6,
+                                  4 + (i % 24), rng);
+    net::encode_request(msg, wire);
+    pending.emplace(msg.id, std::move(msg));
+  }
+  client.send_all(wire);  // one write: maximal batching, real waves
+
+  std::string body;
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.read_frame(body)) << "response " << i << " missing";
+    const ResponseMsg response = net::decode_response(body);
+    const auto it = pending.find(response.id);
+    ASSERT_NE(it, pending.end()) << "unknown/duplicate id " << response.id;
+    ASSERT_EQ(response.status, Status::Ok);
+    std::string expected;
+    net::encode_schedule(*direct.serve(it->second.to_request()), expected);
+    EXPECT_EQ(response.schedule_body, expected);
+    pending.erase(it);
+  }
+  EXPECT_TRUE(pending.empty());
+  server.stop();
+  EXPECT_EQ(server.outstanding(), 0u);
+}
+
 TEST(NetServer, GracefulDrainLosesAndDuplicatesNothing) {
   obs::FlagsGuard flags;
   ServerConfig config;
@@ -388,6 +491,41 @@ TEST(NetServer, OpenLoopLoadgenAndMixes) {
   load.mix = "random";
   const net::LoadgenResult result = net::run_loadgen(load);
   EXPECT_GT(result.sent, 0u);
+  EXPECT_EQ(result.ok, result.sent);
+  EXPECT_EQ(result.lost, 0u);
+  EXPECT_EQ(result.io_errors, 0u);
+  server.stop();
+}
+
+TEST(NetServer, OpenLoopOfferedRateDoesNotDrift) {
+  // Regression: the open-loop generator used to decide "done sending"
+  // from the wall clock, so arrivals scheduled before stop but delayed
+  // by a blocked send were silently dropped — the offered load drifted
+  // below the configured rate whenever the server pushed back. The
+  // schedule itself now decides: every arrival with next_send < stop is
+  // owed. At 4000 req/s across 2 connections for 1 s the generator owes
+  // 2000 sends per connection; accept 1% for thread start-up skew
+  // (a late-starting connection owes proportionally fewer).
+  obs::FlagsGuard flags;
+  ServerConfig config;
+  config.workers = 2;
+  Server server(config);
+  server.start();
+
+  net::LoadgenConfig load;
+  load.port = server.port();
+  load.connections = 2;
+  load.open_rate = 4000.0;
+  load.duration_s = 1.0;
+  load.dim = 6;
+  load.dest_count = 8;
+  load.shape_pool = 8;
+  const net::LoadgenResult result = net::run_loadgen(load);
+
+  const double offered = load.open_rate * load.duration_s;
+  EXPECT_LE(result.sent, static_cast<std::uint64_t>(offered));
+  EXPECT_GE(static_cast<double>(result.sent), 0.99 * offered)
+      << "sent " << result.sent << " of " << offered;
   EXPECT_EQ(result.ok, result.sent);
   EXPECT_EQ(result.lost, 0u);
   EXPECT_EQ(result.io_errors, 0u);

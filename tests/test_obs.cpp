@@ -143,6 +143,80 @@ TEST(ObsHistogram, PercentilesAreMonotoneAndBounded) {
   }
 }
 
+TEST(ObsHistogram, InconsistentSnapshotStaysClampedAndMonotone) {
+  // A racy snapshot can observe a stripe's bucket increment before its
+  // min/max CAS lands: count > 0 with min still at the ~0 sentinel and
+  // max still 0. percentile() must degrade gracefully (no inverted
+  // clamp, no div-by-zero), stay monotone in q and stay inside the
+  // bounds the snapshot *can* vouch for.
+  HistogramSnapshot s{};
+  s.buckets[3] = 5;  // claims samples in [4, 8)
+  s.count = 5;
+  s.sum = 25;
+  s.min = ~std::uint64_t{0};  // unwitnessed sentinel
+  s.max = 0;                  // unwitnessed
+  double prev = -1.0;
+  for (int i = 0; i <= 100; ++i) {
+    const double p = s.percentile(static_cast<double>(i) / 100.0);
+    EXPECT_GE(p, prev) << "q " << i / 100.0;
+    EXPECT_GE(p, 0.0);
+    prev = p;
+  }
+
+  // The same inversion via merge of a populated and an empty-but-racy
+  // snapshot keeps min <= max.
+  Histogram real;
+  real.record(100);
+  HistogramSnapshot merged = real.snapshot();
+  merged.merge(s);
+  EXPECT_LE(merged.percentile(0.5), static_cast<double>(merged.max));
+}
+
+TEST(ObsHistogram, SingleBucketSaturatedMergedAcrossShards) {
+  // Shard-per-worker histograms merged for exposition: every sample in
+  // one log2 bucket. Quantiles must be ordered and live inside the
+  // bucket's observed [min, max].
+  Histogram shards[4];
+  for (int s = 0; s < 4; ++s) {
+    for (int i = 0; i < 1000; ++i) {
+      shards[s].record(700 + static_cast<std::uint64_t>(s));  // bucket [512,1024)
+    }
+  }
+  HistogramSnapshot merged = shards[0].snapshot();
+  for (int s = 1; s < 4; ++s) merged.merge(shards[s].snapshot());
+  EXPECT_EQ(merged.count, 4000u);
+  EXPECT_EQ(merged.min, 700u);
+  EXPECT_EQ(merged.max, 703u);
+  const double p50 = merged.percentile(0.50);
+  const double p95 = merged.percentile(0.95);
+  const double p99 = merged.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, static_cast<double>(merged.max));
+  EXPECT_GE(p50, static_cast<double>(merged.min));
+}
+
+TEST(ObsHistogram, MergePreservesMinAcrossEmptyAndNonEmpty) {
+  Histogram populated;
+  populated.record(37);
+  const Histogram empty;
+
+  // empty.merge(populated) and populated.merge(empty) both keep the
+  // real extremes; the empty side's zero/sentinel state must not win.
+  HistogramSnapshot a = empty.snapshot();
+  a.merge(populated.snapshot());
+  EXPECT_EQ(a.count, 1u);
+  EXPECT_EQ(a.min, 37u);
+  EXPECT_EQ(a.max, 37u);
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), 37.0);
+
+  HistogramSnapshot b = populated.snapshot();
+  b.merge(empty.snapshot());
+  EXPECT_EQ(b.min, 37u);
+  EXPECT_EQ(b.max, 37u);
+  EXPECT_DOUBLE_EQ(b.percentile(0.99), 37.0);
+}
+
 TEST(ObsHistogram, ResetZeroes) {
   Histogram h;
   h.record(5);

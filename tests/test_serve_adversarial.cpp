@@ -166,5 +166,55 @@ TEST(ServeAdversarial, ConcurrentFaultEpochBumpsDuringServeBatch) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+TEST(ServeAdversarial, PipelineTracksFaultSetReRegistration) {
+  // Regression: a ServePipeline used to resolve its registry entry once
+  // at construction. register_fault_aware_algorithms *replaces* the
+  // "-ft" entries in place, so a long-lived pipeline kept building
+  // through the retired registration — schedules repaired against the
+  // OLD fault set — and, worse, stamped them with the CURRENT epoch, so
+  // the cache served the stale trees as fresh forever after.
+  const hcube::Topology topo(6);
+  const core::MulticastRequest req{topo, 0, {1, 2, 3, 42, 17}};
+
+  auto faults_a = std::make_shared<const fault::FaultSet>([&] {
+    fault::FaultSet fs(topo);
+    fs.fail_link(0, 1);
+    return fs;
+  }());
+  fault::register_fault_aware_algorithms(faults_a);
+
+  auto cache = std::make_shared<ScheduleCache>(ScheduleCache::Config{});
+  const ServePipeline cached("wsort-ft", cache);
+  const ServePipeline uncached("wsort-ft", nullptr);
+  const auto under_a = cached.serve(req);
+  ASSERT_NE(under_a, nullptr);
+  EXPECT_TRUE(*uncached.serve(req) == *under_a);
+
+  // Swap the fault set under the SAME pipelines.
+  auto faults_b = std::make_shared<const fault::FaultSet>([&] {
+    fault::FaultSet fs(topo);
+    fs.fail_link(1, 2);
+    fs.fail_link(3, 0);
+    return fs;
+  }());
+  fault::register_fault_aware_algorithms(faults_b);
+
+  const auto expected =
+      fault::fault_aware_multicast(core::find_algorithm("wsort"), req,
+                                   *faults_b)
+          .schedule;
+  // Both the cached and the pass-through pipeline must now build
+  // against fault set B — first serve (fills the cache) and second
+  // serve (may hit it) alike.
+  EXPECT_TRUE(*uncached.serve(req) == expected);
+  EXPECT_TRUE(*cached.serve(req) == expected);
+  EXPECT_TRUE(*cached.serve(req) == expected);
+
+  // Leave a clean registry for other tests: an empty fault set behaves
+  // like the fault-oblivious algorithms.
+  fault::register_fault_aware_algorithms(
+      std::make_shared<const fault::FaultSet>(topo));
+}
+
 }  // namespace
 }  // namespace hypercast

@@ -11,7 +11,14 @@
 //                    [--workers N] [--queue-cap N] [--batch-max N]
 //                    [--deadline-ms MS] [--max-conns N]
 //                    [--cache on|off] [--cache-shards N] [--cache-bytes B]
+//                    [--cosched] [--cosched-overlap K]
+//                    [--cosched-stagger-us US] [--cosched-max-waves N]
 //                    [--port-file PATH] [--quiet]
+//
+// --cosched turns on contention-aware co-scheduling of each served
+// batch (coll::CoScheduler): schedules are packed into waves so no
+// directed channel is crossed by more than --cosched-overlap worms per
+// wave, and responses are released in wave order.
 //
 // --port 0 (the default) binds an ephemeral port; the bound port is
 // printed on stdout and, with --port-file, written to PATH so scripts
@@ -64,6 +71,18 @@ int main(int argc, char** argv) {
     config.cache = cache.enabled;
     config.cache_shards = cache.shards;
     config.cache_bytes = cache.max_bytes;
+    config.cosched = opts.has("cosched");
+    config.cosched_policy.max_arc_overlap = static_cast<std::uint32_t>(
+        opts.get_int_or("cosched-overlap",
+                        config.cosched_policy.max_arc_overlap));
+    config.cosched_policy.stagger_offset_ns = static_cast<std::uint64_t>(
+        opts.get_int_or("cosched-stagger-us",
+                        static_cast<long>(
+                            config.cosched_policy.stagger_offset_ns / 1000))) *
+        1000;
+    config.cosched_policy.max_waves = static_cast<std::size_t>(
+        opts.get_int_or("cosched-max-waves",
+                        static_cast<long>(config.cosched_policy.max_waves)));
     const bool quiet = opts.has("quiet");
 
     hypercast::net::Server server(config);
