@@ -18,7 +18,15 @@ class ExchangeEngine {
   ExchangeEngine(const Topology& topo, const AllToAllConfig& config)
       : topo_(topo),
         config_(config),
-        worms_(topo, config.cost, config.port, queue_) {}
+        worms_(topo, config.cost, config.port, queue_, nullptr,
+               config.record_trace) {
+    worms_.set_delivery_handler(
+        [](void* ctx, sim::MessageId m, SimTime tail) {
+          ExchangeEngine* e = static_cast<ExchangeEngine*>(ctx);
+          e->received(e->worms_.destination(m), m, tail);
+        },
+        this);
+  }
 
   AllToAllResult run() {
     const std::size_t n_nodes = topo_.num_nodes();
@@ -53,12 +61,9 @@ class ExchangeEngine {
     const SimTime issue = std::max(cpu_free_[u], ready);
     const SimTime header_start = issue + config_.cost.send_startup;
     cpu_free_[u] = header_start;
-    const sim::MessageId id = worms_.inject(
-        u, peer, round_bytes(), header_start,
-        [this, peer](sim::MessageId m, SimTime tail) {
-          received(peer, m, tail);
-        });
-    worms_.trace(id).issue = issue;
+    const sim::MessageId id =
+        worms_.inject(u, peer, round_bytes(), header_start);
+    if (worms_.recording_traces()) worms_.trace(id).issue = issue;
     ++result_.stats.messages;
   }
 
@@ -66,7 +71,7 @@ class ExchangeEngine {
     const SimTime done =
         std::max(cpu_free_[u], tail) + config_.cost.recv_overhead;
     cpu_free_[u] = done;
-    worms_.trace(id).done = done;
+    if (worms_.recording_traces()) worms_.trace(id).done = done;
     const int r = ++round_[u];
     if (r < topo_.dim()) {
       queue_.schedule(done, [this, u, done] { begin_round(u, done); });

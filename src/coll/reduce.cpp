@@ -19,7 +19,15 @@ class ReduceEngine {
   ReduceEngine(const core::MulticastSchedule& tree, const ReduceConfig& config)
       : tree_(tree),
         config_(config),
-        worms_(tree.topo(), config.cost, config.port, queue_) {}
+        worms_(tree.topo(), config.cost, config.port, queue_, nullptr,
+               config.record_trace) {
+    worms_.set_delivery_handler(
+        [](void* ctx, sim::MessageId m, SimTime tail) {
+          ReduceEngine* e = static_cast<ReduceEngine*>(ctx);
+          e->folded(e->worms_.destination(m), m, tail);
+        },
+        this);
+  }
 
   ReduceResult run() {
     const auto info = core::tree_info(tree_);
@@ -66,12 +74,9 @@ class ReduceEngine {
     const SimTime issue = std::max(cpu_free_[node], ready);
     const SimTime header_start = issue + config_.cost.send_startup;
     cpu_free_[node] = header_start;
-    const sim::MessageId id = worms_.inject(
-        node, parent, message_bytes(node), header_start,
-        [this, parent](sim::MessageId m, SimTime tail) {
-          folded(parent, m, tail);
-        });
-    worms_.trace(id).issue = issue;
+    const sim::MessageId id =
+        worms_.inject(node, parent, message_bytes(node), header_start);
+    if (worms_.recording_traces()) worms_.trace(id).issue = issue;
     result_.send_time[node] = header_start;
     ++result_.stats.messages;
   }
@@ -85,7 +90,7 @@ class ReduceEngine {
              config_.combine_ns_per_byte;
     }
     cpu_free_[node] = cpu;
-    worms_.trace(id).done = cpu;
+    if (worms_.recording_traces()) worms_.trace(id).done = cpu;
 
     auto& left = pending_.at(node);
     assert(left > 0);

@@ -18,7 +18,14 @@ class ScatterEngine {
                 const ScatterConfig& config)
       : tree_(tree),
         config_(config),
-        worms_(tree.topo(), config.cost, config.port, queue_) {}
+        worms_(tree.topo(), config.cost, config.port, queue_, nullptr,
+               config.record_trace) {
+    worms_.set_delivery_handler(
+        [](void* ctx, sim::MessageId m, SimTime tail) {
+          static_cast<ScatterEngine*>(ctx)->delivered(m, tail);
+        },
+        this);
+  }
 
   ScatterResult run() {
     cpu_free_.assign(tree_.topo().num_nodes(), 0);
@@ -38,21 +45,19 @@ class ScatterEngine {
           (send.payload.size() + 1) * config_.block_bytes;
       const SimTime issue = cpu;
       cpu += config_.cost.send_startup;
-      const sim::MessageId id = worms_.inject(
-          node, send.to, bytes, cpu,
-          [this](sim::MessageId m, SimTime tail) { delivered(m, tail); });
-      worms_.trace(id).issue = issue;
+      const sim::MessageId id = worms_.inject(node, send.to, bytes, cpu);
+      if (worms_.recording_traces()) worms_.trace(id).issue = issue;
       ++result_.stats.messages;
     }
     cpu_free_[node] = cpu;
   }
 
   void delivered(sim::MessageId id, SimTime tail) {
-    const NodeId node = worms_.trace(id).to;
+    const NodeId node = worms_.destination(id);
     const SimTime done =
         std::max(cpu_free_[node], tail) + config_.cost.recv_overhead;
     cpu_free_[node] = done;
-    worms_.trace(id).done = done;
+    if (worms_.recording_traces()) worms_.trace(id).done = done;
     result_.delivery.emplace(node, done);
     queue_.schedule(done, [this, node, done] { start_node(node, done); });
   }

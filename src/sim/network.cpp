@@ -12,13 +12,13 @@ Network::Network(const Topology& topo, PortModel port,
       faults_(faults),
       num_external_(static_cast<std::uint32_t>(topo.num_arcs())) {
   const std::size_t total = topo.num_arcs() + 2 * topo.num_nodes();
-  const int pool_capacity = std::max(1, port.concurrency(topo.dim()));
-  capacity_.assign(total, 1);
+  const int pool_capacity =
+      std::clamp(port.concurrency(topo.dim()), 1, 255);
+  units_.assign(total, std::uint16_t{1});
   for (std::size_t i = topo.num_arcs(); i < total; ++i) {
-    capacity_[i] = pool_capacity;
+    units_[i] = static_cast<std::uint16_t>(pool_capacity);
   }
-  in_use_.assign(total, 0);
-  waiters_.assign(total, WaitList{});
+  waiter_tail_.assign(total, kNone);
 }
 
 std::vector<ResourceId> Network::path_resources(NodeId from, NodeId to) const {
@@ -54,54 +54,44 @@ void Network::append_path_resources(NodeId from, NodeId to,
   out.push_back(consumption_pool(to));
 }
 
-void Network::take(ResourceId r) {
-  assert(available(r));
-  ++in_use_[r.index];
-}
-
 void Network::enqueue(ResourceId r, MessageId m) {
   assert(!available(r));
   if (m >= waiter_next_.size()) {
     waiter_next_.resize(static_cast<std::size_t>(m) + 1, kNone);
   }
-  waiter_next_[m] = kNone;
-  WaitList& list = waiters_[r.index];
-  if (list.head == kNone) {
-    list.head = list.tail = m;
+  ++waiting_;
+  const MessageId tail = waiter_tail_[r.index];
+  if (tail == kNone) {
+    waiter_next_[m] = m;  // singleton circle: m is head and tail
   } else {
-    waiter_next_[list.tail] = m;
-    list.tail = m;
+    waiter_next_[m] = waiter_next_[tail];  // new tail wraps to the head
+    waiter_next_[tail] = m;
   }
-}
-
-std::optional<MessageId> Network::release(ResourceId r) {
-  assert(in_use_[r.index] > 0);
-  --in_use_[r.index];
-  WaitList& list = waiters_[r.index];
-  if (list.head != kNone) {
-    const MessageId m = list.head;
-    list.head = waiter_next_[m];
-    if (list.head == kNone) list.tail = kNone;
-    ++in_use_[r.index];  // re-grant the freed unit to the head waiter
-    return m;
-  }
-  return std::nullopt;
+  waiter_tail_[r.index] = m;
 }
 
 std::size_t Network::waiting_count(ResourceId r) const {
-  std::size_t n = 0;
-  for (MessageId m = waiters_[r.index].head; m != kNone;
-       m = waiter_next_[m]) {
+  const MessageId tail = waiter_tail_[r.index];
+  if (tail == kNone) return 0;
+  std::size_t n = 1;
+  for (MessageId m = waiter_next_[tail]; m != tail; m = waiter_next_[m]) {
     ++n;
   }
   return n;
 }
 
-bool Network::quiescent() const {
-  for (std::size_t i = 0; i < in_use_.size(); ++i) {
-    if (in_use_[i] != 0 || waiters_[i].head != kNone) return false;
-  }
-  return true;
+void Network::reset() {
+  for (std::uint16_t& u : units_) u &= 0xff;  // clear in-use, keep capacity
+  std::fill(waiter_tail_.begin(), waiter_tail_.end(), kNone);
+  waiter_next_.clear();  // keeps capacity; regrown by the next enqueue
+  busy_ = 0;
+  waiting_ = 0;
+}
+
+std::size_t Network::memory_bytes() const {
+  return units_.capacity() * sizeof(std::uint16_t) +
+         waiter_tail_.capacity() * sizeof(MessageId) +
+         waiter_next_.capacity() * sizeof(MessageId);
 }
 
 }  // namespace hypercast::sim

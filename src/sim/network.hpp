@@ -1,6 +1,8 @@
 #ifndef HYPERCAST_SIM_NETWORK_HPP
 #define HYPERCAST_SIM_NETWORK_HPP
 
+#include <cassert>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -74,11 +76,20 @@ class Network {
   }
 
   bool available(ResourceId r) const {
-    return in_use_[r.index] < capacity_[r.index];
+    // One 16-bit load covers both counts: in-use (high byte) vs
+    // capacity (low byte). This predicate runs once per hop of every
+    // worm in a run — splitting it over two arrays would touch two
+    // cache lines.
+    const std::uint16_t u = units_[r.index];
+    return (u >> 8) < (u & 0xff);
   }
 
   /// Take one unit. Precondition: available(r).
-  void take(ResourceId r);
+  void take(ResourceId r) {
+    assert(available(r));
+    units_[r.index] += 0x100;
+    ++busy_;
+  }
 
   /// Enqueue a message waiting for one unit of r. A message may wait on
   /// at most one resource at a time (worms acquire their path in order).
@@ -86,21 +97,48 @@ class Network {
 
   /// Release one unit of r. If a message is waiting, one unit is
   /// immediately re-granted to the head waiter, which is returned so the
-  /// simulator can resume it.
-  std::optional<MessageId> release(ResourceId r);
+  /// simulator can resume it. Inline: runs once per path resource of
+  /// every delivered worm, and the common case is no waiter.
+  std::optional<MessageId> release(ResourceId r) {
+    assert((units_[r.index] >> 8) > 0);
+    units_[r.index] -= 0x100;
+    --busy_;
+    const MessageId tail = waiter_tail_[r.index];
+    if (tail != kNone) {
+      const MessageId m = waiter_next_[tail];  // circular: tail -> head
+      if (m == tail) {
+        waiter_tail_[r.index] = kNone;
+      } else {
+        waiter_next_[tail] = waiter_next_[m];
+      }
+      units_[r.index] += 0x100;  // re-grant the freed unit to the waiter
+      ++busy_;
+      --waiting_;
+      return m;
+    }
+    return std::nullopt;
+  }
 
   std::size_t waiting_count(ResourceId r) const;
 
   /// All units idle and no waiters — the invariant at the end of a run.
-  bool quiescent() const;
+  /// O(1): tracked by counters, not a scan of the (for a big cube,
+  /// multi-megabyte) resource arrays — engines check this per run.
+  bool quiescent() const { return busy_ == 0 && waiting_ == 0; }
+
+  /// Restore the freshly-constructed invariants (all units idle, no
+  /// waiters) while keeping every allocation, so a reused engine doesn't
+  /// pay construction again — and `waiter_next_`, which grows to the max
+  /// MessageId ever enqueued, stops accumulating across jobs. Mirrors
+  /// MulticastSchedule::reset().
+  void reset();
+
+  /// Heap bytes pinned by per-resource and per-waiter state (capacity,
+  /// not size) — the bulk of a large cube's simulation footprint.
+  std::size_t memory_bytes() const;
 
  private:
   static constexpr MessageId kNone = static_cast<MessageId>(-1);
-
-  struct WaitList {
-    MessageId head = kNone;
-    MessageId tail = kNone;
-  };
 
   ResourceId external_arc(hcube::Arc a) const {
     return ResourceId{static_cast<std::uint32_t>(topo_.arc_index(a))};
@@ -116,12 +154,26 @@ class Network {
   Topology topo_;
   const fault::FaultSet* faults_;
   std::uint32_t num_external_;
-  std::vector<int> capacity_;
-  std::vector<int> in_use_;
-  std::vector<WaitList> waiters_;
+  /// Per-resource unit counts, packed (in_use << 8) | capacity: an arc
+  /// has capacity 1 and a pool at most the port concurrency (≤ kMaxDim
+  /// = 20), so a byte holds any real value with a 255 clamp as a
+  /// formality. A 20-cube has ~22M resources — int fields here would
+  /// cost ~160 MB of pure padding, and splitting the two counts over
+  /// separate arrays doubles the hot path's cache traffic.
+  std::vector<std::uint16_t> units_;
+  /// Per-resource wait FIFO as a *circular* intrusive list: this array
+  /// holds only the tail message (kNone = empty) and the tail's next
+  /// pointer wraps to the head, so a resource costs 4 bytes of waiter
+  /// state instead of a head+tail pair — at 20-cube scale that halves
+  /// ~180 MB of wait-list headers, and the construction-time fill (paid
+  /// per simulation run) shrinks with it.
+  std::vector<MessageId> waiter_tail_;
   /// waiter_next_[m] = the message behind m in whichever wait list m is
-  /// on (kNone for the tail); grown on demand as messages enqueue.
+  /// on (the tail wraps to the head); grown on demand as messages
+  /// enqueue.
   std::vector<MessageId> waiter_next_;
+  std::uint64_t busy_ = 0;     ///< total units currently taken
+  std::uint64_t waiting_ = 0;  ///< total messages on wait lists
 };
 
 }  // namespace hypercast::sim

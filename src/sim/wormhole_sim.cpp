@@ -39,15 +39,35 @@ const SimMetrics& sim_metrics() {
 /// Replays multicast schedules over a shared WormEngine, adding the
 /// processor model: send startups and receive overheads serialize on
 /// each node's CPU across every job it participates in.
+///
+/// Every hot continuation goes through the event queue's raw-handler
+/// path: worm deliveries arrive via the engine-wide delivery handler,
+/// and a node's post-receive forwarding is a raw ticket whose arg is the
+/// MessageId (job and node recovered from job_of_/destination, the time
+/// from now()). Only the per-job kick-off events use pooled actions.
 class Engine {
  public:
   Engine(std::span<const CollectiveJob> jobs, const SimConfig& config)
       : jobs_(jobs),
         config_(config),
         topo_(jobs.empty() ? Topology(0) : jobs.front().schedule->topo()),
-        worms_(topo_, config.cost, config.port, queue_, config.faults) {
+        worms_(topo_, config.cost, config.port, queue_, config.faults,
+               config.record_trace) {
+    worms_.set_delivery_handler(&Engine::delivered_thunk, this);
+    kind_forward_ = queue_.register_handler(&Engine::forward_thunk, this);
+    kind_job_start_ = queue_.register_handler(&Engine::job_start_thunk, this);
     result_.per_job.resize(jobs.size());
     cpu_free_.assign(topo_.num_nodes(), 0);
+    std::size_t total_unicasts = 0;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      total_unicasts += jobs[j].schedule->num_unicasts();
+      result_.per_job[j].delivery.reserve(jobs[j].schedule->num_unicasts());
+    }
+    worms_.reserve(total_unicasts, topo_.dim() / 2 + 2);
+    job_of_.reserve(total_unicasts);
+    // MessageIds are assigned densely by injection order, so the flat
+    // done-time table can be sized exactly once up front.
+    done_.assign(total_unicasts, kUndelivered);
 #ifndef NDEBUG
     for (const CollectiveJob& job : jobs_) {
       assert(job.schedule != nullptr);
@@ -60,10 +80,8 @@ class Engine {
 
   MultiSimResult run() {
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
-      const SimTime start = jobs_[j].start;
-      queue_.schedule(start, [this, j, start] {
-        start_node(j, jobs_[j].schedule->source(), start);
-      });
+      queue_.schedule_raw(jobs_[j].start, kind_job_start_,
+                          static_cast<std::uint32_t>(j));
     }
     queue_.run_to_completion();
     finish();
@@ -71,6 +89,20 @@ class Engine {
   }
 
  private:
+  static void delivered_thunk(void* ctx, MessageId id, SimTime tail) {
+    static_cast<Engine*>(ctx)->delivered(id, tail);
+  }
+  static void forward_thunk(void* ctx, std::uint32_t id) {
+    Engine* e = static_cast<Engine*>(ctx);
+    // Fires at the receive-done time: resume forwarding from there.
+    e->start_node(e->job_of_[id], e->worms_.destination(id),
+                  e->queue_.now());
+  }
+  static void job_start_thunk(void* ctx, std::uint32_t job) {
+    Engine* e = static_cast<Engine*>(ctx);
+    e->start_node(job, e->jobs_[job].schedule->source(), e->queue_.now());
+  }
+
   /// The node's processor issues this job's sends, startup by startup,
   /// beginning no earlier than `ready` and no earlier than the CPU is
   /// free from other work.
@@ -79,56 +111,61 @@ class Engine {
     for (const core::Send& send : jobs_[job].schedule->sends_from(node)) {
       const SimTime issue = cpu;
       cpu += config_.cost.send_startup;
-      const MessageId id = worms_.inject(
-          node, send.to, config_.message_bytes, cpu,
-          [this, job](MessageId m, SimTime tail) { delivered(job, m, tail); });
-      worms_.trace(id).issue = issue;
-      job_of_.push_back(job);
+      const MessageId id =
+          worms_.inject(node, send.to, config_.message_bytes, cpu);
+      if (worms_.recording_traces()) worms_.trace(id).issue = issue;
+      job_of_.push_back(static_cast<std::uint32_t>(job));
       ++result_.stats.messages;
       ++result_.per_job[job].stats.messages;
     }
     cpu_free_[node] = cpu;
   }
 
-  void delivered(std::size_t job, MessageId id, SimTime tail) {
+  void delivered(MessageId id, SimTime tail) {
     // The receiving processor copies the message out of the network
     // (serialized with whatever else that CPU is doing), then continues
-    // this job's forwarding.
-    const hcube::NodeId node = worms_.trace(id).to;
+    // this job's forwarding. The delivery-map entry is deferred to
+    // finish(): hashing into per-job maps is batch work, not per-event
+    // work.
+    const hcube::NodeId node = worms_.destination(id);
     const SimTime done =
         std::max(cpu_free_[node], tail) + config_.cost.recv_overhead;
     cpu_free_[node] = done;
-    worms_.trace(id).done = done;
-    const auto [it, inserted] =
-        result_.per_job[job].delivery.emplace(node, done);
-    (void)it;
-    assert(inserted && "schedule delivers to a node twice");
-    queue_.schedule(done, [this, job, node, done] {
-      start_node(job, node, done);
-    });
+    if (worms_.recording_traces()) worms_.trace(id).done = done;
+    done_[id] = done;
+    queue_.schedule_raw(done, kind_forward_, id);
   }
 
   void finish() {
     result_.stats.events = queue_.events_processed();
     result_.stats.blocked_acquisitions = worms_.blocked_acquisitions();
     result_.stats.total_blocked_ns = worms_.total_blocked_ns();
-    std::size_t delivered_total = 0;
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
-      delivered_total += result_.per_job[j].delivery.size();
       result_.per_job[j].stats.events = result_.stats.events;
+    }
+    // Materialize the per-job delivery maps from the flat done_ array.
+    std::size_t delivered_total = 0;
+    for (MessageId id = 0; id < done_.size(); ++id) {
+      if (done_[id] == kUndelivered) continue;
+      ++delivered_total;
+      const auto [it, inserted] = result_.per_job[job_of_[id]].delivery.emplace(
+          worms_.destination(id), done_[id]);
+      (void)it;
+      assert(inserted && "schedule delivers to a node twice");
     }
     if (delivered_total != result_.stats.messages || !worms_.quiescent()) {
       throw std::logic_error(
           "simulation drained with undelivered messages (deadlock?)");
     }
-    // Per-job blocking stats and traces come from the worm timelines.
+    // Per-job blocking stats (and traces when recorded) come from the
+    // engine's per-worm accounting.
     for (MessageId id = 0; id < worms_.num_messages(); ++id) {
-      const MessageTrace& t = worms_.trace(id);
       const std::size_t job = job_of_[id];
       result_.per_job[job].stats.blocked_acquisitions +=
-          static_cast<std::uint64_t>(t.blocked_times);
-      result_.per_job[job].stats.total_blocked_ns += t.blocked_ns;
+          static_cast<std::uint64_t>(worms_.blocked_times(id));
+      result_.per_job[job].stats.total_blocked_ns += worms_.blocked_ns(id);
       if (config_.record_trace) {
+        const MessageTrace& t = worms_.trace(id);
         result_.trace.messages.push_back(t);
         result_.per_job[job].trace.messages.push_back(t);
       }
@@ -155,7 +192,12 @@ class Engine {
   Topology topo_;
   EventQueue queue_;
   WormEngine worms_;
-  std::vector<std::size_t> job_of_;  ///< indexed by MessageId
+  std::uint16_t kind_forward_ = 0;
+  std::uint16_t kind_job_start_ = 0;
+  std::vector<std::uint32_t> job_of_;  ///< indexed by MessageId
+  static constexpr SimTime kUndelivered = -1;
+  std::vector<SimTime> done_;  ///< indexed by MessageId; scattered into
+                               ///< per-job delivery maps in finish()
   std::vector<SimTime> cpu_free_;
   MultiSimResult result_;
 };

@@ -2,12 +2,12 @@
 #define HYPERCAST_SIM_WORMHOLE_SIM_HPP
 
 #include <span>
-#include <unordered_map>
 
 #include "core/multicast.hpp"
 #include "core/stepwise.hpp"
 #include "fault/fault_set.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/delivery_map.hpp"
 #include "sim/trace.hpp"
 
 namespace hypercast::sim {
@@ -39,7 +39,9 @@ struct SimStats {
 struct SimResult {
   /// Per recipient: the time its processor has fully received the
   /// message (tail arrived + receive overhead), relative to t = 0.
-  std::unordered_map<hcube::NodeId, SimTime> delivery;
+  /// A flat single-allocation map — filling it used to dominate small
+  /// replays via per-node heap churn (see DeliveryMap).
+  DeliveryMap delivery;
   SimStats stats;
   Trace trace;
 
@@ -63,6 +65,9 @@ struct MultiSimResult {
                                    ///< delivery times are absolute
   SimStats stats;                  ///< aggregate across jobs
   Trace trace;                     ///< merged trace (if recorded)
+  std::size_t shards = 1;          ///< independent partitions simulated
+                                   ///< (1 unless run through the
+                                   ///< sharded entry point in shard.hpp)
 
   /// Completion time of the whole phase: the latest delivery.
   SimTime makespan() const;

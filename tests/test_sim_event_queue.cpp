@@ -163,5 +163,76 @@ TEST(EventQueue, InterleavedSchedulingKeepsDeterminism) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST(EventQueue, ReserveDoesNotDisturbOrderOrCounts) {
+  EventQueue q;
+  q.reserve(1024, 64);
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.reserve(4096);  // reserving mid-stream is allowed too
+  q.schedule(20, [&] { order.push_back(2); });
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_GT(q.memory_bytes(), 0u);
+}
+
+TEST(EventQueue, RawHandlersInterleaveWithActionsInGlobalOrder) {
+  // Raw tickets and pooled actions share one (time, seq) order: the
+  // insertion sequence across both kinds decides same-time ties.
+  EventQueue q;
+  std::vector<int> order;
+  struct Ctx {
+    std::vector<int>* order;
+  } ctx{&order};
+  const std::uint16_t kind = q.register_handler(
+      [](void* c, std::uint32_t arg) {
+        static_cast<Ctx*>(c)->order->push_back(static_cast<int>(arg));
+      },
+      &ctx);
+  q.schedule(50, [&] { order.push_back(-1); });
+  q.schedule_raw(50, kind, 100);
+  q.schedule(50, [&] { order.push_back(-2); });
+  q.schedule_raw(40, kind, 99);
+  q.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{99, -1, 100, -2}));
+  EXPECT_EQ(q.events_processed(), 4u);
+}
+
+TEST(EventQueue, RawSchedulingInThePastThrows) {
+  EventQueue q;
+  const std::uint16_t kind =
+      q.register_handler([](void*, std::uint32_t) {}, nullptr);
+  bool threw = false;
+  q.schedule(10, [&] {
+    try {
+      q.schedule_raw(5, kind, 0);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  q.run_to_completion();
+  EXPECT_TRUE(threw);
+}
+
+TEST(EventQueue, RawHandlerSelfReschedulingChain) {
+  EventQueue q;
+  struct Ctx {
+    EventQueue* q;
+    std::uint16_t kind = 0;
+    int fired = 0;
+  } ctx{&q};
+  ctx.kind = q.register_handler(
+      [](void* c, std::uint32_t remaining) {
+        Ctx* x = static_cast<Ctx*>(c);
+        ++x->fired;
+        if (remaining > 0) x->q->schedule_raw_in(7, x->kind, remaining - 1);
+      },
+      &ctx);
+  q.schedule_raw(0, ctx.kind, 9999);
+  q.run_to_completion();
+  EXPECT_EQ(ctx.fired, 10000);
+  EXPECT_EQ(q.now(), 9999 * 7);
+}
+
 }  // namespace
 }  // namespace hypercast::sim

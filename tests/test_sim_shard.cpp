@@ -1,0 +1,193 @@
+// Sharded conservative-parallel simulation: footprint partitioning and
+// the thread-count-invariance / exactness guarantees of
+// simulate_collectives_sharded.
+
+#include "sim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/chain_algorithms.hpp"
+#include "core/wsort.hpp"
+#include "workload/patterns.hpp"
+
+namespace hypercast::sim {
+namespace {
+
+using core::MulticastSchedule;
+
+MulticastSchedule subcube_broadcast(const hcube::Topology& topo, hcube::NodeId base,
+                                    int sub_dim) {
+  // W-sort broadcast confined to the sub_dim-subcube anchored at base
+  // (varying the low sub_dim coordinates).
+  std::vector<hcube::NodeId> dests;
+  for (hcube::NodeId off = 1; off < (hcube::NodeId{1} << sub_dim); ++off) {
+    dests.push_back(base ^ off);
+  }
+  return core::wsort(core::MulticastRequest{topo, base, dests});
+}
+
+bool same_result(const MultiSimResult& a, const MultiSimResult& b) {
+  if (a.per_job.size() != b.per_job.size()) return false;
+  if (a.shards != b.shards) return false;
+  if (a.stats.messages != b.stats.messages ||
+      a.stats.blocked_acquisitions != b.stats.blocked_acquisitions ||
+      a.stats.total_blocked_ns != b.stats.total_blocked_ns ||
+      a.stats.events != b.stats.events) {
+    return false;
+  }
+  for (std::size_t j = 0; j < a.per_job.size(); ++j) {
+    if (a.per_job[j].delivery != b.per_job[j].delivery) return false;
+    if (a.per_job[j].stats.messages != b.per_job[j].stats.messages ||
+        a.per_job[j].stats.blocked_acquisitions !=
+            b.per_job[j].stats.blocked_acquisitions ||
+        a.per_job[j].stats.total_blocked_ns !=
+            b.per_job[j].stats.total_blocked_ns ||
+        a.per_job[j].stats.events != b.per_job[j].stats.events) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ShardPlanTest, DisjointSubcubeJobsGetTheirOwnShards) {
+  const hcube::Topology topo(6);
+  std::vector<MulticastSchedule> schedules;
+  for (int t = 0; t < 4; ++t) {
+    schedules.push_back(
+        subcube_broadcast(topo, static_cast<hcube::NodeId>(t) << 4, 4));
+  }
+  std::vector<CollectiveJob> jobs;
+  for (const auto& s : schedules) jobs.push_back({&s, 0});
+  const ShardPlan plan = partition_collective_jobs(jobs);
+  ASSERT_EQ(plan.shards.size(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(plan.shards[s], (std::vector<std::size_t>{s}));
+  }
+}
+
+TEST(ShardPlanTest, SharedNodeMergesJobsEvenWithDisjointArcs) {
+  // Two single-send jobs with arc-disjoint routes but a common
+  // participant (node 0 sends in one job and receives in the other):
+  // its CPU serializes them, so they must share a shard.
+  const hcube::Topology topo(4);
+  MulticastSchedule s1(topo, 0);
+  s1.add_send(0, 0b0001, {});
+  MulticastSchedule s2(topo, 0b0010);
+  s2.add_send(0b0010, 0, {});
+  const CollectiveJob jobs[] = {{&s1, 0}, {&s2, 0}};
+  const ShardPlan plan = partition_collective_jobs(jobs);
+  ASSERT_EQ(plan.shards.size(), 1u);
+  EXPECT_EQ(plan.shards[0], (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ShardPlanTest, ConflictsChainTransitively) {
+  // A conflicts with B, B with C: one shard of three, even though A and
+  // C never touch.
+  const hcube::Topology topo(4);
+  MulticastSchedule a(topo, 0b0000);
+  a.add_send(0b0000, 0b0001, {});
+  MulticastSchedule b(topo, 0b0001);
+  b.add_send(0b0001, 0b0011, {});
+  MulticastSchedule c(topo, 0b0011);
+  c.add_send(0b0011, 0b0111, {});
+  MulticastSchedule d(topo, 0b1000);  // fully independent
+  d.add_send(0b1000, 0b1100, {});
+  const CollectiveJob jobs[] = {{&a, 0}, {&b, 0}, {&c, 0}, {&d, 0}};
+  const ShardPlan plan = partition_collective_jobs(jobs);
+  ASSERT_EQ(plan.shards.size(), 2u);
+  EXPECT_EQ(plan.shards[0], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(plan.shards[1], (std::vector<std::size_t>{3}));
+}
+
+TEST(ShardedSim, MatchesUnshardedForIndependentJobs) {
+  // Independent shards simulate exactly: per-job deliveries and
+  // blocking match the joint single-queue run (which interleaves
+  // events across jobs but shares no state between them).
+  const hcube::Topology topo(6);
+  std::vector<MulticastSchedule> schedules;
+  for (int t = 0; t < 4; ++t) {
+    schedules.push_back(
+        subcube_broadcast(topo, static_cast<hcube::NodeId>(t) << 4, 4));
+  }
+  std::vector<CollectiveJob> jobs;
+  for (const auto& s : schedules) jobs.push_back({&s, 0});
+  const SimConfig config;
+  const auto joint = simulate_collectives(jobs, config);
+  const auto sharded = simulate_collectives_sharded(jobs, config, 2);
+  ASSERT_EQ(sharded.shards, 4u);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_EQ(sharded.per_job[j].delivery, joint.per_job[j].delivery);
+    EXPECT_EQ(sharded.per_job[j].stats.blocked_acquisitions,
+              joint.per_job[j].stats.blocked_acquisitions);
+  }
+  EXPECT_EQ(sharded.stats.messages, joint.stats.messages);
+  EXPECT_EQ(sharded.stats.events, joint.stats.events);
+  EXPECT_EQ(sharded.stats.blocked_acquisitions,
+            joint.stats.blocked_acquisitions);
+}
+
+TEST(ShardedSim, BitIdenticalAtAnyThreadCount) {
+  const hcube::Topology topo(7);
+  std::vector<MulticastSchedule> schedules;
+  // 8 tenants in disjoint 4-subcubes, plus two deliberately conflicting
+  // broadcasts sharing a subcube — a mixed plan of 9 shards.
+  for (int t = 0; t < 8; ++t) {
+    schedules.push_back(
+        subcube_broadcast(topo, static_cast<hcube::NodeId>(t) << 4, 4));
+  }
+  schedules.push_back(subcube_broadcast(topo, 0b0000000, 3));
+  std::vector<CollectiveJob> jobs;
+  for (const auto& s : schedules) jobs.push_back({&s, 0});
+  SimConfig config;
+  config.record_trace = true;
+  const auto t1 = simulate_collectives_sharded(jobs, config, 1);
+  const auto t4 = simulate_collectives_sharded(jobs, config, 4);
+  const auto t8 = simulate_collectives_sharded(jobs, config, 8);
+  EXPECT_TRUE(same_result(t1, t4));
+  EXPECT_TRUE(same_result(t1, t8));
+  // Traces merge in plan order: byte-identical message streams too.
+  ASSERT_EQ(t1.trace.messages.size(), t8.trace.messages.size());
+  for (std::size_t i = 0; i < t1.trace.messages.size(); ++i) {
+    EXPECT_EQ(t1.trace.messages[i].from, t8.trace.messages[i].from);
+    EXPECT_EQ(t1.trace.messages[i].to, t8.trace.messages[i].to);
+    EXPECT_EQ(t1.trace.messages[i].done, t8.trace.messages[i].done);
+  }
+}
+
+TEST(ShardedSim, SingleShardFallsBackToJointRun) {
+  const hcube::Topology topo(5);
+  const auto s1 = subcube_broadcast(topo, 0, 5);  // full-cube broadcast
+  const auto s2 = subcube_broadcast(topo, 1, 3);
+  const CollectiveJob jobs[] = {{&s1, 0}, {&s2, 0}};
+  const auto plan = partition_collective_jobs(jobs);
+  ASSERT_EQ(plan.shards.size(), 1u);
+  const auto joint = simulate_collectives(jobs, SimConfig{});
+  const auto sharded = simulate_collectives_sharded(jobs, SimConfig{}, 8);
+  EXPECT_EQ(sharded.shards, 1u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_EQ(sharded.per_job[j].delivery, joint.per_job[j].delivery);
+  }
+}
+
+TEST(ShardedSim, EmptyJobListIsANoop) {
+  const auto result = simulate_collectives_sharded({}, SimConfig{}, 4);
+  EXPECT_TRUE(result.per_job.empty());
+  EXPECT_EQ(result.makespan(), 0);
+}
+
+TEST(ShardedSim, StaggeredStartsSurviveSharding) {
+  const hcube::Topology topo(6);
+  const auto s1 = subcube_broadcast(topo, 0b000000, 4);
+  const auto s2 = subcube_broadcast(topo, 0b110000, 4);
+  const SimTime offset = 500'000;
+  const CollectiveJob jobs[] = {{&s1, 0}, {&s2, offset}};
+  const auto joint = simulate_collectives(jobs, SimConfig{});
+  const auto sharded = simulate_collectives_sharded(jobs, SimConfig{}, 2);
+  ASSERT_EQ(sharded.shards, 2u);
+  EXPECT_EQ(sharded.per_job[1].delivery, joint.per_job[1].delivery);
+}
+
+}  // namespace
+}  // namespace hypercast::sim

@@ -5,23 +5,43 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <vector>
+
 namespace hypercast::sim {
 namespace {
 
 using hcube::Topology;
 
+/// Bridges the engine-wide delivery handler back to a per-test
+/// std::function, so tests keep their lambda ergonomics.
+struct DeliverySink {
+  std::function<void(MessageId, SimTime)> fn = [](MessageId, SimTime) {};
+
+  static void thunk(void* ctx, MessageId id, SimTime at) {
+    static_cast<DeliverySink*>(ctx)->fn(id, at);
+  }
+  void attach(WormEngine& engine) {
+    engine.set_delivery_handler(&DeliverySink::thunk, this);
+  }
+};
+
 struct Fixture {
   Topology topo{4};
   CostModel cost = CostModel::ncube2();
   EventQueue queue;
-  WormEngine engine{topo, cost, core::PortModel::all_port(), queue};
+  WormEngine engine{topo,  cost, core::PortModel::all_port(),
+                    queue, nullptr, /*record_trace=*/true};
+  DeliverySink sink;
+
+  Fixture() { sink.attach(engine); }
 };
 
 TEST(WormEngine, DeliversAtHeaderWalkPlusBody) {
   Fixture f;
   SimTime delivered = -1;
-  f.engine.inject(0, 0b0111, 1024, 1000,
-                  [&](MessageId, SimTime t) { delivered = t; });
+  f.sink.fn = [&](MessageId, SimTime t) { delivered = t; };
+  f.engine.inject(0, 0b0111, 1024, 1000);
   f.queue.run_to_completion();
   EXPECT_EQ(delivered, 1000 + 3 * f.cost.per_hop + f.cost.body_time(1024));
   EXPECT_TRUE(f.engine.quiescent());
@@ -30,9 +50,9 @@ TEST(WormEngine, DeliversAtHeaderWalkPlusBody) {
 
 TEST(WormEngine, TraceFieldsFilledByEngine) {
   Fixture f;
-  const MessageId id =
-      f.engine.inject(0, 0b0011, 512, 500, [](MessageId, SimTime) {});
+  const MessageId id = f.engine.inject(0, 0b0011, 512, 500);
   f.queue.run_to_completion();
+  ASSERT_TRUE(f.engine.recording_traces());
   const MessageTrace& t = f.engine.trace(id);
   EXPECT_EQ(t.from, 0u);
   EXPECT_EQ(t.to, 0b0011u);
@@ -40,18 +60,18 @@ TEST(WormEngine, TraceFieldsFilledByEngine) {
   EXPECT_EQ(t.header_start, 500);
   EXPECT_EQ(t.path_acquired, 500 + 2 * f.cost.per_hop);
   EXPECT_EQ(t.tail, t.path_acquired + f.cost.body_time(512));
+  EXPECT_EQ(f.engine.destination(id), 0b0011u);
 }
 
 TEST(WormEngine, SharedArcSerializesInInjectionOrder) {
   Fixture f;
-  std::vector<int> order;
+  std::vector<MessageId> order;
+  f.sink.fn = [&](MessageId id, SimTime) { order.push_back(id); };
   // Both need arc (0000, 3).
-  f.engine.inject(0, 0b1000, 4096, 100,
-                  [&](MessageId, SimTime) { order.push_back(1); });
-  f.engine.inject(0, 0b1001, 4096, 100,
-                  [&](MessageId, SimTime) { order.push_back(2); });
+  const MessageId m1 = f.engine.inject(0, 0b1000, 4096, 100);
+  const MessageId m2 = f.engine.inject(0, 0b1001, 4096, 100);
   f.queue.run_to_completion();
-  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(order, (std::vector<MessageId>{m1, m2}));
   EXPECT_EQ(f.engine.blocked_acquisitions(), 1u);
   EXPECT_GT(f.engine.total_blocked_ns(), 0);
   EXPECT_TRUE(f.engine.quiescent());
@@ -59,12 +79,12 @@ TEST(WormEngine, SharedArcSerializesInInjectionOrder) {
 
 TEST(WormEngine, DisjointWormsOverlapFully) {
   Fixture f;
-  SimTime t1 = 0;
-  SimTime t2 = 0;
-  f.engine.inject(0, 1, 4096, 0, [&](MessageId, SimTime t) { t1 = t; });
-  f.engine.inject(4, 5, 4096, 0, [&](MessageId, SimTime t) { t2 = t; });
+  std::vector<SimTime> at(2, 0);
+  f.sink.fn = [&](MessageId id, SimTime t) { at[id] = t; };
+  f.engine.inject(0, 1, 4096, 0);
+  f.engine.inject(4, 5, 4096, 0);
   f.queue.run_to_completion();
-  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(at[0], at[1]);
   EXPECT_EQ(f.engine.blocked_acquisitions(), 0u);
 }
 
@@ -73,22 +93,26 @@ TEST(WormEngine, OnePortPoolSerializesInjection) {
   EventQueue queue;
   WormEngine engine(topo, CostModel::ncube2(), core::PortModel::one_port(),
                     queue);
-  SimTime t1 = 0;
-  SimTime t2 = 0;
-  engine.inject(0, 1, 4096, 0, [&](MessageId, SimTime t) { t1 = t; });
-  engine.inject(0, 2, 4096, 0, [&](MessageId, SimTime t) { t2 = t; });
+  DeliverySink sink;
+  sink.attach(engine);
+  std::vector<SimTime> at(2, 0);
+  sink.fn = [&](MessageId id, SimTime t) { at[id] = t; };
+  engine.inject(0, 1, 4096, 0);
+  engine.inject(0, 2, 4096, 0);
   queue.run_to_completion();
-  EXPECT_GT(t2, t1);
-  EXPECT_GE(t2 - t1, CostModel::ncube2().body_time(4096));
+  EXPECT_GT(at[1], at[0]);
+  EXPECT_GE(at[1] - at[0], CostModel::ncube2().body_time(4096));
 }
 
 TEST(WormEngine, BlockedTimesCountedPerWorm) {
   Fixture f;
-  const MessageId a = f.engine.inject(0, 0b1000, 4096, 0,
-                                      [](MessageId, SimTime) {});
-  const MessageId b = f.engine.inject(0, 0b1100, 4096, 0,
-                                      [](MessageId, SimTime) {});
+  const MessageId a = f.engine.inject(0, 0b1000, 4096, 0);
+  const MessageId b = f.engine.inject(0, 0b1100, 4096, 0);
   f.queue.run_to_completion();
+  EXPECT_EQ(f.engine.blocked_times(a), 0u);
+  EXPECT_EQ(f.engine.blocked_times(b), 1u);
+  EXPECT_EQ(f.engine.blocked_ns(b), f.engine.total_blocked_ns());
+  // Recorded traces mirror the SoA accounting.
   EXPECT_EQ(f.engine.trace(a).blocked_times, 0);
   EXPECT_EQ(f.engine.trace(b).blocked_times, 1);
   EXPECT_EQ(f.engine.trace(b).blocked_ns, f.engine.total_blocked_ns());
@@ -96,19 +120,73 @@ TEST(WormEngine, BlockedTimesCountedPerWorm) {
 
 TEST(WormEngine, ManyWormsThroughOneChannelKeepFifoOrder) {
   Fixture f;
-  std::vector<int> order;
+  std::vector<MessageId> order;
+  f.sink.fn = [&](MessageId id, SimTime) { order.push_back(id); };
   for (int i = 0; i < 6; ++i) {
     // All 6 worms need arc (0000, 3); they are injected at staggered
     // times but queue FIFO.
     f.engine.inject(0, 0b1000 + (i % 2 ? 1u : 0u), 2048,
-                    100 * (6 - i),  // later worms injected earlier
-                    [&order, i](MessageId, SimTime) { order.push_back(i); });
+                    100 * (6 - i));  // later worms injected earlier
   }
   f.queue.run_to_completion();
   // Injection times decide the order of first acquisition: worm 5 was
   // injected at t=100, worm 0 at t=600.
-  EXPECT_EQ(order, (std::vector<int>{5, 4, 3, 2, 1, 0}));
+  EXPECT_EQ(order, (std::vector<MessageId>{5, 4, 3, 2, 1, 0}));
   EXPECT_TRUE(f.engine.quiescent());
+}
+
+TEST(WormEngine, NoTraceRecordingByDefault) {
+  Topology topo(4);
+  EventQueue queue;
+  WormEngine engine(topo, CostModel::ncube2(), core::PortModel::all_port(),
+                    queue);
+  DeliverySink sink;
+  sink.attach(engine);
+  const MessageId id = engine.inject(0, 0b0101, 4096, 0);
+  queue.run_to_completion();
+  EXPECT_FALSE(engine.recording_traces());
+  // Aggregate per-worm accounting stays available without traces.
+  EXPECT_EQ(engine.destination(id), 0b0101u);
+  EXPECT_EQ(engine.blocked_times(id), 0u);
+  EXPECT_EQ(engine.blocked_ns(id), 0);
+  EXPECT_TRUE(engine.quiescent());
+}
+
+TEST(WormEngine, ResetKeepsCapacityAndRestoresInvariants) {
+  Fixture f;
+  std::vector<SimTime> first;
+  f.sink.fn = [&](MessageId, SimTime t) { first.push_back(t); };
+  f.engine.inject(0, 0b1000, 4096, 0);
+  f.engine.inject(0, 0b1100, 4096, 0);
+  f.queue.run_to_completion();
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_TRUE(f.engine.quiescent());
+
+  f.engine.reset();
+  EXPECT_EQ(f.engine.num_messages(), 0u);
+  EXPECT_EQ(f.engine.blocked_acquisitions(), 0u);
+  EXPECT_EQ(f.engine.total_blocked_ns(), 0);
+  EXPECT_TRUE(f.engine.quiescent());
+
+  // Replaying the same workload after reset reproduces the same
+  // *relative* timeline (the event queue's clock keeps advancing).
+  const SimTime base = f.queue.now();
+  std::vector<SimTime> second;
+  f.sink.fn = [&](MessageId, SimTime t) { second.push_back(t - base); };
+  f.engine.inject(0, 0b1000, 4096, base + 0);
+  f.engine.inject(0, 0b1100, 4096, base + 0);
+  f.queue.run_to_completion();
+  EXPECT_EQ(second, first);
+}
+
+TEST(WormEngine, MemoryBytesGrowsWithWorms) {
+  Fixture f;
+  const std::size_t before = f.engine.memory_bytes();
+  for (int i = 1; i < 16; ++i) {
+    f.engine.inject(0, static_cast<hcube::NodeId>(i), 64, 0);
+  }
+  f.queue.run_to_completion();
+  EXPECT_GT(f.engine.memory_bytes(), before);
 }
 
 }  // namespace
