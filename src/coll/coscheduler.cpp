@@ -58,10 +58,6 @@ CoschedPlan CoScheduler::plan(
 
 CoschedPlan CoScheduler::plan(
     std::span<const core::MulticastSchedule* const> schedules) {
-  const bool stats = obs::stats_enabled();
-  const std::uint64_t t_start = stats ? obs::now_ns() : 0;
-  CoschedPlan out;
-
   const core::Topology* topo = nullptr;
   std::vector<std::size_t> order;  // candidate batch indices
   footprints_.assign(schedules.size(), core::ArcFootprint{});
@@ -77,7 +73,26 @@ CoschedPlan CoScheduler::plan(
     footprints_[i] = core::arc_footprint(*topo, *s);
     order.push_back(i);
   }
-  if (topo == nullptr) return out;  // nothing to plan
+  if (topo == nullptr) return CoschedPlan{};  // nothing to plan
+  return pack(*topo, std::move(order));
+}
+
+CoschedPlan CoScheduler::plan_footprints(
+    const core::Topology& topo,
+    std::span<const core::ArcFootprint> footprints) {
+  footprints_.assign(footprints.begin(), footprints.end());
+  std::vector<std::size_t> order(footprints.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (order.empty()) return CoschedPlan{};
+  return pack(topo, std::move(order));
+}
+
+CoschedPlan CoScheduler::pack(const core::Topology& topo,
+                              std::vector<std::size_t> candidates) {
+  const bool stats = obs::stats_enabled();
+  const std::uint64_t t_start = stats ? obs::now_ns() : 0;
+  CoschedPlan out;
+  std::vector<std::size_t> order = std::move(candidates);
 
   // Heaviest-footprint-first, original index breaking ties: packing the
   // widest trees before the narrow ones is the classic first-fit-
@@ -92,7 +107,7 @@ CoschedPlan CoScheduler::plan(
                    });
 
   const std::uint32_t bound = std::max<std::uint32_t>(policy_.max_arc_overlap, 1);
-  wave_load_.reset(*topo);
+  wave_load_.reset(topo);
   std::vector<std::size_t> remaining = std::move(order);
   std::vector<std::size_t> next_round;
   while (!remaining.empty()) {

@@ -92,6 +92,14 @@ class CoScheduler {
           schedules);
   CoschedPlan plan(std::span<const core::MulticastSchedule* const> schedules);
 
+  /// Plan directly from precomputed arc footprints — the entry point for
+  /// composite candidates that are not a single schedule, e.g. a striped
+  /// collective presenting the union footprint of its n trees
+  /// (StripedPlan::union_footprint) as one candidate. Same deterministic
+  /// greedy-wave packing; wave members index into `footprints`.
+  CoschedPlan plan_footprints(const core::Topology& topo,
+                              std::span<const core::ArcFootprint> footprints);
+
   /// Expand a plan into DES jobs: each member of wave w starts at
   /// `base_start + w * stagger`. Orders jobs by (wave, member), so the
   /// result is directly comparable against the oblivious all-at-once
@@ -102,6 +110,12 @@ class CoScheduler {
       sim::SimTime base_start = 0);
 
  private:
+  /// The greedy first-fit-decreasing wave packing over footprints_;
+  /// `candidates` lists the admissible batch indices. Shared by both
+  /// plan() overloads and plan_footprints().
+  CoschedPlan pack(const core::Topology& topo,
+                   std::vector<std::size_t> candidates);
+
   CoschedPolicy policy_;
   core::ChannelLoadMap wave_load_;              // scratch: current wave
   std::vector<core::ArcFootprint> footprints_;  // scratch: per candidate

@@ -458,6 +458,41 @@ ServePipeline::serve_batch(std::span<const core::MulticastRequest> requests,
   return out;
 }
 
+StripedPlan ServePipeline::serve_striped(
+    const core::MulticastRequest& request, std::size_t payload_bytes,
+    const StripeOptions& options) const {
+  if (payload_bytes < options.threshold_bytes || request.topo.dim() < 2) {
+    StripedPlan plan;
+    plan.payload_bytes = payload_bytes;
+    plan.stripe_bytes = payload_bytes;
+    plan.trees.push_back(serve(request));
+    return plan;
+  }
+  return StripedPlanner(options, cache_).plan(request, payload_bytes);
+}
+
+StripedPlan ServePipeline::serve_striped(
+    const core::MulticastRequest& request, std::size_t payload_bytes,
+    const StripeOptions& options, const fault::FaultSet& faults) const {
+  if (payload_bytes < options.threshold_bytes || request.topo.dim() < 2) {
+    StripedPlan plan;
+    plan.payload_bytes = payload_bytes;
+    plan.stripe_bytes = payload_bytes;
+    auto tree = serve(request);
+    if (fault::blocked_unicasts(*tree, faults) != 0) {
+      auto repaired = std::make_shared<core::MulticastSchedule>(
+          fault::repair_schedule(*tree, request.destinations, faults)
+              .schedule);
+      repaired->finalize();
+      tree = std::move(repaired);
+      plan.repaired_trees = 1;
+    }
+    plan.trees.push_back(std::move(tree));
+    return plan;
+  }
+  return StripedPlanner(options, cache_).plan(request, payload_bytes, faults);
+}
+
 ServePipeline::CoschedBatch ServePipeline::serve_batch_cosched(
     std::span<const core::MulticastRequest> requests,
     const BatchPolicy& policy, const CoschedPolicy& cosched) const {

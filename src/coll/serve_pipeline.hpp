@@ -9,6 +9,7 @@
 
 #include "coll/coscheduler.hpp"
 #include "coll/schedule_cache.hpp"
+#include "coll/striped.hpp"
 #include "core/chain_algorithms.hpp"
 #include "core/registry.hpp"
 
@@ -101,6 +102,26 @@ class ServePipeline {
     std::vector<std::shared_ptr<const core::MulticastSchedule>> schedules;
     CoschedPlan plan;
   };
+
+  /// Serve one request as a striped collective: payloads at or above
+  /// options.threshold_bytes on cubes of dim >= 2 split across the n
+  /// arc-disjoint IST trees (each tree cached per-tree through this
+  /// pipeline's cache, same two-level scheme as serve()); smaller
+  /// payloads fall back to the latency-optimal single-tree serve()
+  /// (plan.striped == false, one tree carrying the whole payload).
+  StripedPlan serve_striped(const core::MulticastRequest& request,
+                            std::size_t payload_bytes,
+                            const StripeOptions& options = {}) const;
+
+  /// Degraded-mode serve_striped: striped plans swap the most-affected
+  /// tree onto the parity stripe and detour-repair the rest (see
+  /// StripedPlanner); the single-tree fallback is detour-repaired when a
+  /// fault blocks it. Throws fault::UnrepairableFault when a destination
+  /// is unreachable.
+  StripedPlan serve_striped(const core::MulticastRequest& request,
+                            std::size_t payload_bytes,
+                            const StripeOptions& options,
+                            const fault::FaultSet& faults) const;
 
   /// serve_batch, then co-schedule the served slots into waves under
   /// `cosched` (see coll::CoScheduler). The schedules are byte-identical

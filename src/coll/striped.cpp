@@ -1,0 +1,260 @@
+#include "coll/striped.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fault/fault_aware.hpp"
+#include "obs/registry.hpp"
+
+namespace hypercast::coll {
+
+namespace {
+
+/// Per-tree cache algorithm ids. The serving pipeline hands ids 0..3 to
+/// the paper algorithms and grows registry-entry ids upward from 4; the
+/// IST trees claim a block at the top of the 8-bit space instead
+/// (kIstAlgoBase + tree, tree < dim <= hcube::kMaxDim = 20), so the two
+/// assignment schemes cannot collide until ~220 distinct registered
+/// names exist — far beyond anything the registry holds.
+constexpr std::uint8_t kIstAlgoBase = 224;
+
+std::uint8_t ist_algo_id(hcube::Dim tree) {
+  return static_cast<std::uint8_t>(kIstAlgoBase + tree);
+}
+
+/// Per-thread scratch mirroring the serving pipeline's: one canonical
+/// key and one chain-reconstruction buffer recycled across plans.
+struct StripedTls {
+  core::CacheKey key;
+  std::vector<core::NodeId> chain;
+};
+
+StripedTls& striped_tls() {
+  thread_local StripedTls tls;
+  return tls;
+}
+
+std::shared_ptr<core::MulticastSchedule> finalized(
+    core::MulticastSchedule&& schedule) {
+  auto out = std::make_shared<core::MulticastSchedule>(std::move(schedule));
+  out->finalize();
+  return out;
+}
+
+void bump(const char* name, std::uint64_t by = 1) {
+  if (by != 0 && obs::stats_enabled()) {
+    obs::default_registry().counter(name).add(by);
+  }
+}
+
+}  // namespace
+
+std::vector<sim::CollectiveJob> StripedPlan::jobs(sim::SimTime start) const {
+  std::vector<sim::CollectiveJob> out;
+  out.reserve(active_trees());
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    if (static_cast<int>(t) == dropped_tree) continue;
+    out.push_back(sim::CollectiveJob{trees[t].get(), start, stripe_bytes});
+  }
+  return out;
+}
+
+core::ArcFootprint StripedPlan::union_footprint() const {
+  std::vector<core::ArcFootprint> parts;
+  parts.reserve(active_trees());
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    if (static_cast<int>(t) == dropped_tree) continue;
+    parts.push_back(core::arc_footprint(trees[t]->topo(), *trees[t]));
+  }
+  return core::merge_footprints(parts);
+}
+
+std::vector<std::vector<std::uint8_t>> split_stripes(
+    std::span<const std::uint8_t> payload, std::size_t data_stripes,
+    bool parity) {
+  if (data_stripes == 0) {
+    throw std::invalid_argument("split_stripes: zero data stripes");
+  }
+  const std::size_t width =
+      (payload.size() + data_stripes - 1) / data_stripes;
+  std::vector<std::vector<std::uint8_t>> stripes;
+  stripes.reserve(data_stripes + (parity ? 1 : 0));
+  for (std::size_t i = 0; i < data_stripes; ++i) {
+    const std::size_t begin = std::min(payload.size(), i * width);
+    const std::size_t end = std::min(payload.size(), begin + width);
+    stripes.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(begin),
+                         payload.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  if (parity) {
+    // XOR over the data stripes, each notionally zero-padded to `width`
+    // (short tail bytes contribute nothing, so padding is implicit).
+    std::vector<std::uint8_t> p(width, 0);
+    for (const std::vector<std::uint8_t>& s : stripes) {
+      for (std::size_t b = 0; b < s.size(); ++b) p[b] ^= s[b];
+    }
+    stripes.push_back(std::move(p));
+  }
+  return stripes;
+}
+
+std::vector<std::uint8_t> reassemble_stripes(
+    std::span<const std::vector<std::uint8_t>> stripes,
+    std::size_t data_stripes, std::size_t payload_bytes, int missing) {
+  if (data_stripes == 0 || stripes.size() < data_stripes) {
+    throw std::invalid_argument("reassemble_stripes: too few stripes");
+  }
+  const std::size_t width =
+      (payload_bytes + data_stripes - 1) / data_stripes;
+  std::vector<std::uint8_t> recovered;
+  if (missing >= 0) {
+    if (static_cast<std::size_t>(missing) >= data_stripes) {
+      throw std::invalid_argument(
+          "reassemble_stripes: missing index out of range");
+    }
+    if (stripes.size() < data_stripes + 1) {
+      throw std::invalid_argument(
+          "reassemble_stripes: parity stripe required to reconstruct");
+    }
+    recovered.assign(width, 0);
+    for (std::size_t i = 0; i <= data_stripes; ++i) {
+      if (static_cast<int>(i) == missing) continue;
+      const std::vector<std::uint8_t>& s = stripes[i];
+      for (std::size_t b = 0; b < s.size(); ++b) recovered[b] ^= s[b];
+    }
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(payload_bytes);
+  for (std::size_t i = 0; i < data_stripes && out.size() < payload_bytes;
+       ++i) {
+    const std::vector<std::uint8_t>& s =
+        static_cast<int>(i) == missing ? recovered : stripes[i];
+    const std::size_t take =
+        std::min(payload_bytes - out.size(),
+                 static_cast<int>(i) == missing ? width : s.size());
+    out.insert(out.end(), s.begin(),
+               s.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  if (out.size() != payload_bytes) {
+    throw std::invalid_argument(
+        "reassemble_stripes: stripes shorter than payload");
+  }
+  return out;
+}
+
+StripedPlanner::StripedPlanner(StripeOptions options,
+                               std::shared_ptr<ScheduleCache> cache)
+    : options_(options), cache_(std::move(cache)) {}
+
+std::shared_ptr<const core::MulticastSchedule> StripedPlanner::serve_tree(
+    const core::MulticastRequest& request, hcube::Dim tree) const {
+  if (cache_ == nullptr) {
+    return finalized(core::build_ist_tree(request.topo, tree, request.source,
+                                          request.destinations));
+  }
+  // The serving pipeline's two-level scheme, one instance per tree: the
+  // relative IST tree caches under the canonical relative chain (built
+  // once per chain shape, shared by every source), and each materialized
+  // translation under its absolute identity (epoch-immune pure copy).
+  StripedTls& tls = striped_tls();
+  const core::NodeId mask = request.source;
+  core::canonical_key_into(request.topo, request.source, request.destinations,
+                           ist_algo_id(tree), /*absolute=*/mask != 0,
+                           cache_->config().hash_seed, tls.key);
+  if (mask != 0) {
+    if (auto hit = cache_->get(tls.key)) return hit;
+    core::rekey(tls.key, /*absolute=*/false, 0);
+  }
+  auto rel = cache_->get(tls.key);
+  if (rel == nullptr) {
+    core::relative_chain_from_key(request.topo, tls.key, tls.chain);
+    auto built = finalized(core::build_ist_tree0(
+        request.topo, tree,
+        std::span<const core::NodeId>(tls.chain.data() + 1,
+                                      tls.chain.size() - 1)));
+    cache_->put(tls.key, built);
+    rel = std::move(built);
+  }
+  if (mask == 0) return rel;
+  auto out = std::make_shared<core::MulticastSchedule>(request.topo,
+                                                       request.source);
+  out->assign_translated(*rel, mask);
+  out->finalize();
+  core::rekey(tls.key, /*absolute=*/true, mask);
+  cache_->put(tls.key, out, ScheduleCache::kEpochImmune);
+  return out;
+}
+
+StripedPlan StripedPlanner::plan(const core::MulticastRequest& request,
+                                 std::size_t payload_bytes) const {
+  HYPERCAST_OBS_SPAN("striped.plan");
+  request.validate();
+  const hcube::Dim n = core::ist_tree_count(request.topo);
+  const bool parity = options_.parity && n >= 2;
+  StripedPlan plan;
+  plan.striped = true;
+  plan.payload_bytes = payload_bytes;
+  plan.data_stripes = parity ? static_cast<std::size_t>(n) - 1
+                             : static_cast<std::size_t>(n);
+  plan.stripe_bytes = std::max<std::size_t>(
+      1, (payload_bytes + plan.data_stripes - 1) / plan.data_stripes);
+  plan.parity_tree = parity ? static_cast<int>(n) - 1 : -1;
+  plan.trees.reserve(n);
+  for (hcube::Dim t = 0; t < n; ++t) {
+    plan.trees.push_back(serve_tree(request, t));
+  }
+  bump("striped.plans");
+  return plan;
+}
+
+StripedPlan StripedPlanner::plan(const core::MulticastRequest& request,
+                                 std::size_t payload_bytes,
+                                 const fault::FaultSet& faults) const {
+  StripedPlan out = plan(request, payload_bytes);
+  // Which trees does the fault set actually touch? Every tree arc is a
+  // single hop, so blocked_unicasts counts exactly the tree edges that
+  // land on a failed resource. A single link fault has two directed
+  // arcs and can therefore hit two different trees.
+  //
+  // A tree whose *root* arc is blocked gets priority for the parity
+  // drop: an IST root has exactly one child, so on a spanning request
+  // nothing below it has delivered when the repair runs and no detour
+  // relay is usable — repair_schedule cannot fix it (it throws).
+  // Dropping it onto the parity stripe is the only degraded-mode
+  // delivery for that stripe.
+  std::vector<std::size_t> blocked(out.trees.size(), 0);
+  std::vector<char> root_blocked(out.trees.size(), 0);
+  int worst = -1;
+  for (std::size_t t = 0; t < out.trees.size(); ++t) {
+    blocked[t] = fault::blocked_unicasts(*out.trees[t], faults);
+    if (blocked[t] == 0) continue;
+    for (const core::Send& s : out.trees[t]->sends_from(request.source)) {
+      if (faults.path_blocked(request.source, s.to)) root_blocked[t] = 1;
+    }
+    const bool wins =
+        worst < 0 || (root_blocked[t] && !root_blocked[worst]) ||
+        (root_blocked[t] == root_blocked[worst] && blocked[t] > blocked[worst]);
+    if (wins) worst = static_cast<int>(t);
+  }
+  if (worst < 0) return out;  // fault-free replay: nothing to do
+  bump("striped.fault_plans");
+  if (out.parity_tree >= 0) {
+    // Parity buys exactly one tree's worth of loss: drop the
+    // most-affected tree outright (receivers reconstruct its stripe by
+    // XOR — dropping the parity tree itself is the degenerate case
+    // where nothing needs reconstructing) and spare it the detour
+    // repairs below.
+    out.dropped_tree = worst;
+    bump("striped.dropped_trees");
+  }
+  for (std::size_t t = 0; t < out.trees.size(); ++t) {
+    if (blocked[t] == 0 || static_cast<int>(t) == out.dropped_tree) continue;
+    fault::FaultAwareResult repaired = fault::repair_schedule(
+        *out.trees[t], request.destinations, faults);
+    out.trees[t] = finalized(std::move(repaired.schedule));
+    ++out.repaired_trees;
+  }
+  bump("striped.repaired_trees", out.repaired_trees);
+  return out;
+}
+
+}  // namespace hypercast::coll

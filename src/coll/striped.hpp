@@ -1,0 +1,132 @@
+#ifndef HYPERCAST_COLL_STRIPED_HPP
+#define HYPERCAST_COLL_STRIPED_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coll/schedule_cache.hpp"
+#include "core/channel_load.hpp"
+#include "core/ist.hpp"
+#include "fault/fault_set.hpp"
+#include "sim/wormhole_sim.hpp"
+
+namespace hypercast::coll {
+
+/// Striped collectives: split a large payload into n stripes and send
+/// them down the n arc-disjoint spanning trees of core/ist.hpp as
+/// simultaneous all-port jobs. A single tree caps effective broadcast
+/// bandwidth at one tree's arc capacity; the n trees share no directed
+/// channel, so for payloads well above n flits the striped launch
+/// approaches n times the single-tree figure (docs/STRIPING.md has the
+/// model and ablation_striping the DES measurements).
+///
+/// Fault tolerance rides along nearly for free: with `parity` set, the
+/// payload splits into n-1 data stripes and tree n-1 carries their XOR.
+/// Any single lost stripe is reconstructible, so when a fault epoch
+/// lands, the planner *drops* the most-affected tree outright (its
+/// stripe is recovered from parity at the receivers) and only trees
+/// beyond that one pay for detour repairs.
+struct StripeOptions {
+  /// Payloads below this stay on the latency-optimal single-tree path
+  /// (ServePipeline::serve_striped): an n-way split of a small message
+  /// pays n send startups to save almost no streaming time —
+  /// ablation_striping locates the crossover.
+  std::size_t threshold_bytes = 64 * 1024;
+  /// Reserve one tree for the XOR parity stripe (1-fault-tolerant
+  /// delivery). Needs dim >= 2; ignored below that.
+  bool parity = false;
+};
+
+/// A planned (possibly degraded) striped collective.
+struct StripedPlan {
+  bool striped = false;          ///< false: single-tree fallback
+  std::size_t payload_bytes = 0;
+  std::size_t stripe_bytes = 0;  ///< per-tree message size (ceil split)
+  std::size_t data_stripes = 1;  ///< stripes carrying payload bytes
+  int parity_tree = -1;          ///< tree index carrying the XOR stripe
+  int dropped_tree = -1;         ///< fault-swapped-out tree (stripe
+                                 ///< reconstructed from parity)
+  std::size_t repaired_trees = 0;  ///< trees patched by detour repair
+
+  /// One finalized schedule per tree (tree index = stripe index; a
+  /// non-striped plan holds exactly one). The dropped tree's slot stays
+  /// populated (callers may inspect it) but jobs() skips it.
+  std::vector<std::shared_ptr<const core::MulticastSchedule>> trees;
+
+  std::size_t active_trees() const {
+    return trees.size() - (dropped_tree >= 0 ? 1 : 0);
+  }
+
+  /// Expand into simultaneous DES jobs launching at `start`, each
+  /// carrying stripe_bytes (the per-job override in sim::CollectiveJob).
+  std::vector<sim::CollectiveJob> jobs(sim::SimTime start = 0) const;
+
+  /// The union arc footprint of the active trees — how a striped launch
+  /// presents itself to CoScheduler::plan_footprints (one candidate
+  /// whose footprint sums its trees'; for fault-free IST trees the arcs
+  /// are disjoint, so self_max stays at the per-tree value).
+  core::ArcFootprint union_footprint() const;
+};
+
+/// Byte-level stripe split: `data_stripes` slices of ceil(size /
+/// data_stripes) bytes (the last one short), plus — with `parity` — one
+/// XOR stripe over the zero-padded data stripes. This is the data-plane
+/// contract the schedules' address fields describe; the DES models the
+/// transfer, these helpers are what an implementation (and the tests)
+/// round-trip.
+std::vector<std::vector<std::uint8_t>> split_stripes(
+    std::span<const std::uint8_t> payload, std::size_t data_stripes,
+    bool parity);
+
+/// Reassemble the original payload. With `missing` >= 0, that data
+/// stripe's bytes are reconstructed by XORing the parity stripe (which
+/// must be present at index data_stripes) with the surviving stripes.
+std::vector<std::uint8_t> reassemble_stripes(
+    std::span<const std::vector<std::uint8_t>> stripes,
+    std::size_t data_stripes, std::size_t payload_bytes, int missing = -1);
+
+/// Plans striped collectives, consulting a ScheduleCache when attached:
+/// each tree caches as a *relative* schedule under its own per-tree
+/// algorithm id (IST construction is translation-invariant, so one
+/// cached tree serves every source via XOR materialization, exactly
+/// like the serving pipeline's chain algorithms).
+class StripedPlanner {
+ public:
+  explicit StripedPlanner(StripeOptions options = {},
+                          std::shared_ptr<ScheduleCache> cache = nullptr);
+
+  const StripeOptions& options() const { return options_; }
+
+  /// Plan `payload_bytes` across the dim trees (the threshold is the
+  /// pipeline's concern, not the planner's). Requires dim >= 2 with
+  /// parity, dim >= 1 without. Validates the request.
+  StripedPlan plan(const core::MulticastRequest& request,
+                   std::size_t payload_bytes) const;
+
+  /// Degraded-mode plan: trees whose sends a fault blocks are swapped
+  /// onto the parity stripe or patched by fault::repair_schedule
+  /// detours. The drop goes to a tree whose root arc is blocked when
+  /// one exists (an IST root has a single child, so on a spanning
+  /// request such a tree has no usable detour relay and cannot be
+  /// repaired), otherwise to the most-blocked tree. Repaired trees lose
+  /// arc-disjointness from the others — the price of delivery, counted
+  /// in repaired_trees. Throws fault::UnrepairableFault when a stripe
+  /// can neither be repaired nor dropped (e.g. two root-blocked trees
+  /// and one parity stripe) or a destination is dead.
+  StripedPlan plan(const core::MulticastRequest& request,
+                   std::size_t payload_bytes,
+                   const fault::FaultSet& faults) const;
+
+ private:
+  std::shared_ptr<const core::MulticastSchedule> serve_tree(
+      const core::MulticastRequest& request, hcube::Dim tree) const;
+
+  StripeOptions options_;
+  std::shared_ptr<ScheduleCache> cache_;
+};
+
+}  // namespace hypercast::coll
+
+#endif  // HYPERCAST_COLL_STRIPED_HPP

@@ -79,4 +79,31 @@ ArcFootprint arc_footprint(const Topology& topo,
   return fp;
 }
 
+ArcFootprint merge_footprints(std::span<const ArcFootprint> parts) {
+  ArcFootprint out;
+  if (parts.size() == 1) return parts.front();
+  // Each part's arc list is already sorted; concatenate and re-encode
+  // (k-way merging buys nothing at co-scheduler batch sizes).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> all;
+  std::size_t total = 0;
+  for (const ArcFootprint& p : parts) total += p.arcs.size();
+  all.reserve(total);
+  for (const ArcFootprint& p : parts) {
+    all.insert(all.end(), p.arcs.begin(), p.arcs.end());
+  }
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size();) {
+    std::uint32_t count = 0;
+    std::size_t j = i;
+    while (j < all.size() && all[j].first == all[i].first) {
+      count += all[j].second;
+      ++j;
+    }
+    out.arcs.emplace_back(all[i].first, count);
+    out.self_max = std::max(out.self_max, count);
+    i = j;
+  }
+  return out;
+}
+
 }  // namespace hypercast::core

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -58,6 +59,13 @@ struct ArcFootprint {
 /// footprint. The schedule must belong to `topo` (same dimension).
 ArcFootprint arc_footprint(const Topology& topo,
                            const MulticastSchedule& schedule);
+
+/// The union footprint of several schedules launched as one unit:
+/// per-arc multiplicities summed, self_max recomputed. This is how a
+/// striped collective (n trees in flight at once) presents itself to
+/// the co-scheduler — one candidate whose footprint is the sum of its
+/// trees'. Arc-disjoint parts merge with self_max = max over parts.
+ArcFootprint merge_footprints(std::span<const ArcFootprint> parts);
 
 /// A reusable flat per-arc load accumulator — the dense counter array
 /// analyze_channel_load keeps internally, promoted to a shared data

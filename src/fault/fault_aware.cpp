@@ -251,6 +251,15 @@ FaultAwareResult fault_aware_multicast(const core::AlgorithmEntry& base,
   return repair_schedule(base.build(request), request.destinations, faults);
 }
 
+std::size_t blocked_unicasts(const core::MulticastSchedule& schedule,
+                             const FaultSet& faults) {
+  std::size_t blocked = 0;
+  for (const core::Unicast& u : schedule.unicasts()) {
+    if (faults.path_blocked(u.from, u.to)) ++blocked;
+  }
+  return blocked;
+}
+
 core::AlgorithmEntry fault_aware_entry(
     const core::AlgorithmEntry& base, std::shared_ptr<const FaultSet> faults) {
   auto build = base.build;

@@ -78,6 +78,14 @@ FaultAwareResult fault_aware_multicast(const core::AlgorithmEntry& base,
                                        const core::MulticastRequest& request,
                                        const FaultSet& faults);
 
+/// Number of unicasts in `schedule` whose E-cube route crosses a failed
+/// arc or dead node (endpoints included) — 0 means the schedule can
+/// replay unrepaired under `faults`. The striping layer uses this to
+/// pick which trees a fault epoch actually touched (and, with a parity
+/// stripe, which single tree to drop instead of repairing).
+std::size_t blocked_unicasts(const core::MulticastSchedule& schedule,
+                             const FaultSet& faults);
+
 /// Wrap a registered algorithm into a fault-aware registry entry named
 /// "<name>-ft" (display "<Display>+FT") that builds and repairs against
 /// the captured fault set.

@@ -75,6 +75,14 @@ class DeliveryMap {
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
+  /// Drop every entry but keep both allocations — a job loop replaying
+  /// many collectives (e.g. the n jobs of a striped launch) refills the
+  /// same map with zero further heap traffic.
+  void clear() {
+    entries_.clear();
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+  }
+
   /// Iteration in insertion order over packed (node, time) pairs.
   const_iterator begin() const { return entries_.begin(); }
   const_iterator end() const { return entries_.end(); }

@@ -108,11 +108,13 @@ class Engine {
   /// free from other work.
   void start_node(std::size_t job, hcube::NodeId node, SimTime ready) {
     SimTime cpu = std::max(cpu_free_[node], ready);
+    const std::size_t bytes = jobs_[job].message_bytes != 0
+                                  ? jobs_[job].message_bytes
+                                  : config_.message_bytes;
     for (const core::Send& send : jobs_[job].schedule->sends_from(node)) {
       const SimTime issue = cpu;
       cpu += config_.cost.send_startup;
-      const MessageId id =
-          worms_.inject(node, send.to, config_.message_bytes, cpu);
+      const MessageId id = worms_.inject(node, send.to, bytes, cpu);
       if (worms_.recording_traces()) worms_.trace(id).issue = issue;
       job_of_.push_back(static_cast<std::uint32_t>(job));
       ++result_.stats.messages;

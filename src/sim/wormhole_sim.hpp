@@ -57,6 +57,10 @@ struct SimResult {
 struct CollectiveJob {
   const core::MulticastSchedule* schedule = nullptr;
   SimTime start = 0;  ///< when the source's processor begins sending
+  /// Per-job message size; 0 inherits SimConfig::message_bytes. Striped
+  /// collectives launch n trees each carrying payload/n bytes, so jobs
+  /// in one run legitimately differ in size.
+  std::size_t message_bytes = 0;
 };
 
 /// Outcome of simulating several multicasts over one network.

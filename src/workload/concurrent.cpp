@@ -1,6 +1,7 @@
 #include "workload/concurrent.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace hypercast::workload {
@@ -149,6 +150,26 @@ std::vector<ConcurrentRequest> hot_spot_mix(const Topology& topo,
     out.push_back(std::move(r));
   }
   return out;
+}
+
+void assign_log_uniform_payloads(std::span<ConcurrentRequest> requests,
+                                 std::size_t min_bytes,
+                                 std::size_t max_bytes, Rng& rng) {
+  if (min_bytes < 1 || min_bytes > max_bytes) {
+    throw std::invalid_argument(
+        "assign_log_uniform_payloads: need 1 <= min_bytes <= max_bytes");
+  }
+  const double lo = std::log2(static_cast<double>(min_bytes));
+  const double hi = std::log2(static_cast<double>(max_bytes));
+  for (ConcurrentRequest& r : requests) {
+    // 53 uniform mantissa bits -> u in [0, 1); exponentiate so each
+    // octave of [min, max] is equally likely.
+    const double u =
+        static_cast<double>(rng() >> 11) * 0x1.0p-53;
+    const double bytes = std::exp2(lo + u * (hi - lo));
+    r.payload_bytes = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::llround(bytes)), min_bytes, max_bytes);
+  }
 }
 
 }  // namespace hypercast::workload

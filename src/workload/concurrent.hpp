@@ -2,6 +2,7 @@
 #define HYPERCAST_WORKLOAD_CONCURRENT_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "workload/random_sets.hpp"
@@ -20,6 +21,11 @@ struct ConcurrentRequest {
   std::vector<NodeId> destinations;
   std::uint64_t arrival_ns = 0;  ///< offset from the batch epoch
   int tenant = 0;                ///< generator-specific grouping tag
+  /// Message payload size; 0 = use the experiment's configured size.
+  /// Mixed sizes drive the striping threshold study: requests at or
+  /// above ServePipeline's stripe threshold take the n-tree path while
+  /// the small ones stay on a single tree.
+  std::size_t payload_bytes = 0;
 };
 
 /// Multi-tenant mix: `tenants` tenants, each anchored in its own
@@ -53,6 +59,15 @@ std::vector<ConcurrentRequest> hot_spot_mix(const Topology& topo,
                                             std::size_t requests,
                                             std::size_t dests,
                                             std::size_t hot_nodes, Rng& rng);
+
+/// Assign each request a payload size drawn log-uniformly from
+/// [min_bytes, max_bytes] — the classic heavy-mix model where most
+/// messages are small but most *bytes* ride the large ones, which is
+/// the regime that makes a striping threshold worth tuning. min_bytes
+/// must be >= 1 and <= max_bytes. Deterministic in the Rng.
+void assign_log_uniform_payloads(std::span<ConcurrentRequest> requests,
+                                 std::size_t min_bytes,
+                                 std::size_t max_bytes, Rng& rng);
 
 }  // namespace hypercast::workload
 

@@ -1,0 +1,235 @@
+// The arc-disjoint spanning-tree construction (core/ist.hpp): exhaustive
+// proof on small cubes that the n trees are pairwise arc-disjoint, each
+// spans every destination, every edge is a single hop, and translation /
+// pruning preserve all of it. These are the invariants the striping
+// layer's bandwidth claim rests on.
+
+#include "core/ist.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hcube/bits.hpp"
+#include "workload/random_sets.hpp"
+
+namespace {
+
+using namespace hypercast;
+using core::MulticastSchedule;
+using hcube::Dim;
+using hcube::NodeId;
+using hcube::Topology;
+
+std::vector<NodeId> broadcast_dests(const Topology& topo, NodeId source) {
+  std::vector<NodeId> dests;
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    if (u != source) dests.push_back(u);
+  }
+  return dests;
+}
+
+std::vector<const MulticastSchedule*> pointers(
+    const std::vector<MulticastSchedule>& trees) {
+  std::vector<const MulticastSchedule*> ptrs;
+  for (const auto& t : trees) ptrs.push_back(&t);
+  return ptrs;
+}
+
+TEST(IstParent, RuleOnSmallCube) {
+  const Topology topo(3);
+  // Tree 0: 1's parent is the root; even nodes hang off v | 1; odd
+  // nodes (!= 1) clear their first set bit scanning cyclically from 1.
+  EXPECT_EQ(core::ist_parent0(topo, 0, 0b001), 0u);
+  EXPECT_EQ(core::ist_parent0(topo, 0, 0b010), 0b011u);
+  EXPECT_EQ(core::ist_parent0(topo, 0, 0b100), 0b101u);
+  EXPECT_EQ(core::ist_parent0(topo, 0, 0b011), 0b001u);  // clears bit 1
+  EXPECT_EQ(core::ist_parent0(topo, 0, 0b101), 0b001u);  // clears bit 2
+  EXPECT_EQ(core::ist_parent0(topo, 0, 0b111), 0b101u);  // bit 1 first
+  // Tree 2 scans 0, 1 after its own dimension.
+  EXPECT_EQ(core::ist_parent0(topo, 2, 0b100), 0u);
+  EXPECT_EQ(core::ist_parent0(topo, 2, 0b101), 0b100u);
+  EXPECT_EQ(core::ist_parent0(topo, 2, 0b111), 0b110u);
+}
+
+TEST(IstParent, EveryChainReachesRoot) {
+  for (Dim n = 1; n <= 6; ++n) {
+    const Topology topo(n);
+    for (Dim tree = 0; tree < n; ++tree) {
+      for (NodeId v = 1; v < topo.num_nodes(); ++v) {
+        NodeId cur = v;
+        int hops = 0;
+        while (cur != 0) {
+          const NodeId parent = core::ist_parent0(topo, tree, cur);
+          ASSERT_EQ(topo.distance(parent, cur), 1)
+              << "n=" << n << " tree=" << tree << " v=" << v;
+          cur = parent;
+          ASSERT_LE(++hops, n + 1) << "depth bound violated";
+        }
+      }
+    }
+  }
+}
+
+// The counting identity behind the whole design: the n full trees
+// together use every directed arc of the cube except the n entering the
+// root — n * (2^n - 1) arcs, no clashes.
+TEST(IstFullTrees, ExhaustiveArcDisjointAndSpanning) {
+  for (Dim n = 1; n <= 6; ++n) {
+    const Topology topo(n);
+    std::vector<MulticastSchedule> trees;
+    for (Dim t = 0; t < n; ++t) {
+      trees.push_back(core::build_ist_tree0(topo, t));
+      EXPECT_NO_THROW(trees.back().validate());
+      EXPECT_TRUE(trees.back().covers(broadcast_dests(topo, 0)));
+      EXPECT_EQ(trees.back().num_unicasts(), topo.num_nodes() - 1);
+    }
+    const auto ptrs = pointers(trees);
+    const auto report = core::verify_arc_disjoint(
+        topo, std::span<const MulticastSchedule* const>(ptrs));
+    EXPECT_TRUE(report.disjoint) << report.summary(topo);
+    EXPECT_EQ(report.arcs_used,
+              static_cast<std::size_t>(n) * (topo.num_nodes() - 1));
+    // No tree uses an arc entering the root (those n arcs are the only
+    // ones left over; a fault on a root link touches exactly one tree).
+    for (const auto& tree : trees) {
+      for (const core::Unicast& u : tree.unicasts()) {
+        EXPECT_NE(u.to, 0u);
+      }
+    }
+  }
+}
+
+// The acceptance-criterion case, spelled out: every source of the
+// 4-cube, full broadcast, all four trees pairwise arc-disjoint and
+// spanning.
+TEST(IstTranslated, Exhaustive4CubeEverySource) {
+  const Topology topo(4);
+  for (NodeId source = 0; source < topo.num_nodes(); ++source) {
+    const auto dests = broadcast_dests(topo, source);
+    std::vector<MulticastSchedule> trees;
+    for (Dim t = 0; t < 4; ++t) {
+      trees.push_back(core::build_ist_tree(topo, t, source, dests));
+      ASSERT_NO_THROW(trees.back().validate());
+      ASSERT_EQ(trees.back().source(), source);
+      ASSERT_TRUE(trees.back().covers(dests));
+      for (const core::Unicast& u : trees.back().unicasts()) {
+        ASSERT_EQ(topo.distance(u.from, u.to), 1);
+      }
+    }
+    const auto ptrs = pointers(trees);
+    const auto report = core::verify_arc_disjoint(
+        topo, std::span<const MulticastSchedule* const>(ptrs));
+    ASSERT_TRUE(report.disjoint)
+        << "source " << source << ": " << report.summary(topo);
+    ASSERT_EQ(report.arcs_used, 4u * 15u);
+  }
+}
+
+// Translation is the cache's XOR machinery: building rooted at s must
+// be bit-identical to relabeling the relative tree.
+TEST(IstTranslated, MatchesAssignTranslated) {
+  const Topology topo(5);
+  workload::Rng rng(0x157);
+  for (int trial = 0; trial < 8; ++trial) {
+    const NodeId source = static_cast<NodeId>(rng() % topo.num_nodes());
+    const auto dests = workload::random_destinations(topo, source, 12, rng);
+    std::vector<NodeId> relative;
+    for (const NodeId d : dests) relative.push_back(d ^ source);
+    for (Dim t = 0; t < 5; ++t) {
+      const MulticastSchedule direct =
+          core::build_ist_tree(topo, t, source, dests);
+      const MulticastSchedule rel = core::build_ist_tree0(topo, t, relative);
+      MulticastSchedule translated(topo, source);
+      translated.assign_translated(rel, source);
+      EXPECT_TRUE(direct == translated);
+    }
+  }
+}
+
+TEST(IstPruned, CoversExactlyTheMarkedSubtreeAndStaysDisjoint) {
+  const Topology topo(6);
+  workload::Rng rng(0xbeef);
+  for (int trial = 0; trial < 6; ++trial) {
+    const NodeId source = static_cast<NodeId>(rng() % topo.num_nodes());
+    const auto dests = workload::random_destinations(topo, source, 17, rng);
+    std::vector<MulticastSchedule> trees;
+    for (Dim t = 0; t < 6; ++t) {
+      trees.push_back(core::build_ist_tree(topo, t, source, dests));
+      ASSERT_NO_THROW(trees.back().validate());
+      ASSERT_TRUE(trees.back().covers(dests));
+      // Pruning keeps destinations plus ancestors only: every leaf of
+      // the pruned tree must be a requested destination.
+      std::vector<char> sends(topo.num_nodes(), 0);
+      for (const core::Unicast& u : trees.back().unicasts()) {
+        sends[u.from] = 1;
+      }
+      for (const NodeId r : trees.back().recipients()) {
+        if (!sends[r]) {
+          ASSERT_TRUE(std::find(dests.begin(), dests.end(), r) != dests.end())
+              << "leaf " << r << " is not a destination";
+        }
+      }
+    }
+    const auto ptrs = pointers(trees);
+    const auto report = core::verify_arc_disjoint(
+        topo, std::span<const MulticastSchedule* const>(ptrs));
+    ASSERT_TRUE(report.disjoint) << report.summary(topo);
+  }
+}
+
+// Payload semantics: each send's address field lists exactly the
+// recipients in the child's subtree (its strict descendants).
+TEST(IstSchedule, PayloadsAreStrictDescendants) {
+  const Topology topo(4);
+  for (Dim t = 0; t < 4; ++t) {
+    const MulticastSchedule tree = core::build_ist_tree0(topo, t);
+    for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+      for (const core::Send& send : tree.sends_from(u)) {
+        // Everything in the payload must have a parent chain through
+        // send.to.
+        for (const NodeId p : send.payload) {
+          NodeId cur = p;
+          bool through = false;
+          while (cur != 0) {
+            cur = core::ist_parent0(topo, t, cur);
+            if (cur == send.to) {
+              through = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(through) << "payload node " << p
+                               << " not below child " << send.to;
+        }
+      }
+    }
+  }
+}
+
+TEST(IstVerifier, DetectsAClash) {
+  const Topology topo(3);
+  MulticastSchedule a = core::build_ist_tree0(topo, 0);
+  MulticastSchedule b = core::build_ist_tree0(topo, 0);  // same tree twice
+  const MulticastSchedule* ptrs[] = {&a, &b};
+  const auto report = core::verify_arc_disjoint(
+      topo, std::span<const MulticastSchedule* const>(ptrs, 2));
+  EXPECT_FALSE(report.disjoint);
+  EXPECT_EQ(report.first_tree, 0);
+  EXPECT_EQ(report.second_tree, 1);
+  EXPECT_FALSE(report.summary(topo).empty());
+}
+
+TEST(IstErrors, RejectsBadArguments) {
+  const Topology topo(3);
+  EXPECT_THROW(core::build_ist_tree0(topo, 3), std::invalid_argument);
+  EXPECT_THROW(core::build_ist_tree0(topo, -1), std::invalid_argument);
+  const NodeId bad[] = {8};
+  EXPECT_THROW(core::build_ist_tree0(topo, 0, bad), std::invalid_argument);
+  const NodeId zero[] = {0};
+  EXPECT_THROW(core::build_ist_tree0(topo, 0, zero), std::invalid_argument);
+  EXPECT_THROW(core::build_ist_tree(topo, 0, 9, {}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,376 @@
+// The striping layer (coll/striped.hpp): payload split/reassembly with
+// XOR parity, plan correctness over the IST trees, equivalence of the
+// striped delivery set with single-tree delivery under the DES, the
+// bandwidth win it exists for, cache integration, and the fault-epoch
+// swap semantics (drop onto parity vs detour repair).
+
+#include "coll/striped.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coll/serve_pipeline.hpp"
+#include "core/ist.hpp"
+#include "fault/fault_aware.hpp"
+#include "workload/concurrent.hpp"
+#include "workload/random_sets.hpp"
+
+namespace {
+
+using namespace hypercast;
+using coll::ScheduleCache;
+using coll::StripedPlan;
+using coll::StripedPlanner;
+using coll::StripeOptions;
+using core::MulticastRequest;
+using core::MulticastSchedule;
+using hcube::Dim;
+using hcube::NodeId;
+using hcube::Topology;
+
+std::vector<NodeId> broadcast_dests(const Topology& topo, NodeId source) {
+  std::vector<NodeId> dests;
+  for (NodeId u = 0; u < topo.num_nodes(); ++u) {
+    if (u != source) dests.push_back(u);
+  }
+  return dests;
+}
+
+std::vector<std::uint8_t> pattern_payload(std::size_t n) {
+  std::vector<std::uint8_t> payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  }
+  return payload;
+}
+
+TEST(StripeBytes, SplitReassembleRoundtrip) {
+  for (const std::size_t size : {0ul, 1ul, 7ul, 10ul, 64ul, 1000ul}) {
+    const auto payload = pattern_payload(size);
+    for (const std::size_t stripes : {1ul, 3ul, 5ul, 8ul}) {
+      const auto split = coll::split_stripes(payload, stripes, false);
+      ASSERT_EQ(split.size(), stripes);
+      const auto back =
+          coll::reassemble_stripes(split, stripes, payload.size());
+      EXPECT_EQ(back, payload) << "size=" << size << " stripes=" << stripes;
+    }
+  }
+}
+
+TEST(StripeBytes, ParityReconstructsAnySingleMissingStripe) {
+  const auto payload = pattern_payload(1000);
+  for (const std::size_t stripes : {2ul, 3ul, 7ul}) {
+    const auto split = coll::split_stripes(payload, stripes, true);
+    ASSERT_EQ(split.size(), stripes + 1);
+    for (std::size_t missing = 0; missing < stripes; ++missing) {
+      const auto back = coll::reassemble_stripes(
+          split, stripes, payload.size(), static_cast<int>(missing));
+      EXPECT_EQ(back, payload) << "stripes=" << stripes
+                               << " missing=" << missing;
+    }
+  }
+}
+
+TEST(StripeBytes, RejectsBadArguments) {
+  const auto payload = pattern_payload(16);
+  EXPECT_THROW(coll::split_stripes(payload, 0, false), std::invalid_argument);
+  const auto split = coll::split_stripes(payload, 4, false);
+  // Reconstruction without the parity stripe present must refuse.
+  EXPECT_THROW(coll::reassemble_stripes(split, 4, payload.size(), 1),
+               std::invalid_argument);
+  EXPECT_THROW(coll::reassemble_stripes(split, 4, payload.size(), 4),
+               std::invalid_argument);
+}
+
+TEST(StripedPlanTest, FourCubePlanIsDisjointAndCovers) {
+  const Topology topo(4);
+  workload::Rng rng(0x5712);
+  for (int trial = 0; trial < 4; ++trial) {
+    const NodeId source = static_cast<NodeId>(rng() % topo.num_nodes());
+    MulticastRequest request{topo, source,
+                             workload::random_destinations(topo, source, 9,
+                                                           rng)};
+    const StripedPlanner planner;
+    const StripedPlan plan = planner.plan(request, 1 << 20);
+    EXPECT_TRUE(plan.striped);
+    EXPECT_EQ(plan.trees.size(), 4u);
+    EXPECT_EQ(plan.data_stripes, 4u);
+    EXPECT_EQ(plan.parity_tree, -1);
+    EXPECT_EQ(plan.stripe_bytes, (1u << 20) / 4);
+    EXPECT_EQ(plan.jobs().size(), 4u);
+    std::vector<const MulticastSchedule*> ptrs;
+    for (const auto& t : plan.trees) {
+      ASSERT_TRUE(t->covers(request.destinations));
+      ptrs.push_back(t.get());
+    }
+    const auto report = core::verify_arc_disjoint(
+        topo, std::span<const MulticastSchedule* const>(ptrs));
+    EXPECT_TRUE(report.disjoint) << report.summary(topo);
+    // The union footprint the co-scheduler sees: disjoint trees merge
+    // without any arc's multiplicity exceeding the per-tree max.
+    const core::ArcFootprint fp = plan.union_footprint();
+    EXPECT_EQ(fp.self_max, 1u);
+    std::size_t parts_total = 0;
+    for (const auto* t : ptrs) {
+      parts_total += core::arc_footprint(topo, *t).total_crossings();
+    }
+    EXPECT_EQ(fp.total_crossings(), parts_total);
+  }
+}
+
+// Striped delivery must reach exactly what the single-tree serve
+// reaches: every destination, in every stripe's job, under the DES.
+TEST(StripedPlanTest, DeliverySetMatchesSingleTreeUnderDes) {
+  const Topology topo(5);
+  workload::Rng rng(0xdead);
+  const NodeId source = 11;
+  MulticastRequest request{topo, source,
+                           workload::random_destinations(topo, source, 14,
+                                                         rng)};
+  const coll::ServePipeline single("wsort", nullptr);
+  sim::SimConfig config;
+
+  const auto tree = single.serve(request);
+  const sim::SimResult single_result = sim::simulate_multicast(*tree, config);
+  for (const NodeId d : request.destinations) {
+    ASSERT_TRUE(single_result.delivery.contains(d));
+  }
+
+  const StripedPlan plan = StripedPlanner().plan(request, 1 << 20);
+  const auto jobs = plan.jobs();
+  const sim::MultiSimResult striped_result =
+      sim::simulate_collectives(jobs, config);
+  ASSERT_EQ(striped_result.per_job.size(), plan.trees.size());
+  for (const sim::SimResult& r : striped_result.per_job) {
+    for (const NodeId d : request.destinations) {
+      EXPECT_TRUE(r.delivery.contains(d))
+          << "destination " << d << " missed by a stripe";
+    }
+  }
+}
+
+// The reason the layer exists: for payloads far above the startup cost,
+// n trees each streaming payload/n finish several times sooner than one
+// tree streaming the whole payload.
+TEST(StripedPlanTest, LargePayloadBeatsSingleTreeByAtLeast2x) {
+  const Topology topo(6);
+  const NodeId source = 0;
+  MulticastRequest request{topo, source, broadcast_dests(topo, source)};
+  constexpr std::size_t kPayload = 256 * 1024;
+  sim::SimConfig config;
+
+  const coll::ServePipeline single("wsort", nullptr);
+  const auto tree = single.serve(request);
+  const sim::CollectiveJob single_job{tree.get(), 0, kPayload};
+  const sim::SimTime single_makespan =
+      sim::simulate_collectives(std::span(&single_job, 1), config).makespan();
+
+  const StripedPlan plan = StripedPlanner().plan(request, kPayload);
+  const auto jobs = plan.jobs();
+  const sim::SimTime striped_makespan =
+      sim::simulate_collectives(jobs, config).makespan();
+
+  EXPECT_LT(striped_makespan * 2, single_makespan)
+      << "striped " << striped_makespan << "ns vs single " << single_makespan
+      << "ns";
+}
+
+// Cache integration: cached plans are bit-identical to uncached ones,
+// the relative tree is built once per chain shape, and an exact repeat
+// is served from the materialized translation.
+TEST(StripedPlanTest, CachedPlansAreBitIdenticalAndHit) {
+  const Topology topo(5);
+  workload::Rng rng(0xcafe);
+  const NodeId source = 19;
+  MulticastRequest request{topo, source,
+                           workload::random_destinations(topo, source, 10,
+                                                         rng)};
+  auto cache = std::make_shared<ScheduleCache>();
+  const StripedPlanner cached({}, cache);
+  const StripedPlanner uncached;
+
+  const StripedPlan a = cached.plan(request, 1 << 20);
+  const auto stats_cold = cache->stats();
+  EXPECT_EQ(stats_cold.total_hits(), 0u);
+  EXPECT_GT(stats_cold.misses, 0u);
+
+  const StripedPlan b = uncached.plan(request, 1 << 20);
+  ASSERT_EQ(a.trees.size(), b.trees.size());
+  for (std::size_t t = 0; t < a.trees.size(); ++t) {
+    EXPECT_TRUE(*a.trees[t] == *b.trees[t]) << "tree " << t;
+  }
+
+  // Identical repeat: every tree resolves from the absolute
+  // (materialized-translation) level, zero builds.
+  const StripedPlan c = cached.plan(request, 1 << 20);
+  const auto stats_warm = cache->stats();
+  EXPECT_GE(stats_warm.total_hits(), a.trees.size());
+  EXPECT_EQ(stats_warm.misses, stats_cold.misses);
+  for (std::size_t t = 0; t < a.trees.size(); ++t) {
+    EXPECT_TRUE(*a.trees[t] == *c.trees[t]);
+  }
+
+  // A translated source reuses the relative trees: the second source's
+  // misses are only the absolute-level probes, not new relative builds.
+  MulticastRequest translated{topo, static_cast<NodeId>(source ^ 5),
+                             {}};
+  for (const NodeId d : request.destinations) {
+    translated.destinations.push_back(d ^ source ^ translated.source);
+  }
+  const StripedPlan d = cached.plan(translated, 1 << 20);
+  for (std::size_t t = 0; t < d.trees.size(); ++t) {
+    EXPECT_TRUE(*d.trees[t] ==
+                *uncached.plan(translated, 1 << 20).trees[t]);
+  }
+}
+
+TEST(StripedPlanTest, PipelineThresholdFallsBackToSingleTree) {
+  const Topology topo(4);
+  workload::Rng rng(0x42);
+  const NodeId source = 6;
+  MulticastRequest request{topo, source,
+                           workload::random_destinations(topo, source, 7,
+                                                         rng)};
+  const coll::ServePipeline pipeline("wsort", nullptr);
+  StripeOptions options;
+  options.threshold_bytes = 64 * 1024;
+
+  const StripedPlan small = pipeline.serve_striped(request, 512, options);
+  EXPECT_FALSE(small.striped);
+  ASSERT_EQ(small.trees.size(), 1u);
+  EXPECT_EQ(small.stripe_bytes, 512u);
+  EXPECT_TRUE(*small.trees[0] == *pipeline.serve(request));
+  EXPECT_EQ(small.jobs().size(), 1u);
+
+  const StripedPlan large =
+      pipeline.serve_striped(request, 128 * 1024, options);
+  EXPECT_TRUE(large.striped);
+  EXPECT_EQ(large.trees.size(), 4u);
+}
+
+// A mixed-size concurrent batch (log-uniform payloads, the serving
+// workload's shape) routes each request through serve_striped by its
+// own payload: below-threshold requests fall back, above-threshold
+// requests stripe, and the assignment is seed-deterministic.
+TEST(StripedPlanTest, MixedPayloadBatchSplitsAtTheThreshold) {
+  const Topology topo(5);
+  workload::Rng rng(0x5717e);
+  auto requests = workload::multi_tenant_mix(topo, 4, 3, 24, rng);
+  workload::assign_log_uniform_payloads(requests, 256, 1 << 20, rng);
+
+  workload::Rng rng2(0x5717e);
+  auto requests2 = workload::multi_tenant_mix(topo, 4, 3, 24, rng2);
+  workload::assign_log_uniform_payloads(requests2, 256, 1 << 20, rng2);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].payload_bytes, requests2[i].payload_bytes) << i;
+  }
+
+  const coll::ServePipeline pipeline("wsort", nullptr);
+  StripeOptions options;
+  options.threshold_bytes = 64 * 1024;
+  std::size_t striped = 0;
+  std::size_t fallback = 0;
+  for (const workload::ConcurrentRequest& r : requests) {
+    ASSERT_GE(r.payload_bytes, 256u);
+    ASSERT_LE(r.payload_bytes, std::size_t{1} << 20);
+    const MulticastRequest req{topo, r.source, r.destinations};
+    const StripedPlan plan =
+        pipeline.serve_striped(req, r.payload_bytes, options);
+    EXPECT_EQ(plan.striped, r.payload_bytes >= options.threshold_bytes);
+    EXPECT_EQ(plan.trees.size(), plan.striped ? topo.dim() : 1u);
+    (plan.striped ? striped : fallback) += 1;
+  }
+  // Log-uniform over [2^8, 2^20] puts ~1/3 of the mass above 2^16:
+  // both regimes must actually occur or the test proves nothing.
+  EXPECT_GT(striped, 0u);
+  EXPECT_GT(fallback, 0u);
+}
+
+// A root-link fault (a link incident to the source) lives in exactly one
+// tree — the arc entering the root serves no tree at all — so with
+// parity on, the plan drops that tree and repairs nothing.
+TEST(StripedFaults, RootLinkFaultDropsExactlyOneTreeOntoParity) {
+  const Topology topo(4);
+  const NodeId source = 3;
+  MulticastRequest request{topo, source, broadcast_dests(topo, source)};
+  StripeOptions options;
+  options.parity = true;
+
+  fault::FaultSet faults(topo);
+  // The dim-1 link at the source: relative arc 0 -> 2 is tree 1's root
+  // arc; the reverse arc enters the root and belongs to no tree.
+  const NodeId neighbor = source ^ 2;
+  faults.fail_link(std::min(source, neighbor), 1);
+
+  const StripedPlan plan =
+      StripedPlanner(options).plan(request, 1 << 20, faults);
+  EXPECT_EQ(plan.parity_tree, 3);
+  EXPECT_EQ(plan.data_stripes, 3u);
+  EXPECT_EQ(plan.dropped_tree, 1);
+  EXPECT_EQ(plan.repaired_trees, 0u);
+  EXPECT_EQ(plan.jobs().size(), 3u);
+  // The surviving trees replay untouched under the fault set.
+  for (std::size_t t = 0; t < plan.trees.size(); ++t) {
+    if (static_cast<int>(t) == plan.dropped_tree) continue;
+    EXPECT_EQ(fault::blocked_unicasts(*plan.trees[t], faults), 0u);
+  }
+}
+
+// Without parity every affected tree is detour-repaired, and the
+// repaired plan must actually deliver under the simulator's hard fault
+// check (failed arcs are unacquirable).
+TEST(StripedFaults, RepairedPlanDeliversUnderFaultsInDes) {
+  const Topology topo(4);
+  const NodeId source = 0;
+  MulticastRequest request{topo, source, broadcast_dests(topo, source)};
+
+  fault::FaultSet faults(topo);
+  faults.fail_link(0b0101, 1);  // interior link: hits at most two trees
+
+  const StripedPlan plan = StripedPlanner().plan(request, 1 << 20, faults);
+  EXPECT_EQ(plan.dropped_tree, -1);
+  EXPECT_GE(plan.repaired_trees, 1u);
+  EXPECT_LE(plan.repaired_trees, 2u);
+
+  sim::SimConfig config;
+  config.faults = &faults;
+  const auto jobs = plan.jobs();
+  ASSERT_EQ(jobs.size(), 4u);
+  const sim::MultiSimResult result = sim::simulate_collectives(jobs, config);
+  for (const sim::SimResult& r : result.per_job) {
+    for (const NodeId d : request.destinations) {
+      EXPECT_TRUE(r.delivery.contains(d));
+    }
+  }
+}
+
+// A fault that touches nothing leaves the plan identical to fault-free.
+TEST(StripedFaults, UntouchedTreesAreNotRepaired) {
+  const Topology topo(4);
+  const NodeId source = 0;
+  // Narrow destination set: the pruned trees leave most links unused.
+  MulticastRequest request{topo, source, {1, 2}};
+  const StripedPlanner planner;
+  const StripedPlan clean = planner.plan(request, 1 << 20);
+
+  fault::FaultSet faults(topo);
+  faults.fail_link(0b1010, 2);  // far from the pruned trees
+  bool any_blocked = false;
+  for (const auto& t : clean.trees) {
+    if (fault::blocked_unicasts(*t, faults) != 0) any_blocked = true;
+  }
+  ASSERT_FALSE(any_blocked);
+
+  const StripedPlan degraded = planner.plan(request, 1 << 20, faults);
+  EXPECT_EQ(degraded.dropped_tree, -1);
+  EXPECT_EQ(degraded.repaired_trees, 0u);
+  for (std::size_t t = 0; t < clean.trees.size(); ++t) {
+    EXPECT_TRUE(*clean.trees[t] == *degraded.trees[t]);
+  }
+}
+
+}  // namespace

@@ -17,10 +17,12 @@ Usage:
 
 --only restricts the comparison to benchmark names containing SUBSTR
 (applied to both sides; used by CI to gate cached-mode "_cached"
-artifacts against their own baselines only). The threshold can also be
-set via the BENCH_REGRESSION_THRESHOLD environment variable (the flag
-wins). Exit status: 0 pass, 1 regression, 2 usage/IO/malformed-artifact
-error.
+artifacts against their own baselines only). A SUBSTR that matches no
+fresh artifact or no committed baseline is an error (exit 2), not a
+silent pass -- a renamed benchmark must not leave a green gate
+comparing nothing. The threshold can also be set via the
+BENCH_REGRESSION_THRESHOLD environment variable (the flag wins). Exit
+status: 0 pass, 1 regression, 2 usage/IO/malformed-artifact error.
 """
 
 import argparse
@@ -101,6 +103,11 @@ def main() -> int:
         what = (f"artifacts matching {args.only!r}" if args.only
                 else "BENCH_*.json artifacts")
         print(f"error: no {what} in {args.fresh_dir}", file=sys.stderr)
+        return 2
+    if args.only and not baseline:
+        print(f"error: no baselines matching {args.only!r} in "
+              f"{args.baseline_dir} -- an --only gate that compares "
+              f"nothing would pass vacuously", file=sys.stderr)
         return 2
 
     for name in sorted(baseline.keys() - fresh.keys()):

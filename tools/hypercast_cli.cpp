@@ -8,6 +8,7 @@
 //   hypercast_cli compare --n 6 --m 25 --seed 3
 //   hypercast_cli faults --n 6 --faults 0.10 --fault-seed 42
 //   hypercast_cli serve --n 8 --requests 5000 --shapes 4 --threads 4 --cache
+//   hypercast_cli stripe --n 8 --bytes 1048576 --parity --faults 0.05
 //   hypercast_cli stats --n 8 --requests 2048 --trace-out=trace.json
 //
 // Common options: --res high|low, --port one|all|k:<n>, --seed <u64>.
@@ -382,6 +383,89 @@ int cmd_serve(const harness::Options& opts) {
   return 0;
 }
 
+/// Plan a striped delivery (payload split across the n arc-disjoint
+/// spanning trees, coll/striped.hpp) and replay it through the DES next
+/// to the single-tree plan for the same payload. With fault flags, the
+/// degraded-mode planner runs (parity drop + detour repairs) and the
+/// simulator replays against the armed fault set — completion is proof
+/// of delivery. Below --stripe-threshold the pipeline falls back to the
+/// latency-optimal single tree (that's the point of the threshold; use
+/// --stripe-threshold 0 to force striping).
+int cmd_stripe(const harness::Options& opts) {
+  const auto req = request_from(opts);
+  const auto faults = setup_faults(opts, req.topo);
+  const std::size_t bytes =
+      static_cast<std::size_t>(opts.get_int_or("bytes", 1 << 20));
+  coll::StripeOptions stripe_opts;
+  stripe_opts.parity = opts.has("parity");
+  stripe_opts.threshold_bytes = static_cast<std::size_t>(opts.get_int_or(
+      "stripe-threshold", static_cast<long>(stripe_opts.threshold_bytes)));
+
+  const auto cache_opts = opts.cache(/*default_enabled=*/false);
+  std::shared_ptr<coll::ScheduleCache> cache;
+  if (cache_opts.enabled) {
+    coll::ScheduleCache::Config config;
+    config.shards = cache_opts.shards;
+    if (cache_opts.max_bytes != 0) config.max_bytes = cache_opts.max_bytes;
+    cache = std::make_shared<coll::ScheduleCache>(config);
+  }
+  const std::string algo = opts.get_or("algo", "wsort");
+  const coll::ServePipeline pipeline(algo, cache);
+  const coll::StripedPlan plan =
+      faults ? pipeline.serve_striped(req, bytes, stripe_opts, *faults)
+             : pipeline.serve_striped(req, bytes, stripe_opts);
+
+  std::printf("%zu-byte payload to %zu destinations on a %d-cube\n", bytes,
+              req.destinations.size(), req.topo.dim());
+  if (faults) std::printf("faults: %s\n", faults->format().c_str());
+  if (!plan.striped) {
+    std::printf("below --stripe-threshold %zu: single %s tree (%zu unicasts%s)\n",
+                stripe_opts.threshold_bytes, algo.c_str(),
+                plan.trees.front()->num_unicasts(),
+                plan.repaired_trees != 0 ? ", detour-repaired" : "");
+  } else {
+    std::printf(
+        "striped across %zu trees: %zu data stripes x %zu bytes%s\n",
+        plan.trees.size(), plan.data_stripes, plan.stripe_bytes,
+        plan.parity_tree >= 0 ? " + 1 XOR parity stripe" : "");
+    for (std::size_t t = 0; t < plan.trees.size(); ++t) {
+      const char* note = static_cast<int>(t) == plan.dropped_tree
+                             ? "  DROPPED (stripe from parity)"
+                             : static_cast<int>(t) == plan.parity_tree
+                                   ? "  parity"
+                                   : "";
+      std::printf("  tree %zu: %zu unicasts%s\n", t,
+                  plan.trees[t]->num_unicasts(), note);
+    }
+    if (plan.repaired_trees != 0) {
+      std::printf("  detour-repaired trees: %zu\n", plan.repaired_trees);
+    }
+  }
+
+  // DES replay, striped vs the single tree carrying the whole payload.
+  sim::SimConfig config;
+  config.port = opts.port();
+  config.faults = faults.get();
+  const auto jobs = plan.jobs();
+  const double striped_us = sim::to_microseconds(
+      sim::simulate_collectives(jobs, config).makespan());
+  const auto& single_algo = core::find_algorithm(algo);
+  const auto single =
+      build_schedule(single_algo, req, faults.get(), /*print_repairs=*/false);
+  const sim::CollectiveJob single_job{&single, 0, bytes};
+  const double single_us = sim::to_microseconds(
+      sim::simulate_collectives(std::span(&single_job, 1), config).makespan());
+  std::printf(
+      "makespan: striped %.1f us, single %s tree %.1f us (%.2fx)\n"
+      "effective bandwidth: %.2f MB/s striped, %.2f MB/s single\n",
+      striped_us, algo.c_str(), single_us,
+      striped_us > 0.0 ? single_us / striped_us : 0.0,
+      striped_us > 0.0 ? static_cast<double>(bytes) / striped_us : 0.0,
+      single_us > 0.0 ? static_cast<double>(bytes) / single_us : 0.0);
+  finish_stats(opts);
+  return 0;
+}
+
 /// Diagnostic one-stop shop: run a cached serving batch plus a
 /// simulated broadcast with stats collection forced on and print the
 /// registry exposition (JSON by default, --format text for the human
@@ -453,7 +537,8 @@ int cmd_stats(const harness::Options& opts) {
 int usage() {
   std::fputs(
       "usage: hypercast_cli "
-      "<plan|steps|delay|chains|compare|faults|serve|stats> [options]\n"
+      "<plan|steps|delay|chains|compare|faults|serve|stripe|stats> "
+      "[options]\n"
       "  common: --n <dim> (--dests a,b,c | --m <count> [--seed s])\n"
       "          [--source u] [--algo name] [--res high|low]\n"
       "          [--port one|all|k:<n>] [--bytes b]\n"
@@ -463,10 +548,13 @@ int usage() {
       "  faults: [--faults count|rate] [--fault-seed s]\n"
       "          [--fail-links u:d,...] [--fail-nodes a,b]\n"
       "  serve:  --n <dim> [--requests r] [--shapes k] [--m dests]\n"
-      "          [--threads t] [--cache on|off] [--cache-shards n]\n"
-      "          [--cache-bytes b]\n"
-      "  stats:  [--n dim] [--requests r] [--format json|text] — serving\n"
-      "          batch + simulated broadcast with stats forced on\n",
+      "          [--threads t] parallel shard workers\n"
+      "          [--cache on|off] [--cache-shards n] [--cache-bytes b]\n"
+      "  stripe: --n <dim> [--bytes b] [--parity] [--stripe-threshold b]\n"
+      "          [--cache on|off] — payload striped over the n\n"
+      "          arc-disjoint trees vs the single tree, DES-replayed\n"
+      "  stats:  [--n dim] [--requests r] [--format json|text|prom] —\n"
+      "          serving batch + simulated broadcast, stats forced on\n",
       stderr);
   return 2;
 }
@@ -493,6 +581,7 @@ int main(int argc, char** argv) {
     if (cmd == "compare") return cmd_compare(opts);
     if (cmd == "faults") return cmd_faults(opts);
     if (cmd == "serve") return cmd_serve(opts);
+    if (cmd == "stripe") return cmd_stripe(opts);
     if (cmd == "stats") return cmd_stats(opts);
     return usage();
   } catch (const std::exception& e) {
