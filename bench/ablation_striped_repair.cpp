@@ -1,0 +1,190 @@
+// Ablation: the repair-tier ladder under striped fault tolerance
+// (docs/STRIPING.md §3). For seeded random fault draws on 6- and 8-cube
+// broadcasts the degraded planner runs its ladder — drop onto parity,
+// certified disjoint repair, greedy detours — and the DES replays the
+// result with the fault set armed, so every delivery figure here is
+// proof, not assumption. The headline: post-repair effective bandwidth
+// for single-link-fault draws stays within 15% of the fault-free
+// striped baseline (the repaired plan keeps the arc-disjointness the
+// bandwidth multiplier rests on), and k = 2 parity delivers through any
+// two lost stripes.
+//
+// DES virtual-time metrics are bit-deterministic; only the trial counts
+// shrink under --quick. Planning throughput is wall clock and gated.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "coll/striped.hpp"
+#include "fault/fault_aware.hpp"
+#include "harness/bench.hpp"
+#include "metrics/table.hpp"
+#include "sim/wormhole_sim.hpp"
+#include "workload/random_sets.hpp"
+
+namespace {
+
+using namespace hypercast;
+
+std::vector<hcube::NodeId> broadcast_dests(const hcube::Topology& topo) {
+  std::vector<hcube::NodeId> dests;
+  for (hcube::NodeId u = 1; u < topo.num_nodes(); ++u) dests.push_back(u);
+  return dests;
+}
+
+fault::FaultSet random_link_faults(const hcube::Topology& topo,
+                                   std::size_t count, workload::Rng& rng) {
+  fault::FaultSet faults(topo);
+  while (faults.num_failed_links() < count) {
+    const auto u = static_cast<hcube::NodeId>(rng() % topo.num_nodes());
+    const auto d = static_cast<hcube::Dim>(rng() % topo.dim());
+    faults.fail_link(std::min(u, topo.neighbor(u, d)), d);
+  }
+  return faults;
+}
+
+void run(const bench::Context& ctx, bench::Report& report) {
+  const sim::SimConfig config;
+  constexpr std::size_t kPayload = 1 << 20;
+
+  // Part 1 — single-link-fault bandwidth retention, 6- and 8-cube,
+  // k = 1. Every draw is replayed under the armed fault set; the ratio
+  // against the fault-free striped makespan is the price of the repair.
+  metrics::Series retention(
+      "Post-repair bandwidth fraction of the fault-free striped baseline "
+      "(single link fault, k = 1)",
+      "trial", "degraded bandwidth / baseline bandwidth");
+  const std::size_t single_trials = ctx.quick ? 6 : 24;
+  for (const hcube::Dim n : {6, 8}) {
+    const hcube::Topology topo(n);
+    const core::MulticastRequest request{topo, 0, broadcast_dests(topo)};
+    coll::StripeOptions options;
+    options.parity = true;
+    const coll::StripedPlanner planner(options);
+
+    const coll::StripedPlan baseline = planner.plan(request, kPayload);
+    const sim::SimTime baseline_ns =
+        sim::simulate_collectives(baseline.jobs(), config).makespan();
+
+    double ratio_sum = 0.0;
+    double ratio_min = 1.0;
+    double disjoint = 0.0;
+    double greedy = 0.0;
+    double dropped = 0.0;
+    const std::string cube = std::to_string(n) + "cube";
+    for (std::size_t trial = 0; trial < single_trials; ++trial) {
+      workload::Rng rng(workload::derive_seed(ctx.seed, n, trial));
+      const fault::FaultSet faults = random_link_faults(topo, 1, rng);
+      const coll::StripedPlan plan = planner.plan(request, kPayload, faults);
+      sim::SimConfig degraded = config;
+      degraded.faults = &faults;
+      const sim::SimTime ns =
+          sim::simulate_collectives(plan.jobs(), degraded).makespan();
+      const double ratio = ns == 0 ? 0.0
+                                   : static_cast<double>(baseline_ns) /
+                                         static_cast<double>(ns);
+      ratio_sum += ratio;
+      ratio_min = std::min(ratio_min, ratio);
+      disjoint += static_cast<double>(plan.repaired_disjoint);
+      greedy += static_cast<double>(plan.repaired_greedy);
+      dropped += static_cast<double>(plan.dropped_trees.size());
+      retention.add_sample(cube, static_cast<double>(trial), ratio);
+    }
+    const double t = static_cast<double>(single_trials);
+    report.metric("post_repair_bw_fraction_mean_" + cube, ratio_sum / t);
+    report.metric("post_repair_bw_fraction_min_" + cube, ratio_min);
+    report.metric("repair_disjoint_per_trial_" + cube, disjoint / t);
+    report.metric("repair_greedy_per_trial_" + cube, greedy / t);
+    report.metric("dropped_trees_per_trial_" + cube, dropped / t);
+    std::printf(
+        "%s single-fault: bandwidth fraction mean %.3f min %.3f "
+        "(%.2f disjoint / %.2f greedy repairs, %.2f drops per trial)\n",
+        cube.c_str(), ratio_sum / t, ratio_min, disjoint / t, greedy / t,
+        dropped / t);
+  }
+
+  // Part 2 — k = 2 parity under double link faults: delivered fraction
+  // across draws (connected cubes only), on the 6-cube broadcast.
+  const hcube::Topology topo6(6);
+  const core::MulticastRequest request6{topo6, 0, broadcast_dests(topo6)};
+  coll::StripeOptions k2;
+  k2.parity_stripes = 2;
+  const coll::StripedPlanner planner2(k2);
+  const std::size_t double_trials = ctx.quick ? 8 : 32;
+  double planned = 0.0;
+  double delivered = 0.0;
+  double k2_disjoint = 0.0;
+  double k2_greedy = 0.0;
+  for (std::size_t trial = 0; trial < double_trials; ++trial) {
+    workload::Rng rng(workload::derive_seed(ctx.seed, 0x2b2, trial));
+    const fault::FaultSet faults = random_link_faults(topo6, 2, rng);
+    if (!faults.surviving_connected()) continue;
+    planned += 1.0;
+    coll::StripedPlan plan;
+    try {
+      plan = planner2.plan(request6, kPayload, faults);
+    } catch (const fault::UnrepairableFault&) {
+      continue;
+    }
+    sim::SimConfig degraded = config;
+    degraded.faults = &faults;
+    const auto result = sim::simulate_collectives(plan.jobs(), degraded);
+    bool all = result.per_job.size() == plan.active_trees();
+    for (const sim::SimResult& r : result.per_job) {
+      for (const hcube::NodeId d : request6.destinations) {
+        if (!r.delivery.contains(d)) all = false;
+      }
+    }
+    if (all) delivered += 1.0;
+    k2_disjoint += static_cast<double>(plan.repaired_disjoint);
+    k2_greedy += static_cast<double>(plan.repaired_greedy);
+  }
+  report.metric("k2_delivered_fraction_2faults",
+                planned > 0.0 ? delivered / planned : 0.0);
+  report.metric("k2_repair_disjoint_per_trial",
+                planned > 0.0 ? k2_disjoint / planned : 0.0);
+  report.metric("k2_repair_greedy_per_trial",
+                planned > 0.0 ? k2_greedy / planned : 0.0);
+  std::printf("6cube k=2 double-fault: delivered fraction %.3f over %.0f "
+              "draws\n",
+              planned > 0.0 ? delivered / planned : 0.0, planned);
+
+  // Part 3 — degraded planning throughput (wall clock, gated): the full
+  // ladder on a fixed single-fault 8-cube draw, uncached, verification
+  // off (the hot-path configuration for large cubes).
+  const hcube::Topology topo8(8);
+  const core::MulticastRequest request8{topo8, 0, broadcast_dests(topo8)};
+  coll::StripeOptions hot;
+  hot.parity = true;
+  hot.verify = coll::StripeOptions::Verify::kOff;
+  const coll::StripedPlanner hot_planner(hot);
+  workload::Rng rng8(ctx.seed);
+  const fault::FaultSet faults8 = random_link_faults(topo8, 1, rng8);
+  const auto plan_rate = bench::measure_rate(ctx.min_time(0.5), [&] {
+    const coll::StripedPlan plan =
+        hot_planner.plan(request8, kPayload, faults8);
+    if (plan.trees.size() != 8) std::abort();
+  });
+  report.metric("degraded_plans_per_sec_8cube", plan_rate.per_second());
+  std::printf("8cube degraded plans: %.1f per second\n",
+              plan_rate.per_second());
+
+  std::fputs(metrics::format_table(retention).c_str(), stdout);
+  std::puts(
+      "\nReading: a dropped tree costs no bandwidth (its stripe is\n"
+      "RS-reconstructed); a certified disjoint repair costs only the\n"
+      "detour's extra hops on one stripe; only the greedy tier can\n"
+      "serialize stripes on a shared channel. The fraction staying near\n"
+      "1.0 is the ladder doing its job.");
+  report.add_series(retention);
+}
+
+const bench::Registration reg{
+    {"ablation_striped_repair", bench::Kind::Ablation,
+     "repair-tier ladder under striped fault tolerance: post-repair "
+     "bandwidth retention, k=2 double-fault delivery, planning throughput",
+     run}};
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include "code/rs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hypercast::code {
+
+RsCode::RsCode(std::size_t data, std::size_t parity)
+    : data_(data), parity_(parity) {
+  if (data == 0) {
+    throw std::invalid_argument("RsCode: need at least one data stripe");
+  }
+  if (data + parity > 256) {
+    throw std::invalid_argument(
+        "RsCode: data + parity exceeds the GF(256) element budget");
+  }
+  gen_.resize(parity_ * data_);
+  if (parity_ == 1) {
+    // Legacy XOR parity: one all-ones row. (Still MDS for k = 1, and
+    // byte-identical to the original split_stripes parity stripe.)
+    std::fill(gen_.begin(), gen_.end(), std::uint8_t{1});
+    return;
+  }
+  for (std::size_t r = 0; r < parity_; ++r) {
+    for (std::size_t j = 0; j < data_; ++j) {
+      const auto x = static_cast<std::uint8_t>(r);
+      const auto y = static_cast<std::uint8_t>(parity_ + j);
+      gen_[r * data_ + j] = gf_inv(static_cast<std::uint8_t>(x ^ y));
+    }
+  }
+}
+
+void RsCode::encode(std::span<const std::vector<std::uint8_t>> data,
+                    std::vector<std::vector<std::uint8_t>>& parity,
+                    std::size_t width) const {
+  if (data.size() != data_) {
+    throw std::invalid_argument("RsCode::encode: wrong data stripe count");
+  }
+  for (const std::vector<std::uint8_t>& s : data) {
+    if (s.size() > width) {
+      throw std::invalid_argument("RsCode::encode: stripe wider than width");
+    }
+  }
+  parity.assign(parity_, std::vector<std::uint8_t>(width, 0));
+  for (std::size_t r = 0; r < parity_; ++r) {
+    std::uint8_t* out = parity[r].data();
+    for (std::size_t j = 0; j < data_; ++j) {
+      gf_addmul(out, data[j].data(), coefficient(r, j), data[j].size());
+    }
+  }
+}
+
+void RsCode::reconstruct(std::vector<std::vector<std::uint8_t>>& stripes,
+                         std::span<const std::size_t> missing,
+                         std::size_t width) const {
+  if (stripes.size() != data_ + parity_) {
+    throw std::invalid_argument("RsCode::reconstruct: wrong stripe count");
+  }
+  std::vector<char> gone(data_ + parity_, 0);
+  std::vector<std::size_t> lost_data;
+  for (const std::size_t i : missing) {
+    if (i >= data_ + parity_ || gone[i]) {
+      throw std::invalid_argument(
+          "RsCode::reconstruct: bad or repeated missing index");
+    }
+    gone[i] = 1;
+    if (i < data_) lost_data.push_back(i);
+  }
+  if (lost_data.empty()) return;
+
+  // Pick the first e surviving parity rows; Cauchy (and the k = 1 XOR
+  // row) guarantee the e-by-e submatrix they select over the lost data
+  // columns is invertible.
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < parity_ && rows.size() < lost_data.size(); ++r) {
+    if (!gone[data_ + r]) rows.push_back(r);
+  }
+  const std::size_t e = lost_data.size();
+  if (rows.size() < e) {
+    throw std::invalid_argument(
+        "RsCode::reconstruct: more erasures than surviving parity stripes");
+  }
+
+  // RHS_r = parity_r ^ sum over surviving data j of C[r][j] * data_j:
+  // what the lost stripes alone must have contributed to each row.
+  std::vector<std::vector<std::uint8_t>> rhs(e);
+  for (std::size_t r = 0; r < e; ++r) {
+    const std::vector<std::uint8_t>& p = stripes[data_ + rows[r]];
+    if (p.size() > width) {
+      throw std::invalid_argument(
+          "RsCode::reconstruct: parity stripe wider than width");
+    }
+    rhs[r].assign(width, 0);
+    std::copy(p.begin(), p.end(), rhs[r].begin());
+    for (std::size_t j = 0; j < data_; ++j) {
+      if (gone[j]) continue;
+      const std::vector<std::uint8_t>& d = stripes[j];
+      if (d.size() > width) {
+        throw std::invalid_argument(
+            "RsCode::reconstruct: data stripe wider than width");
+      }
+      gf_addmul(rhs[r].data(), d.data(), coefficient(rows[r], j), d.size());
+    }
+  }
+
+  // Solve A * X = RHS by Gauss-Jordan over GF(256), applying every row
+  // operation to the byte rows as well; afterwards rhs[c] IS the lost
+  // stripe lost_data[c].
+  std::vector<std::uint8_t> a(e * e);
+  for (std::size_t r = 0; r < e; ++r) {
+    for (std::size_t c = 0; c < e; ++c) {
+      a[r * e + c] = coefficient(rows[r], lost_data[c]);
+    }
+  }
+  for (std::size_t col = 0; col < e; ++col) {
+    std::size_t pivot = col;
+    while (pivot < e && a[pivot * e + col] == 0) ++pivot;
+    if (pivot == e) {
+      // Unreachable for the Cauchy/XOR generators (every square
+      // submatrix is nonsingular); kept as a hard error rather than UB.
+      throw std::invalid_argument(
+          "RsCode::reconstruct: singular erasure submatrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < e; ++c) {
+        std::swap(a[pivot * e + c], a[col * e + c]);
+      }
+      std::swap(rhs[pivot], rhs[col]);
+    }
+    const std::uint8_t inv = gf_inv(a[col * e + col]);
+    for (std::size_t c = 0; c < e; ++c) {
+      a[col * e + c] = gf_mul(a[col * e + c], inv);
+    }
+    gf_mul_row(rhs[col].data(), rhs[col].data(), inv, width);
+    for (std::size_t r = 0; r < e; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = a[r * e + col];
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < e; ++c) {
+        a[r * e + c] =
+            static_cast<std::uint8_t>(a[r * e + c] ^ gf_mul(factor, a[col * e + c]));
+      }
+      gf_addmul(rhs[r].data(), rhs[col].data(), factor, width);
+    }
+  }
+  for (std::size_t c = 0; c < e; ++c) {
+    stripes[lost_data[c]] = std::move(rhs[c]);
+  }
+}
+
+}  // namespace hypercast::code

@@ -480,10 +480,34 @@ StripedPlan ServePipeline::serve_striped(
     plan.stripe_bytes = payload_bytes;
     auto tree = serve(request);
     if (fault::blocked_unicasts(*tree, faults) != 0) {
-      auto repaired = std::make_shared<core::MulticastSchedule>(
-          fault::repair_schedule(*tree, request.destinations, faults)
-              .schedule);
-      repaired->finalize();
+      // Degraded single-tree fallback. The repaired tree depends on the
+      // absolute fault set, so it caches like the striped planner's
+      // repaired trees: an absolute key under a dedicated algorithm id,
+      // salted with the fault fingerprint and stamped with the live
+      // fault epoch (bump_fault_epoch() invalidates it lazily).
+      constexpr std::uint8_t kFallbackRepairAlgoId = 191;
+      std::shared_ptr<const core::MulticastSchedule> repaired;
+      ServeTls* tls = nullptr;
+      if (cache_ != nullptr) {
+        tls = &serve_tls();
+        core::canonical_key_into(request.topo, request.source,
+                                 request.destinations, kFallbackRepairAlgoId,
+                                 /*absolute=*/true, cache_->config().hash_seed,
+                                 tls->key);
+        core::set_salt(tls->key,
+                       faults.fingerprint(cache_->config().hash_seed));
+        repaired = cache_->get(tls->key);
+      }
+      if (repaired == nullptr) {
+        auto built = std::make_shared<core::MulticastSchedule>(
+            fault::repair_schedule(*tree, request.destinations, faults)
+                .schedule);
+        built->finalize();
+        if (tls != nullptr) {
+          cache_->put(tls->key, built, fault::fault_epoch());
+        }
+        repaired = std::move(built);
+      }
       tree = std::move(repaired);
       plan.repaired_trees = 1;
     }

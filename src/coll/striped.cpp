@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "code/rs.hpp"
 #include "fault/fault_aware.hpp"
 #include "obs/registry.hpp"
+#include "paths/repair.hpp"
 
 namespace hypercast::coll {
 
@@ -15,11 +17,18 @@ namespace {
 /// IST trees claim a block at the top of the 8-bit space instead
 /// (kIstAlgoBase + tree, tree < dim <= hcube::kMaxDim = 20), so the two
 /// assignment schemes cannot collide until ~220 distinct registered
-/// names exist — far beyond anything the registry holds.
+/// names exist — far beyond anything the registry holds. Degraded-mode
+/// repaired trees take a second block below it: they are absolute,
+/// fault-dependent entries salted by fault fingerprint + parity config.
 constexpr std::uint8_t kIstAlgoBase = 224;
+constexpr std::uint8_t kIstRepairAlgoBase = 192;
 
 std::uint8_t ist_algo_id(hcube::Dim tree) {
   return static_cast<std::uint8_t>(kIstAlgoBase + tree);
+}
+
+std::uint8_t ist_repair_algo_id(hcube::Dim tree) {
+  return static_cast<std::uint8_t>(kIstRepairAlgoBase + tree);
 }
 
 /// Per-thread scratch mirroring the serving pipeline's: one canonical
@@ -53,7 +62,7 @@ std::vector<sim::CollectiveJob> StripedPlan::jobs(sim::SimTime start) const {
   std::vector<sim::CollectiveJob> out;
   out.reserve(active_trees());
   for (std::size_t t = 0; t < trees.size(); ++t) {
-    if (static_cast<int>(t) == dropped_tree) continue;
+    if (dropped(t)) continue;
     out.push_back(sim::CollectiveJob{trees[t].get(), start, stripe_bytes});
   }
   return out;
@@ -63,7 +72,7 @@ core::ArcFootprint StripedPlan::union_footprint() const {
   std::vector<core::ArcFootprint> parts;
   parts.reserve(active_trees());
   for (std::size_t t = 0; t < trees.size(); ++t) {
-    if (static_cast<int>(t) == dropped_tree) continue;
+    if (dropped(t)) continue;
     parts.push_back(core::arc_footprint(trees[t]->topo(), *trees[t]));
   }
   return core::merge_footprints(parts);
@@ -71,68 +80,80 @@ core::ArcFootprint StripedPlan::union_footprint() const {
 
 std::vector<std::vector<std::uint8_t>> split_stripes(
     std::span<const std::uint8_t> payload, std::size_t data_stripes,
-    bool parity) {
+    std::size_t parity_stripes) {
   if (data_stripes == 0) {
     throw std::invalid_argument("split_stripes: zero data stripes");
   }
   const std::size_t width =
       (payload.size() + data_stripes - 1) / data_stripes;
   std::vector<std::vector<std::uint8_t>> stripes;
-  stripes.reserve(data_stripes + (parity ? 1 : 0));
+  stripes.reserve(data_stripes + parity_stripes);
   for (std::size_t i = 0; i < data_stripes; ++i) {
     const std::size_t begin = std::min(payload.size(), i * width);
     const std::size_t end = std::min(payload.size(), begin + width);
     stripes.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(begin),
                          payload.begin() + static_cast<std::ptrdiff_t>(end));
   }
-  if (parity) {
-    // XOR over the data stripes, each notionally zero-padded to `width`
-    // (short tail bytes contribute nothing, so padding is implicit).
-    std::vector<std::uint8_t> p(width, 0);
-    for (const std::vector<std::uint8_t>& s : stripes) {
-      for (std::size_t b = 0; b < s.size(); ++b) p[b] ^= s[b];
+  if (parity_stripes > 0) {
+    // Reed-Solomon over the data stripes, each notionally zero-padded
+    // to `width` (short tail bytes contribute nothing, so padding is
+    // implicit). One parity stripe is the all-ones row — plain XOR,
+    // byte-identical to the legacy parity contract.
+    const code::RsCode rs(data_stripes, parity_stripes);
+    std::vector<std::vector<std::uint8_t>> parity;
+    rs.encode(std::span<const std::vector<std::uint8_t>>(stripes.data(),
+                                                         data_stripes),
+              parity, width);
+    for (std::vector<std::uint8_t>& p : parity) {
+      stripes.push_back(std::move(p));
     }
-    stripes.push_back(std::move(p));
   }
   return stripes;
 }
 
+std::vector<std::vector<std::uint8_t>> split_stripes(
+    std::span<const std::uint8_t> payload, std::size_t data_stripes,
+    bool parity) {
+  return split_stripes(payload, data_stripes,
+                       static_cast<std::size_t>(parity ? 1 : 0));
+}
+
 std::vector<std::uint8_t> reassemble_stripes(
     std::span<const std::vector<std::uint8_t>> stripes,
-    std::size_t data_stripes, std::size_t payload_bytes, int missing) {
+    std::size_t data_stripes, std::size_t payload_bytes,
+    std::span<const std::size_t> missing) {
   if (data_stripes == 0 || stripes.size() < data_stripes) {
     throw std::invalid_argument("reassemble_stripes: too few stripes");
   }
   const std::size_t width =
       (payload_bytes + data_stripes - 1) / data_stripes;
-  std::vector<std::uint8_t> recovered;
-  if (missing >= 0) {
-    if (static_cast<std::size_t>(missing) >= data_stripes) {
-      throw std::invalid_argument(
-          "reassemble_stripes: missing index out of range");
-    }
-    if (stripes.size() < data_stripes + 1) {
-      throw std::invalid_argument(
-          "reassemble_stripes: parity stripe required to reconstruct");
-    }
-    recovered.assign(width, 0);
-    for (std::size_t i = 0; i <= data_stripes; ++i) {
-      if (static_cast<int>(i) == missing) continue;
-      const std::vector<std::uint8_t>& s = stripes[i];
-      for (std::size_t b = 0; b < s.size(); ++b) recovered[b] ^= s[b];
-    }
+  // Reconstruct lost data stripes (if any) through the RS decoder; the
+  // working copy is only materialized when something is missing.
+  std::vector<std::vector<std::uint8_t>> recovered;
+  bool any_data_missing = false;
+  for (const std::size_t i : missing) {
+    if (i < data_stripes) any_data_missing = true;
   }
+  if (any_data_missing) {
+    const std::size_t parity_stripes = stripes.size() - data_stripes;
+    const code::RsCode rs(data_stripes, parity_stripes);
+    recovered.assign(stripes.begin(), stripes.end());
+    rs.reconstruct(recovered, missing, width);
+  }
+  const std::span<const std::vector<std::uint8_t>> source =
+      any_data_missing
+          ? std::span<const std::vector<std::uint8_t>>(recovered)
+          : stripes;
   std::vector<std::uint8_t> out;
   out.reserve(payload_bytes);
   for (std::size_t i = 0; i < data_stripes && out.size() < payload_bytes;
        ++i) {
-    const std::vector<std::uint8_t>& s =
-        static_cast<int>(i) == missing ? recovered : stripes[i];
+    const std::vector<std::uint8_t>& s = source[i];
     const std::size_t take =
-        std::min(payload_bytes - out.size(),
-                 static_cast<int>(i) == missing ? width : s.size());
+        std::min(payload_bytes - out.size(), std::min(width, s.size()));
     out.insert(out.end(), s.begin(),
                s.begin() + static_cast<std::ptrdiff_t>(take));
+    if (take < width && out.size() < payload_bytes) break;
   }
   if (out.size() != payload_bytes) {
     throw std::invalid_argument(
@@ -141,9 +162,52 @@ std::vector<std::uint8_t> reassemble_stripes(
   return out;
 }
 
+std::vector<std::uint8_t> reassemble_stripes(
+    std::span<const std::vector<std::uint8_t>> stripes,
+    std::size_t data_stripes, std::size_t payload_bytes, int missing) {
+  if (missing < 0) {
+    return reassemble_stripes(stripes, data_stripes, payload_bytes,
+                              std::span<const std::size_t>{});
+  }
+  if (static_cast<std::size_t>(missing) >= data_stripes) {
+    throw std::invalid_argument(
+        "reassemble_stripes: missing index out of range");
+  }
+  if (stripes.size() < data_stripes + 1) {
+    throw std::invalid_argument(
+        "reassemble_stripes: parity stripe required to reconstruct");
+  }
+  const std::size_t gone[1] = {static_cast<std::size_t>(missing)};
+  return reassemble_stripes(stripes, data_stripes, payload_bytes,
+                            std::span<const std::size_t>(gone));
+}
+
 StripedPlanner::StripedPlanner(StripeOptions options,
                                std::shared_ptr<ScheduleCache> cache)
     : options_(options), cache_(std::move(cache)) {}
+
+std::size_t StripedPlanner::effective_parity(hcube::Dim dim) const {
+  if (dim < 2) return 0;
+  std::size_t k = options_.parity_stripes;
+  if (options_.parity && k == 0) k = 1;
+  return std::min(k, static_cast<std::size_t>(dim) - 1);
+}
+
+bool StripedPlanner::should_verify(hcube::Dim dim) const {
+  switch (options_.verify) {
+    case StripeOptions::Verify::kOn:
+      return true;
+    case StripeOptions::Verify::kOff:
+      return false;
+    case StripeOptions::Verify::kAuto:
+      break;
+  }
+#ifndef NDEBUG
+  return true;  // debug builds always pay for the proof
+#else
+  return dim < 10;  // O(n * 2^n) — off on the large-cube hot path
+#endif
+}
 
 std::shared_ptr<const core::MulticastSchedule> StripedPlanner::serve_tree(
     const core::MulticastRequest& request, hcube::Dim tree) const {
@@ -184,20 +248,48 @@ std::shared_ptr<const core::MulticastSchedule> StripedPlanner::serve_tree(
   return out;
 }
 
+std::shared_ptr<const core::MulticastSchedule> StripedPlanner::cached_repair(
+    const core::MulticastRequest& request, hcube::Dim tree,
+    std::uint64_t salt) const {
+  if (cache_ == nullptr) return nullptr;
+  StripedTls& tls = striped_tls();
+  core::canonical_key_into(request.topo, request.source, request.destinations,
+                           ist_repair_algo_id(tree), /*absolute=*/true,
+                           cache_->config().hash_seed, tls.key);
+  core::set_salt(tls.key, salt);
+  return cache_->get(tls.key);
+}
+
+void StripedPlanner::cache_repair(
+    const core::MulticastRequest& request, hcube::Dim tree,
+    std::uint64_t salt,
+    const std::shared_ptr<const core::MulticastSchedule>& schedule) const {
+  if (cache_ == nullptr) return;
+  StripedTls& tls = striped_tls();
+  core::canonical_key_into(request.topo, request.source, request.destinations,
+                           ist_repair_algo_id(tree), /*absolute=*/true,
+                           cache_->config().hash_seed, tls.key);
+  core::set_salt(tls.key, salt);
+  // Stamped with the live fault epoch, NOT kEpochImmune: a repaired
+  // tree is a function of the absolute fault set, so bump_fault_epoch()
+  // must invalidate it like every fault-dependent entry.
+  cache_->put(tls.key, schedule, fault::fault_epoch());
+}
+
 StripedPlan StripedPlanner::plan(const core::MulticastRequest& request,
                                  std::size_t payload_bytes) const {
   HYPERCAST_OBS_SPAN("striped.plan");
   request.validate();
   const hcube::Dim n = core::ist_tree_count(request.topo);
-  const bool parity = options_.parity && n >= 2;
+  const std::size_t k = effective_parity(n);
   StripedPlan plan;
   plan.striped = true;
   plan.payload_bytes = payload_bytes;
-  plan.data_stripes = parity ? static_cast<std::size_t>(n) - 1
-                             : static_cast<std::size_t>(n);
+  plan.parity_stripes = k;
+  plan.data_stripes = static_cast<std::size_t>(n) - k;
   plan.stripe_bytes = std::max<std::size_t>(
       1, (payload_bytes + plan.data_stripes - 1) / plan.data_stripes);
-  plan.parity_tree = parity ? static_cast<int>(n) - 1 : -1;
+  plan.parity_tree = k > 0 ? static_cast<int>(n - k) : -1;
   plan.trees.reserve(n);
   for (hcube::Dim t = 0; t < n; ++t) {
     plan.trees.push_back(serve_tree(request, t));
@@ -210,50 +302,135 @@ StripedPlan StripedPlanner::plan(const core::MulticastRequest& request,
                                  std::size_t payload_bytes,
                                  const fault::FaultSet& faults) const {
   StripedPlan out = plan(request, payload_bytes);
+  const std::size_t n = out.trees.size();
   // Which trees does the fault set actually touch? Every tree arc is a
   // single hop, so blocked_unicasts counts exactly the tree edges that
   // land on a failed resource. A single link fault has two directed
   // arcs and can therefore hit two different trees.
-  //
-  // A tree whose *root* arc is blocked gets priority for the parity
-  // drop: an IST root has exactly one child, so on a spanning request
-  // nothing below it has delivered when the repair runs and no detour
-  // relay is usable — repair_schedule cannot fix it (it throws).
-  // Dropping it onto the parity stripe is the only degraded-mode
-  // delivery for that stripe.
-  std::vector<std::size_t> blocked(out.trees.size(), 0);
-  std::vector<char> root_blocked(out.trees.size(), 0);
-  int worst = -1;
-  for (std::size_t t = 0; t < out.trees.size(); ++t) {
+  std::vector<std::size_t> blocked(n, 0);
+  std::vector<char> root_blocked(n, 0);
+  std::vector<int> damaged;
+  for (std::size_t t = 0; t < n; ++t) {
     blocked[t] = fault::blocked_unicasts(*out.trees[t], faults);
     if (blocked[t] == 0) continue;
+    damaged.push_back(static_cast<int>(t));
     for (const core::Send& s : out.trees[t]->sends_from(request.source)) {
       if (faults.path_blocked(request.source, s.to)) root_blocked[t] = 1;
     }
-    const bool wins =
-        worst < 0 || (root_blocked[t] && !root_blocked[worst]) ||
-        (root_blocked[t] == root_blocked[worst] && blocked[t] > blocked[worst]);
-    if (wins) worst = static_cast<int>(t);
   }
-  if (worst < 0) return out;  // fault-free replay: nothing to do
+  if (damaged.empty()) return out;  // fault-free replay: nothing to do
   bump("striped.fault_plans");
-  if (out.parity_tree >= 0) {
-    // Parity buys exactly one tree's worth of loss: drop the
-    // most-affected tree outright (receivers reconstruct its stripe by
-    // XOR — dropping the parity tree itself is the degenerate case
-    // where nothing needs reconstructing) and spare it the detour
-    // repairs below.
-    out.dropped_tree = worst;
-    bump("striped.dropped_trees");
+
+  // Tier 1 — drop up to k damaged trees outright (their stripes are
+  // RS-reconstructed at the receivers). Root-blocked trees first: an
+  // IST root has exactly one child, so on a spanning request nothing
+  // has delivered anywhere when a repair would run, and without freed
+  // arcs such a tree has no repair of any kind. Then most-blocked
+  // first — the trees whose detours would cost the most.
+  std::vector<int> order = damaged;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (root_blocked[a] != root_blocked[b]) {
+      return root_blocked[a] > root_blocked[b];
+    }
+    return blocked[a] > blocked[b];
+  });
+  for (const int t : order) {
+    if (out.dropped_trees.size() >= out.parity_stripes) break;
+    out.dropped_trees.push_back(t);
   }
-  for (std::size_t t = 0; t < out.trees.size(); ++t) {
-    if (blocked[t] == 0 || static_cast<int>(t) == out.dropped_tree) continue;
-    fault::FaultAwareResult repaired = fault::repair_schedule(
-        *out.trees[t], request.destinations, faults);
-    out.trees[t] = finalized(std::move(repaired.schedule));
-    ++out.repaired_trees;
+  std::sort(out.dropped_trees.begin(), out.dropped_trees.end());
+  out.dropped_tree = out.dropped_trees.empty() ? -1 : out.dropped_trees.front();
+  bump("striped.dropped_trees", out.dropped_trees.size());
+  bump("striped.repair_rs", out.dropped_trees.size());
+
+  std::vector<int> to_repair;
+  for (const int t : damaged) {
+    if (!out.dropped(t)) to_repair.push_back(t);
   }
+  if (!to_repair.empty()) {
+    // Salt for the degraded-entry cache keys: the repaired tree is a
+    // function of the fault set, the parity config and the drop
+    // decisions, all of which are deterministic given the request — so
+    // fold them all in and let the fault epoch handle invalidation.
+    std::uint64_t drop_mask = 0;
+    for (const int d : out.dropped_trees) drop_mask |= std::uint64_t{1} << d;
+    std::uint64_t salt =
+        faults.fingerprint(cache_ ? cache_->config().hash_seed : 0);
+    salt ^= ((std::uint64_t{out.parity_stripes} << 32) | drop_mask) *
+            0x9e3779b97f4a7c15ull;
+
+    // Tier 2 — certified disjoint repair: every surviving untouched
+    // tree claims its footprint, and each damaged tree is patched
+    // through the remaining free arcs (paths::repair_disjoint), so the
+    // repaired family stays pairwise arc-disjoint by construction.
+    core::ArcOwnerTable owners(request.topo);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!out.dropped(t) && blocked[t] == 0) {
+        owners.claim_schedule(*out.trees[t], static_cast<int>(t));
+      }
+    }
+    for (const int t : to_repair) {
+      if (auto hit =
+              cached_repair(request, static_cast<hcube::Dim>(t), salt)) {
+        // Only certified disjoint repairs are ever cached, so a hit
+        // re-claims its footprint and keeps the certificate.
+        out.trees[static_cast<std::size_t>(t)] = hit;
+        owners.claim_schedule(*hit, t);
+        ++out.repaired_disjoint;
+        bump("striped.repair_cached");
+        continue;
+      }
+      std::optional<paths::DisjointRepairResult> res = paths::repair_disjoint(
+          *out.trees[static_cast<std::size_t>(t)], request.destinations,
+          faults, owners, t);
+      if (res) {
+        auto fixed = finalized(std::move(res->schedule));
+        out.trees[static_cast<std::size_t>(t)] = fixed;
+        ++out.repaired_disjoint;
+        bump("striped.repair_disjoint");
+        cache_repair(request, static_cast<hcube::Dim>(t), salt, fixed);
+        continue;
+      }
+      // Tier 3 — greedy detours: delivery at the price of
+      // arc-disjointness. The result still claims what it can so later
+      // repairs in this plan avoid its arcs where possible. Throws
+      // UnrepairableFault when even greedy routing cannot deliver
+      // (e.g. a root-blocked tree with no drop budget and no freed
+      // arcs).
+      fault::FaultAwareResult greedy = fault::repair_schedule(
+          *out.trees[static_cast<std::size_t>(t)], request.destinations,
+          faults);
+      auto fixed = finalized(std::move(greedy.schedule));
+      out.trees[static_cast<std::size_t>(t)] = fixed;
+      owners.claim_schedule(*fixed, t);
+      ++out.repaired_greedy;
+      out.certified_disjoint = false;
+      bump("striped.repair_greedy");
+    }
+  }
+  out.repaired_trees = out.repaired_disjoint + out.repaired_greedy;
   bump("striped.repaired_trees", out.repaired_trees);
+
+  // Gated verification (StripeOptions::verify): re-prove the active
+  // family's pairwise arc-disjointness with the owner table — the same
+  // check tests/test_ist.cpp runs on the pristine trees, now applied to
+  // the surgery's output. A certified plan failing it is a logic error,
+  // not a degraded mode.
+  if (should_verify(request.topo.dim())) {
+    std::vector<const core::MulticastSchedule*> active;
+    active.reserve(out.active_trees());
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!out.dropped(t)) active.push_back(out.trees[t].get());
+    }
+    const core::IstDisjointReport report = core::verify_arc_disjoint(
+        request.topo,
+        std::span<const core::MulticastSchedule* const>(active));
+    out.verified = true;
+    if (out.certified_disjoint && !report.disjoint) {
+      throw std::logic_error("striped degraded plan failed verification: " +
+                             report.summary(request.topo));
+    }
+  }
   return out;
 }
 

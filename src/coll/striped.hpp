@@ -22,21 +22,41 @@ namespace hypercast::coll {
 /// approaches n times the single-tree figure (docs/STRIPING.md has the
 /// model and ablation_striping the DES measurements).
 ///
-/// Fault tolerance rides along nearly for free: with `parity` set, the
-/// payload splits into n-1 data stripes and tree n-1 carries their XOR.
-/// Any single lost stripe is reconstructible, so when a fault epoch
-/// lands, the planner *drops* the most-affected tree outright (its
-/// stripe is recovered from parity at the receivers) and only trees
-/// beyond that one pay for detour repairs.
+/// Fault tolerance: with k >= 1 parity stripes the payload splits into
+/// n - k data stripes plus k GF(256) Reed-Solomon parity stripes
+/// (code/rs.hpp; k == 1 is the classic XOR stripe), so receivers
+/// survive ANY k lost stripes. When a fault epoch lands the planner
+/// walks a repair-tier ladder per damaged tree (docs/STRIPING.md §3):
+///   1. drop — up to k damaged trees (root-blocked ones first) are
+///      dropped outright and their stripes RS-reconstructed;
+///   2. disjoint repair — remaining damage is patched by
+///      paths::repair_disjoint, provably arc-disjoint from every other
+///      surviving tree (certified: the striped launch keeps its
+///      contention-freedom);
+///   3. greedy detours — fault::repair_schedule as the last resort,
+///      delivering at the price of arc-disjointness
+///      (certified_disjoint drops to false).
 struct StripeOptions {
+  /// Exhaustive owner-table verification of degraded plans
+  /// (core::verify_arc_disjoint): kAuto runs it for small cubes
+  /// (dim < 10) and in debug builds, kOn always, kOff never — the
+  /// check is O(n * 2^n) and the hot plan path must not pay it on
+  /// large cubes.
+  enum class Verify { kAuto, kOn, kOff };
+
   /// Payloads below this stay on the latency-optimal single-tree path
   /// (ServePipeline::serve_striped): an n-way split of a small message
   /// pays n send startups to save almost no streaming time —
   /// ablation_striping locates the crossover.
   std::size_t threshold_bytes = 64 * 1024;
-  /// Reserve one tree for the XOR parity stripe (1-fault-tolerant
-  /// delivery). Needs dim >= 2; ignored below that.
+  /// Legacy switch: reserve one XOR parity tree (equivalent to
+  /// parity_stripes = 1). Needs dim >= 2; ignored below that.
   bool parity = false;
+  /// Reserve k parity trees (Reed-Solomon; k-fault-tolerant delivery).
+  /// The effective k is max(parity ? 1 : 0, parity_stripes), clamped
+  /// to dim - 1 so at least one data stripe remains.
+  std::size_t parity_stripes = 0;
+  Verify verify = Verify::kAuto;
 };
 
 /// A planned (possibly degraded) striped collective.
@@ -45,18 +65,33 @@ struct StripedPlan {
   std::size_t payload_bytes = 0;
   std::size_t stripe_bytes = 0;  ///< per-tree message size (ceil split)
   std::size_t data_stripes = 1;  ///< stripes carrying payload bytes
-  int parity_tree = -1;          ///< tree index carrying the XOR stripe
-  int dropped_tree = -1;         ///< fault-swapped-out tree (stripe
-                                 ///< reconstructed from parity)
-  std::size_t repaired_trees = 0;  ///< trees patched by detour repair
+  std::size_t parity_stripes = 0;  ///< k: trees carrying RS parity
+  int parity_tree = -1;          ///< first parity tree (dim - k), -1 if none
+  int dropped_tree = -1;         ///< first dropped tree (legacy accessor)
+  std::vector<int> dropped_trees;  ///< all fault-dropped trees: their
+                                   ///< stripes are RS-reconstructed at
+                                   ///< the receivers
+  std::size_t repaired_trees = 0;    ///< total patched trees
+  std::size_t repaired_disjoint = 0; ///< via paths::repair_disjoint
+  std::size_t repaired_greedy = 0;   ///< via fault::repair_schedule
+  bool certified_disjoint = true;  ///< active trees pairwise arc-disjoint
+                                   ///< by construction (no greedy tier)
+  bool verified = false;  ///< owner-table verification ran on this plan
 
   /// One finalized schedule per tree (tree index = stripe index; a
-  /// non-striped plan holds exactly one). The dropped tree's slot stays
-  /// populated (callers may inspect it) but jobs() skips it.
+  /// non-striped plan holds exactly one). Dropped trees' slots stay
+  /// populated (callers may inspect them) but jobs() skips them.
   std::vector<std::shared_ptr<const core::MulticastSchedule>> trees;
 
+  bool dropped(std::size_t tree) const {
+    for (const int d : dropped_trees) {
+      if (d == static_cast<int>(tree)) return true;
+    }
+    return false;
+  }
+
   std::size_t active_trees() const {
-    return trees.size() - (dropped_tree >= 0 ? 1 : 0);
+    return trees.size() - dropped_trees.size();
   }
 
   /// Expand into simultaneous DES jobs launching at `start`, each
@@ -71,18 +106,31 @@ struct StripedPlan {
 };
 
 /// Byte-level stripe split: `data_stripes` slices of ceil(size /
-/// data_stripes) bytes (the last one short), plus — with `parity` — one
-/// XOR stripe over the zero-padded data stripes. This is the data-plane
-/// contract the schedules' address fields describe; the DES models the
-/// transfer, these helpers are what an implementation (and the tests)
-/// round-trip.
+/// data_stripes) bytes (the last one short), plus `parity_stripes`
+/// Reed-Solomon stripes over the zero-padded data (code::RsCode; one
+/// parity stripe is the classic XOR). This is the data-plane contract
+/// the schedules' address fields describe; the DES models the transfer,
+/// these helpers are what an implementation (and the tests) round-trip.
+std::vector<std::vector<std::uint8_t>> split_stripes(
+    std::span<const std::uint8_t> payload, std::size_t data_stripes,
+    std::size_t parity_stripes);
+
+/// Legacy single-XOR-parity split (parity_stripes = parity ? 1 : 0).
 std::vector<std::vector<std::uint8_t>> split_stripes(
     std::span<const std::uint8_t> payload, std::size_t data_stripes,
     bool parity);
 
-/// Reassemble the original payload. With `missing` >= 0, that data
-/// stripe's bytes are reconstructed by XORing the parity stripe (which
-/// must be present at index data_stripes) with the surviving stripes.
+/// Reassemble the original payload from the stripe array (data stripes
+/// first, then any parity stripes). `missing` lists unavailable stripe
+/// indices; missing data stripes are Reed-Solomon-reconstructed from
+/// the surviving ones (requires #missing-data <= #surviving-parity).
+std::vector<std::uint8_t> reassemble_stripes(
+    std::span<const std::vector<std::uint8_t>> stripes,
+    std::size_t data_stripes, std::size_t payload_bytes,
+    std::span<const std::size_t> missing);
+
+/// Legacy overload: with `missing` >= 0, that data stripe is
+/// reconstructed from the single parity stripe at index data_stripes.
 std::vector<std::uint8_t> reassemble_stripes(
     std::span<const std::vector<std::uint8_t>> stripes,
     std::size_t data_stripes, std::size_t payload_bytes, int missing = -1);
@@ -91,7 +139,11 @@ std::vector<std::uint8_t> reassemble_stripes(
 /// each tree caches as a *relative* schedule under its own per-tree
 /// algorithm id (IST construction is translation-invariant, so one
 /// cached tree serves every source via XOR materialization, exactly
-/// like the serving pipeline's chain algorithms).
+/// like the serving pipeline's chain algorithms). Degraded-mode
+/// repaired trees cache under *absolute* keys salted with the fault
+/// fingerprint + parity config and stamped with the fault epoch, so
+/// bump_fault_epoch() invalidates them like every fault-dependent
+/// entry.
 class StripedPlanner {
  public:
   explicit StripedPlanner(StripeOptions options = {},
@@ -99,22 +151,24 @@ class StripedPlanner {
 
   const StripeOptions& options() const { return options_; }
 
+  /// The effective parity stripe count for an n-cube request.
+  std::size_t effective_parity(hcube::Dim dim) const;
+
   /// Plan `payload_bytes` across the dim trees (the threshold is the
   /// pipeline's concern, not the planner's). Requires dim >= 2 with
   /// parity, dim >= 1 without. Validates the request.
   StripedPlan plan(const core::MulticastRequest& request,
                    std::size_t payload_bytes) const;
 
-  /// Degraded-mode plan: trees whose sends a fault blocks are swapped
-  /// onto the parity stripe or patched by fault::repair_schedule
-  /// detours. The drop goes to a tree whose root arc is blocked when
-  /// one exists (an IST root has a single child, so on a spanning
-  /// request such a tree has no usable detour relay and cannot be
-  /// repaired), otherwise to the most-blocked tree. Repaired trees lose
-  /// arc-disjointness from the others — the price of delivery, counted
-  /// in repaired_trees. Throws fault::UnrepairableFault when a stripe
-  /// can neither be repaired nor dropped (e.g. two root-blocked trees
-  /// and one parity stripe) or a destination is dead.
+  /// Degraded-mode plan: the repair-tier ladder described above (drop
+  /// onto parity -> certified disjoint repair -> greedy detours), with
+  /// per-tier striped.repair_* counters. Root-blocked trees take drop
+  /// priority (an IST root has a single child; with no freed arcs such
+  /// a tree cannot be repaired at all), but when the drop budget is
+  /// exhausted the disjoint repairer may still save one by chain-feeding
+  /// through arcs a dropped tree freed. Throws fault::UnrepairableFault
+  /// when a stripe can neither be dropped nor repaired, or a
+  /// destination is dead.
   StripedPlan plan(const core::MulticastRequest& request,
                    std::size_t payload_bytes,
                    const fault::FaultSet& faults) const;
@@ -122,6 +176,16 @@ class StripedPlanner {
  private:
   std::shared_ptr<const core::MulticastSchedule> serve_tree(
       const core::MulticastRequest& request, hcube::Dim tree) const;
+
+  std::shared_ptr<const core::MulticastSchedule> cached_repair(
+      const core::MulticastRequest& request, hcube::Dim tree,
+      std::uint64_t salt) const;
+  void cache_repair(
+      const core::MulticastRequest& request, hcube::Dim tree,
+      std::uint64_t salt,
+      const std::shared_ptr<const core::MulticastSchedule>& schedule) const;
+
+  bool should_verify(hcube::Dim dim) const;
 
   StripeOptions options_;
   std::shared_ptr<ScheduleCache> cache_;

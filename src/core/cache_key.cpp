@@ -111,20 +111,28 @@ void canonical_key_into(const Topology& topo, NodeId source,
   // e.g. the same relative chain under the two resolution orders, or
   // under two algorithms, never collides structurally.
   out.words_hash = hash_words(out.words, seed);
+  out.salt = 0;  // `out` is recycled scratch; salting is opt-in afterwards
   rekey(out, absolute, source);
 }
 
 void rekey(CacheKey& key, bool absolute, NodeId source) {
   key.absolute = absolute;
   key.source = absolute ? source : 0;
-  const std::uint32_t header[3] = {
+  const std::uint32_t header[5] = {
       (static_cast<std::uint32_t>(key.algo) << 16) |
           (static_cast<std::uint32_t>(key.absolute) << 8) |
           static_cast<std::uint32_t>(key.res),
       static_cast<std::uint32_t>(key.dim),
       static_cast<std::uint32_t>(key.source),
+      static_cast<std::uint32_t>(key.salt),
+      static_cast<std::uint32_t>(key.salt >> 32),
   };
   key.hash = hash_words(header, key.words_hash);
+}
+
+void set_salt(CacheKey& key, std::uint64_t salt) {
+  key.salt = salt;
+  rekey(key, key.absolute, key.source);
 }
 
 void relative_chain_from_key(const Topology& topo, const CacheKey& key,

@@ -30,6 +30,10 @@ struct CacheKey {
   std::uint8_t dim = 0;         ///< cube dimension n
   std::uint8_t res = 0;         ///< hcube::Resolution
   NodeId source = 0;            ///< 0 unless `absolute`
+  std::uint64_t salt = 0;       ///< extra identity scope (0 = none): the
+                                ///< striping layer keys degraded plans by a
+                                ///< fault-set fingerprint + parity config so
+                                ///< two fault sets never alias in one epoch
   std::uint64_t hash = 0;       ///< seeded FNV-1a over the fields + words
   std::uint64_t words_hash = 0; ///< hash of the words alone (rekey cache)
 
@@ -41,7 +45,7 @@ struct CacheKey {
   friend bool operator==(const CacheKey& a, const CacheKey& b) {
     return a.hash == b.hash && a.algo == b.algo && a.absolute == b.absolute &&
            a.dim == b.dim && a.res == b.res && a.source == b.source &&
-           a.words == b.words;
+           a.salt == b.salt && a.words == b.words;
   }
 
   /// Heap bytes this key pins inside a cache entry.
@@ -78,6 +82,11 @@ void canonical_key_into(const Topology& topo, NodeId source,
 /// absolute (materialized-translation) level and fall back to the
 /// relative level on one canonicalization pass.
 void rekey(CacheKey& key, bool absolute, NodeId source);
+
+/// Set the identity salt and re-fold the header hash (same cost as
+/// rekey). canonical_key_into always resets the salt to 0; callers that
+/// scope entries (fault fingerprint, parity config) salt afterwards.
+void set_salt(CacheKey& key, std::uint64_t salt);
 
 /// Reconstruct the relative build chain a canonical key denotes: node 0
 /// (the relative source) followed by unkey(word) for each word, which is

@@ -151,28 +151,32 @@ std::string IstDisjointReport::summary(const Topology& topo) const {
   return buf;
 }
 
+void ArcOwnerTable::claim_schedule(const MulticastSchedule& schedule, int who,
+                                   IstDisjointReport* report) {
+  for (const Unicast& u : schedule.unicasts()) {
+    hcube::for_each_ecube_arc(topo_, u.from, u.to, [&](hcube::Arc a) {
+      const int prev = owner(a);
+      if (try_claim(a, who)) return;
+      if (report != nullptr && report->disjoint) {
+        report->disjoint = false;
+        report->clash = a;
+        report->first_tree = prev;
+        report->second_tree = who;
+      }
+    });
+  }
+}
+
 IstDisjointReport verify_arc_disjoint(
     const Topology& topo,
     std::span<const MulticastSchedule* const> trees) {
   IstDisjointReport report;
-  std::vector<int> owner(topo.num_arcs(), -1);
+  ArcOwnerTable owners(topo);
   for (std::size_t t = 0; t < trees.size(); ++t) {
     if (trees[t] == nullptr) continue;
-    for (const Unicast& u : trees[t]->unicasts()) {
-      hcube::for_each_ecube_arc(topo, u.from, u.to, [&](hcube::Arc a) {
-        const std::size_t idx = topo.arc_index(a);
-        if (owner[idx] < 0) {
-          owner[idx] = static_cast<int>(t);
-          ++report.arcs_used;
-        } else if (report.disjoint) {
-          report.disjoint = false;
-          report.clash = a;
-          report.first_tree = owner[idx];
-          report.second_tree = static_cast<int>(t);
-        }
-      });
-    }
+    owners.claim_schedule(*trees[t], static_cast<int>(t), &report);
   }
+  report.arcs_used = owners.arcs_claimed();
   return report;
 }
 

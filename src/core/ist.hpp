@@ -3,6 +3,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "core/multicast.hpp"
 
@@ -73,6 +74,58 @@ MulticastSchedule build_ist_tree0(const Topology& topo, Dim tree,
 MulticastSchedule build_ist_tree(const Topology& topo, Dim tree,
                                  NodeId source,
                                  std::span<const NodeId> destinations);
+
+struct IstDisjointReport;
+
+/// Dense per-directed-arc ownership map — the data structure under
+/// verify_arc_disjoint, shared with the paths:: disjoint repairer so
+/// that repaired striped schedules are checked (and constructed)
+/// against exactly the invariant the verifier proves: every directed
+/// channel has at most one owning tree.
+class ArcOwnerTable {
+ public:
+  explicit ArcOwnerTable(const Topology& topo)
+      : topo_(topo), owner_(topo.num_arcs(), -1) {}
+
+  const Topology& topo() const { return topo_; }
+
+  /// Owning tree of a directed arc, or -1 when unclaimed.
+  int owner(hcube::Arc a) const { return owner_[topo_.arc_index(a)]; }
+
+  /// Claim an arc for `who` (who >= 0). Returns false — leaving the
+  /// table unchanged — when the arc is already claimed, *including* by
+  /// `who` itself: double use within one tree is a clash too.
+  bool try_claim(hcube::Arc a, int who) {
+    int& slot = owner_[topo_.arc_index(a)];
+    if (slot >= 0) return false;
+    slot = who;
+    ++claimed_;
+    return true;
+  }
+
+  /// Release one arc (no-op when unclaimed).
+  void release(hcube::Arc a) {
+    int& slot = owner_[topo_.arc_index(a)];
+    if (slot >= 0) {
+      slot = -1;
+      --claimed_;
+    }
+  }
+
+  std::size_t arcs_claimed() const { return claimed_; }
+
+  /// Claim the full E-cube footprint of every unicast of `schedule` for
+  /// `who`, folding clashes into `report` exactly like
+  /// verify_arc_disjoint (first clash recorded, later arcs still
+  /// claimed when free, arcs_used tracked by the table).
+  void claim_schedule(const MulticastSchedule& schedule, int who,
+                      IstDisjointReport* report = nullptr);
+
+ private:
+  Topology topo_;
+  std::vector<int> owner_;
+  std::size_t claimed_ = 0;
+};
 
 /// Outcome of the exhaustive arc-disjointness check.
 struct IstDisjointReport {

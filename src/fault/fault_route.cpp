@@ -67,23 +67,42 @@ std::optional<NodePath> bfs_detour(const Topology& topo,
                                    const FaultSet& faults, NodeId u, NodeId v,
                                    const std::vector<bool>* banned) {
   assert(u != v);
-  if (faults.node_failed(u) || faults.node_failed(v)) return std::nullopt;
+  const NodeId sources[1] = {u};
+  return constrained_bfs_detour(topo, faults, sources, v, {}, banned);
+}
+
+std::optional<NodePath> constrained_bfs_detour(
+    const Topology& topo, const FaultSet& faults,
+    std::span<const NodeId> sources, NodeId target, const ArcFilter& arc_ok,
+    const std::vector<bool>* banned) {
+  if (faults.node_failed(target)) return std::nullopt;
   constexpr NodeId kUnreached = ~NodeId{0};
   std::vector<NodeId> parent(topo.num_nodes(), kUnreached);
-  parent[u] = u;
-  std::deque<NodeId> frontier{u};
+  std::deque<NodeId> frontier;
+  for (const NodeId s : sources) {
+    if (s == target) return std::nullopt;
+    if (faults.node_failed(s) || parent[s] != kUnreached) continue;
+    parent[s] = s;
+    frontier.push_back(s);
+  }
   while (!frontier.empty()) {
     const NodeId cur = frontier.front();
     frontier.pop_front();
     for (Dim d = 0; d < topo.dim(); ++d) {
-      if (faults.arc_failed(Arc{cur, d})) continue;
+      const Arc arc{cur, d};
+      if (faults.arc_failed(arc)) continue;
+      if (arc_ok && !arc_ok(arc)) continue;
       const NodeId next = topo.neighbor(cur, d);
       if (parent[next] != kUnreached) continue;
-      if (next != v && !intermediate_usable(faults, banned, next)) continue;
+      if (next != target && !intermediate_usable(faults, banned, next)) {
+        continue;
+      }
       parent[next] = cur;
-      if (next == v) {
-        NodePath path{v};
-        for (NodeId w = v; w != u; w = parent[w]) path.push_back(parent[w]);
+      if (next == target) {
+        NodePath path{target};
+        for (NodeId w = target; parent[w] != w; w = parent[w]) {
+          path.push_back(parent[w]);
+        }
         std::reverse(path.begin(), path.end());
         return path;
       }

@@ -1,7 +1,9 @@
 #ifndef HYPERCAST_FAULT_FAULT_ROUTE_HPP
 #define HYPERCAST_FAULT_FAULT_ROUTE_HPP
 
+#include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "fault/fault_set.hpp"
@@ -36,6 +38,24 @@ std::optional<NodePath> dimension_ordered_detour(
 std::optional<NodePath> bfs_detour(const Topology& topo,
                                    const FaultSet& faults, NodeId u, NodeId v,
                                    const std::vector<bool>* banned = nullptr);
+
+/// Admission predicate over directed arcs — the hook the disjoint-path
+/// router (paths/disjoint.hpp) uses to exclude channels owned by other
+/// spanning trees. Arcs the fault set kills are excluded regardless.
+using ArcFilter = std::function<bool(Arc)>;
+
+/// The generalized search the two detours above are special cases of: a
+/// breadth-first shortest path from *any* node of `sources` to `target`
+/// through the surviving cube, restricted to arcs `arc_ok` admits (an
+/// empty filter admits everything). The returned path starts at the
+/// chosen source; because the search is multi-source, the path never
+/// passes through another source as an intermediate (it would have been
+/// a shorter origin). Same `banned` contract as above. Returns nullopt
+/// when no admitted live route exists.
+std::optional<NodePath> constrained_bfs_detour(
+    const Topology& topo, const FaultSet& faults,
+    std::span<const NodeId> sources, NodeId target, const ArcFilter& arc_ok,
+    const std::vector<bool>* banned = nullptr);
 
 /// Split a node path into maximal runs that an E-cube router would
 /// follow verbatim: within a run the traversed dimensions strictly

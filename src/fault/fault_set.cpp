@@ -88,6 +88,31 @@ bool FaultSet::surviving_connected() const {
   return reached == live.size();
 }
 
+std::uint64_t FaultSet::fingerprint(std::uint64_t seed) const {
+  // FNV-1a 64 with a splitmix64 tail, matching core::hash_words'
+  // spirit without pulling core/ in: fold the link (low, dim) pairs and
+  // the dead nodes with distinct tags so a link and a node never alias.
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = 0xcbf29ce484222325ull ^ (seed * 0x9e3779b97f4a7c15ull);
+  auto fold = [&h](std::uint64_t w) {
+    h ^= w;
+    h *= kPrime;
+  };
+  for (const Link& l : failed_links_) {
+    fold((std::uint64_t{1} << 62) | (std::uint64_t{l.low} << 8) |
+         static_cast<std::uint64_t>(l.dim));
+  }
+  for (const NodeId n : failed_nodes_) {
+    fold((std::uint64_t{2} << 62) | std::uint64_t{n});
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
 std::string FaultSet::format() const {
   std::ostringstream os;
   os << failed_links_.size() << " failed link"

@@ -2,6 +2,7 @@
 #define HYPERCAST_FAULT_FAULT_SET_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,14 @@ class FaultSet {
   /// Human-readable one-line summary, e.g.
   /// "3 failed links (0010-0110, ...), 1 dead node (0101)".
   std::string format() const;
+
+  /// 64-bit fingerprint of the fault membership, mixed from `seed` —
+  /// what the striping layer salts degraded cache entries with so two
+  /// fault sets never alias within one fault epoch. Insertion-order
+  /// dependent (two equal sets built in different orders may differ):
+  /// that costs at most a cache miss, never a wrong hit, because the
+  /// salt only partitions the key space.
+  std::uint64_t fingerprint(std::uint64_t seed = 0) const;
 
  private:
   Topology topo_;

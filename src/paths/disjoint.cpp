@@ -1,0 +1,14 @@
+#include "paths/disjoint.hpp"
+
+namespace hypercast::paths {
+
+std::optional<fault::NodePath> disjoint_route(
+    const Topology& topo, const fault::FaultSet& faults,
+    const core::ArcOwnerTable& owners, std::span<const NodeId> sources,
+    NodeId target, const std::vector<bool>* banned) {
+  return fault::constrained_bfs_detour(
+      topo, faults, sources, target,
+      [&owners](hcube::Arc a) { return owners.owner(a) < 0; }, banned);
+}
+
+}  // namespace hypercast::paths

@@ -1,0 +1,55 @@
+#ifndef HYPERCAST_PATHS_DISJOINT_HPP
+#define HYPERCAST_PATHS_DISJOINT_HPP
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/ist.hpp"
+#include "fault/fault_route.hpp"
+#include "fault/fault_set.hpp"
+
+namespace hypercast::paths {
+
+using hcube::Arc;
+using hcube::Dim;
+using hcube::NodeId;
+using hcube::Topology;
+
+/// Disjoint-path routing for damaged spanning trees.
+///
+/// The striped collectives of coll/striped.hpp ride on the n
+/// arc-disjoint IST trees; a detour that borrows another tree's channel
+/// silently destroys the contention-freedom the whole scheme rests on.
+/// This router constructs detours that are arc-disjoint from every
+/// surviving tree *by construction*, in the spirit of the many-to-many
+/// disjoint-path constructions for faulty hypercubes (PAPERS.md:
+/// "Many-to-many disjoint paths in hypercubes with faulty vertices";
+/// the real-time node-to-node disjoint-path algorithm): the already
+/// claimed arcs are removed from the cube, and the detour is found in
+/// the *free* surviving subgraph — so disjointness needs no after-the-
+/// fact checking, only (optionally) confirmation via
+/// core::verify_arc_disjoint's owner table, which shares the same
+/// ArcOwnerTable representation.
+///
+/// The search is many-to-one: the set of nodes already holding the
+/// message acts as a single super-source (fault/fault_route.hpp's
+/// constrained_bfs_detour), which is what makes repairs of deep trees
+/// feasible — any holder may originate the patch, not just the broken
+/// send's parent.
+
+/// Shortest route from any holder in `sources` to `target` through
+/// arcs that are live under `faults` AND unclaimed in `owners`. The
+/// returned path starts at the chosen holder. `banned` (node-indexed,
+/// optional) additionally excludes nodes from intermediate positions.
+/// Returns nullopt when the free surviving subgraph has no such route —
+/// a *certified* negative: every live route would collide with a
+/// claimed arc.
+std::optional<fault::NodePath> disjoint_route(
+    const Topology& topo, const fault::FaultSet& faults,
+    const core::ArcOwnerTable& owners, std::span<const NodeId> sources,
+    NodeId target, const std::vector<bool>* banned = nullptr);
+
+}  // namespace hypercast::paths
+
+#endif  // HYPERCAST_PATHS_DISJOINT_HPP

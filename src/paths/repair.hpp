@@ -1,0 +1,66 @@
+#ifndef HYPERCAST_PATHS_REPAIR_HPP
+#define HYPERCAST_PATHS_REPAIR_HPP
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/ist.hpp"
+#include "paths/disjoint.hpp"
+
+namespace hypercast::paths {
+
+/// What a certified disjoint repair did to one damaged tree.
+struct DisjointRepairReport {
+  std::size_t unicasts_checked = 0;
+  std::size_t broken = 0;     ///< base sends a fault blocked
+  std::size_t rerouted = 0;   ///< repair chains emitted (one per broken send)
+  std::size_t chain_fed = 0;  ///< planned recipients whose delivery moved
+                              ///< onto a repair chain (their base send is
+                              ///< skipped — the tree property is kept)
+  std::size_t relay_nodes_added = 0;  ///< fresh relay recipients introduced
+  std::size_t dead_relays_bypassed = 0;
+  int extra_hops = 0;  ///< transmitted chain hops minus E-cube distance
+
+  std::string summary() const;
+};
+
+/// A repaired schedule plus its accounting. The schedule is NOT
+/// finalized (callers finalize after any further surgery).
+struct DisjointRepairResult {
+  core::MulticastSchedule schedule;
+  DisjointRepairReport report;
+};
+
+/// Repair `base` against `faults` such that the result is arc-disjoint
+/// from everything already claimed in `owners` — the certified
+/// alternative to fault::repair_schedule's greedy detours.
+///
+/// `owners` must hold the E-cube footprints of every *other* surviving
+/// tree (claimed under their ids); `base`'s own arcs are claimed under
+/// `self` internally. Broken, skipped and dead-bypassed base sends
+/// release their arcs back to the free pool, and every repair chain is
+/// routed by disjoint_route through free arcs only, so the invariant
+/// "one owner per directed arc" holds at every step — on success
+/// `owners` has absorbed exactly the result's footprint under `self`
+/// and the repaired family verifies under core::verify_arc_disjoint.
+///
+/// Broken sends are rerouted from the *set of nodes already holding the
+/// message* (many-to-one), and a chain is allowed to pass through a
+/// planned-but-not-yet-delivered recipient: that node's delivery simply
+/// moves onto the chain (carrying its subtree payload) and its original
+/// incoming send is skipped — the "chain feeding" that makes even
+/// root-blocked trees repairable once a dropped tree has freed arcs.
+///
+/// Returns nullopt — leaving `owners` untouched — when some broken send
+/// has no disjoint repair (a certified fallback signal: every live
+/// route collides with a claimed arc). Throws std::invalid_argument
+/// when the source is dead and fault::UnrepairableFault when a
+/// destination is dead (no routing of any kind can deliver).
+std::optional<DisjointRepairResult> repair_disjoint(
+    const core::MulticastSchedule& base, std::span<const NodeId> destinations,
+    const fault::FaultSet& faults, core::ArcOwnerTable& owners, int self);
+
+}  // namespace hypercast::paths
+
+#endif  // HYPERCAST_PATHS_REPAIR_HPP

@@ -1,0 +1,208 @@
+// GF(2^8) arithmetic (code/gf256.hpp) and the systematic Reed-Solomon
+// erasure coder (code/rs.hpp): field identities against first
+// principles, the legacy-XOR contract of the single-parity row, the MDS
+// property over every erasure pattern of small codes, and randomized
+// round-trip fuzz at the shapes the striped planner actually uses.
+
+#include "code/rs.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "code/gf256.hpp"
+#include "workload/random_sets.hpp"
+
+namespace {
+
+using namespace hypercast;
+using code::RsCode;
+
+/// Reference multiply: shift-and-add modulo 0x11d, no tables.
+std::uint8_t slow_mul(std::uint8_t a, std::uint8_t b) {
+  unsigned acc = 0;
+  unsigned aa = a;
+  for (unsigned bb = b; bb != 0; bb >>= 1) {
+    if (bb & 1) acc ^= aa;
+    aa <<= 1;
+    if (aa & 0x100) aa ^= 0x11d;
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+TEST(Gf256, MulMatchesShiftAndAddReference) {
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 0; b < 256; ++b) {
+      ASSERT_EQ(code::gf_mul(static_cast<std::uint8_t>(a),
+                             static_cast<std::uint8_t>(b)),
+                slow_mul(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gf256, FieldIdentities) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(code::gf_mul(x, 1), x);
+    EXPECT_EQ(code::gf_mul(x, 0), 0);
+    if (a != 0) {
+      // Every nonzero element has an inverse and division round-trips.
+      EXPECT_EQ(code::gf_mul(x, code::gf_inv(x)), 1) << a;
+      EXPECT_EQ(code::gf_div(x, x), 1);
+      EXPECT_EQ(code::gf_mul(code::gf_div(x, 7), 7), x);
+    }
+  }
+  // 2 generates the multiplicative group: 255 distinct powers.
+  std::vector<bool> seen(256, false);
+  std::uint8_t p = 1;
+  for (int i = 0; i < 255; ++i) {
+    ASSERT_FALSE(seen[p]) << "generator cycle shorter than 255 at " << i;
+    seen[p] = true;
+    p = code::gf_mul(p, 2);
+  }
+  EXPECT_EQ(p, 1);  // full cycle
+  EXPECT_EQ(code::gf_pow(2, 255), 1);
+  EXPECT_EQ(code::gf_pow(0, 0), 1);
+  EXPECT_EQ(code::gf_pow(0, 5), 0);
+}
+
+TEST(Gf256, AddmulAndMulRowMatchScalarLoop) {
+  workload::Rng rng(0x6f256);
+  std::vector<std::uint8_t> src(257), dst(257), expect(257);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng());
+  for (const std::uint8_t c : {0, 1, 2, 29, 255}) {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = static_cast<std::uint8_t>(i * 31);
+      expect[i] = dst[i] ^ code::gf_mul(c, src[i]);
+    }
+    code::gf_addmul(dst.data(), src.data(), c, dst.size());
+    EXPECT_EQ(dst, expect) << "addmul c=" << int{c};
+    code::gf_mul_row(dst.data(), src.data(), c, dst.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      ASSERT_EQ(dst[i], code::gf_mul(c, src[i])) << "mul_row c=" << int{c};
+    }
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> random_stripes(std::size_t m,
+                                                      std::size_t width,
+                                                      workload::Rng& rng) {
+  std::vector<std::vector<std::uint8_t>> data(m);
+  for (auto& s : data) {
+    s.resize(width);
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng());
+  }
+  return data;
+}
+
+TEST(RsCode, SingleParityRowIsPlainXor) {
+  workload::Rng rng(0x1234);
+  const std::size_t width = 100;
+  const auto data = random_stripes(5, width, rng);
+  std::vector<std::vector<std::uint8_t>> parity;
+  RsCode(5, 1).encode(data, parity, width);
+  ASSERT_EQ(parity.size(), 1u);
+  ASSERT_EQ(parity[0].size(), width);
+  for (std::size_t i = 0; i < width; ++i) {
+    std::uint8_t x = 0;
+    for (const auto& s : data) x ^= s[i];
+    ASSERT_EQ(parity[0][i], x) << "byte " << i;
+  }
+}
+
+TEST(RsCode, RejectsBadShapes) {
+  EXPECT_THROW(RsCode(0, 1), std::invalid_argument);
+  EXPECT_THROW(RsCode(250, 7), std::invalid_argument);
+  RsCode ok(4, 2);
+  std::vector<std::vector<std::uint8_t>> stripes(6,
+                                                 std::vector<std::uint8_t>(8));
+  // Three erasures against k = 2.
+  const std::size_t three[3] = {0, 1, 2};
+  EXPECT_THROW(ok.reconstruct(stripes, three, 8), std::invalid_argument);
+  // Repeated / out-of-range indices.
+  const std::size_t dup[2] = {1, 1};
+  EXPECT_THROW(ok.reconstruct(stripes, dup, 8), std::invalid_argument);
+  const std::size_t oob[1] = {6};
+  EXPECT_THROW(ok.reconstruct(stripes, oob, 8), std::invalid_argument);
+}
+
+/// Exhaustive MDS check: for (m, k) small, EVERY way of losing up to k
+/// of the m + k stripes must reconstruct the data exactly.
+TEST(RsCode, EveryErasurePatternUpToKRecovers) {
+  workload::Rng rng(0xec0de);
+  constexpr std::pair<std::size_t, std::size_t> kShapes[] = {
+      {4, 2}, {3, 3}, {5, 2}, {2, 4}};
+  for (const auto& [m, k] : kShapes) {
+    const std::size_t width = 33;
+    const RsCode rs(m, k);
+    const auto data = random_stripes(m, width, rng);
+    std::vector<std::vector<std::uint8_t>> parity;
+    rs.encode(data, parity, width);
+    ASSERT_EQ(parity.size(), k);
+
+    std::vector<std::vector<std::uint8_t>> full = data;
+    for (const auto& p : parity) full.push_back(p);
+    const std::size_t total = m + k;
+    // Every subset of [0, m + k) with |S| <= k, by bitmask.
+    for (std::uint32_t mask = 0; mask < (1u << total); ++mask) {
+      if (static_cast<std::size_t>(std::popcount(mask)) > k) continue;
+      std::vector<std::size_t> missing;
+      auto stripes = full;
+      for (std::size_t i = 0; i < total; ++i) {
+        if (mask & (1u << i)) {
+          missing.push_back(i);
+          stripes[i].clear();  // simulate the loss
+        }
+      }
+      rs.reconstruct(stripes, missing, width);
+      for (std::size_t j = 0; j < m; ++j) {
+        ASSERT_EQ(stripes[j], data[j])
+            << "m=" << m << " k=" << k << " mask=" << mask << " stripe " << j;
+      }
+    }
+  }
+}
+
+/// Randomized fuzz at planner shapes: (m, k) with m + k = n for cube
+/// dimensions up to 10, random widths (including 0 and tiny), random
+/// erasures of exactly k stripes.
+TEST(RsCode, RandomizedRoundTripFuzz) {
+  workload::Rng rng(0xf0221);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 2 + rng() % 9;           // 2..10 trees
+    const std::size_t k = 1 + rng() % (n - 1);     // 1..n-1 parity
+    const std::size_t m = n - k;
+    const std::size_t width = rng() % 130;         // 0..129 bytes
+    const RsCode rs(m, k);
+    const auto data = random_stripes(m, width, rng);
+    std::vector<std::vector<std::uint8_t>> stripes = data;
+    {
+      std::vector<std::vector<std::uint8_t>> parity;
+      rs.encode(data, parity, width);
+      for (auto& p : parity) stripes.push_back(std::move(p));
+    }
+    // Lose exactly k distinct random stripes.
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + rng() % (n - i)]);
+    }
+    std::vector<std::size_t> missing(all.begin(),
+                                     all.begin() + static_cast<long>(k));
+    for (const std::size_t i : missing) stripes[i].clear();
+    rs.reconstruct(stripes, missing, width);
+    for (std::size_t j = 0; j < m; ++j) {
+      ASSERT_EQ(stripes[j], data[j])
+          << "trial " << trial << " n=" << n << " k=" << k
+          << " width=" << width;
+    }
+  }
+}
+
+}  // namespace

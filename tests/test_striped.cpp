@@ -348,6 +348,211 @@ TEST(StripedFaults, RepairedPlanDeliversUnderFaultsInDes) {
   }
 }
 
+// Multi-parity byte plane: an (n - k, k) split round-trips under the
+// loss of ANY k stripes, at planner shapes, on randomized payloads —
+// including zero-length payloads and payloads shorter than n bytes.
+TEST(StripeBytes, MultiParityRoundTripFuzz) {
+  workload::Rng rng(0x25c0de);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 3 + rng() % 6;        // 3..8 trees
+    const std::size_t k = 1 + rng() % (n - 1);  // 1..n-1 parity
+    const std::size_t m = n - k;
+    // Bias toward the degenerate sizes the splitter must get right.
+    const std::size_t sizes[] = {0, 1, m - 1, m, m + 1, 1000 + rng() % 500};
+    const std::size_t size = sizes[rng() % std::size(sizes)];
+    const auto payload = pattern_payload(size);
+    const auto split = coll::split_stripes(payload, m, k);
+    ASSERT_EQ(split.size(), n);
+    // Lose exactly k distinct random stripes (data or parity).
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0u);
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + rng() % (n - i)]);
+    }
+    std::vector<std::size_t> missing(all.begin(),
+                                     all.begin() + static_cast<long>(k));
+    auto damaged = split;
+    for (const std::size_t i : missing) damaged[i].clear();
+    const auto back =
+        coll::reassemble_stripes(damaged, m, payload.size(), missing);
+    EXPECT_EQ(back, payload)
+        << "trial " << trial << " n=" << n << " k=" << k << " size=" << size;
+  }
+}
+
+TEST(StripeBytes, ZeroLengthAndSubStripePayloads) {
+  // Zero-length payload: all stripes empty, reassembles to empty, and
+  // parity reconstruction of an "empty loss" works.
+  const std::vector<std::uint8_t> empty;
+  const auto zsplit = coll::split_stripes(empty, 4, std::size_t{2});
+  ASSERT_EQ(zsplit.size(), 6u);
+  for (const auto& s : zsplit) EXPECT_TRUE(s.empty());
+  const std::size_t zmiss[2] = {0, 3};
+  auto zdamaged = zsplit;
+  EXPECT_TRUE(coll::reassemble_stripes(zdamaged, 4, 0, zmiss).empty());
+
+  // Payload shorter than the stripe count: ceil-width 1, trailing data
+  // stripes empty; any two losses recover.
+  const auto payload = pattern_payload(2);
+  const auto split = coll::split_stripes(payload, 5, std::size_t{2});
+  ASSERT_EQ(split.size(), 7u);
+  EXPECT_EQ(split[0].size(), 1u);
+  EXPECT_EQ(split[1].size(), 1u);
+  EXPECT_TRUE(split[2].empty());  // past the payload tail
+  const std::size_t miss[2] = {0, 1};
+  auto damaged = split;
+  damaged[0].clear();
+  damaged[1].clear();
+  EXPECT_EQ(coll::reassemble_stripes(damaged, 5, payload.size(), miss),
+            payload);
+}
+
+// Two root-blocked trees under k = 2 parity: both are dropped onto the
+// parity budget, nothing needs repair, and the DES delivers every
+// stripe of the surviving trees — delivered fraction 1.0 after RS
+// reconstruction of the two lost stripes.
+TEST(StripedFaults, TwoRootBlockedTreesDropOntoDoubleParity) {
+  const Topology topo(5);
+  const NodeId source = 0;
+  MulticastRequest request{topo, source, broadcast_dests(topo, source)};
+  StripeOptions options;
+  options.parity_stripes = 2;
+  options.verify = StripeOptions::Verify::kOn;
+
+  fault::FaultSet faults(topo);
+  faults.fail_link(0, 1);  // tree 1's root arc
+  faults.fail_link(0, 3);  // tree 3's root arc
+
+  const StripedPlan plan =
+      StripedPlanner(options).plan(request, 1 << 20, faults);
+  EXPECT_EQ(plan.parity_stripes, 2u);
+  EXPECT_EQ(plan.data_stripes, 3u);
+  EXPECT_EQ(plan.parity_tree, 3);
+  ASSERT_EQ(plan.dropped_trees.size(), 2u);
+  EXPECT_TRUE(plan.dropped(1));
+  EXPECT_TRUE(plan.dropped(3));
+  EXPECT_EQ(plan.repaired_trees, 0u);
+  EXPECT_TRUE(plan.certified_disjoint);
+  EXPECT_TRUE(plan.verified);
+  EXPECT_EQ(plan.jobs().size(), 3u);
+
+  sim::SimConfig config;
+  config.faults = &faults;
+  const sim::MultiSimResult result =
+      sim::simulate_collectives(plan.jobs(), config);
+  for (const sim::SimResult& r : result.per_job) {
+    for (const NodeId d : request.destinations) {
+      ASSERT_TRUE(r.delivery.contains(d));
+    }
+  }
+  // The byte plane agrees: with the two dropped stripes missing, the
+  // receivers reconstruct the payload from what was delivered.
+  const auto payload = pattern_payload(5000);
+  auto stripes =
+      coll::split_stripes(payload, plan.data_stripes, plan.parity_stripes);
+  std::vector<std::size_t> missing;
+  for (const int t : plan.dropped_trees) {
+    missing.push_back(static_cast<std::size_t>(t));
+    stripes[static_cast<std::size_t>(t)].clear();
+  }
+  EXPECT_EQ(coll::reassemble_stripes(stripes, plan.data_stripes,
+                                     payload.size(), missing),
+            payload);
+}
+
+// Randomized 6-cube sweep with k = 2: any two random link faults (any
+// mix of root-incident and interior) leave a plan whose every surviving
+// job delivers everywhere — delivered fraction 1.0 — and whose dropped
+// stripes stay within the parity budget.
+TEST(StripedFaults, SixCubeRandomDoubleFaultsDeliverEverything) {
+  const Topology topo(6);
+  const NodeId source = 21;
+  MulticastRequest request{topo, source, broadcast_dests(topo, source)};
+  StripeOptions options;
+  options.parity_stripes = 2;
+  options.verify = StripeOptions::Verify::kOn;
+  const StripedPlanner planner(options);
+  workload::Rng rng(0x6c0be);
+
+  for (int trial = 0; trial < 12; ++trial) {
+    fault::FaultSet faults(topo);
+    while (faults.num_failed_links() < 2) {
+      const auto u = static_cast<NodeId>(rng() % topo.num_nodes());
+      const auto d = static_cast<Dim>(rng() % topo.dim());
+      faults.fail_link(std::min(u, topo.neighbor(u, d)), d);
+    }
+    const StripedPlan plan = planner.plan(request, 1 << 20, faults);
+    ASSERT_LE(plan.dropped_trees.size(), 2u);
+    ASSERT_TRUE(plan.verified);
+    if (plan.certified_disjoint) {
+      ASSERT_EQ(plan.repaired_greedy, 0u);
+    }
+    sim::SimConfig config;
+    config.faults = &faults;
+    const auto jobs = plan.jobs();
+    ASSERT_EQ(jobs.size(), plan.active_trees());
+    const sim::MultiSimResult result = sim::simulate_collectives(jobs, config);
+    std::size_t delivered = 0;
+    std::size_t expected = 0;
+    for (const sim::SimResult& r : result.per_job) {
+      for (const NodeId d : request.destinations) {
+        ++expected;
+        if (r.delivery.contains(d)) ++delivered;
+      }
+    }
+    ASSERT_EQ(delivered, expected)
+        << "trial " << trial << ": " << faults.format();
+  }
+}
+
+// Regression (satellite): degraded-mode cached repairs must be
+// invalidated by bump_fault_epoch. Before the fix, repaired trees were
+// cached without an epoch stamp, so a plan computed after the fault set
+// was rearmed could replay a stale repair.
+TEST(StripedFaults, DegradedPlansInvalidateOnFaultEpochBump) {
+  const Topology topo(4);
+  const NodeId source = 0;
+  MulticastRequest request{topo, source, broadcast_dests(topo, source)};
+  auto cache = std::make_shared<ScheduleCache>();
+  const StripedPlanner planner({}, cache);
+
+  fault::FaultSet faults(topo);
+  faults.fail_link(0b0101, 1);
+
+  const StripedPlan first = planner.plan(request, 1 << 20, faults);
+  ASSERT_GE(first.repaired_disjoint, 1u);
+  const auto warm_misses = cache->stats().misses;
+
+  // Same epoch, same faults: the repaired trees come from the cache
+  // (no new misses at the repair level beyond the probe pattern).
+  const StripedPlan replay = planner.plan(request, 1 << 20, faults);
+  ASSERT_EQ(replay.repaired_trees, first.repaired_trees);
+  for (std::size_t t = 0; t < first.trees.size(); ++t) {
+    EXPECT_TRUE(*first.trees[t] == *replay.trees[t]) << "tree " << t;
+  }
+
+  // Epoch bump: every cached repair is stale; the planner rebuilds
+  // (misses grow) yet produces the same bits for the same fault set.
+  fault::bump_fault_epoch();
+  const StripedPlan rebuilt = planner.plan(request, 1 << 20, faults);
+  EXPECT_GT(cache->stats().misses, warm_misses);
+  ASSERT_EQ(rebuilt.repaired_trees, first.repaired_trees);
+  for (std::size_t t = 0; t < first.trees.size(); ++t) {
+    EXPECT_TRUE(*first.trees[t] == *rebuilt.trees[t]) << "tree " << t;
+  }
+
+  // Distinct fault sets within one epoch must not alias: the salt
+  // partitions the key space by fault fingerprint.
+  fault::FaultSet other(topo);
+  other.fail_link(0b0011, 2);
+  const StripedPlan different = planner.plan(request, 1 << 20, other);
+  bool any_differ = false;
+  for (std::size_t t = 0; t < rebuilt.trees.size(); ++t) {
+    if (!(*rebuilt.trees[t] == *different.trees[t])) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
 // A fault that touches nothing leaves the plan identical to fault-free.
 TEST(StripedFaults, UntouchedTreesAreNotRepaired) {
   const Topology topo(4);

@@ -397,7 +397,18 @@ int cmd_stripe(const harness::Options& opts) {
   const std::size_t bytes =
       static_cast<std::size_t>(opts.get_int_or("bytes", 1 << 20));
   coll::StripeOptions stripe_opts;
-  stripe_opts.parity = opts.has("parity");
+  // Bare --parity keeps the legacy single-XOR-stripe meaning;
+  // --parity=<k> reserves k Reed-Solomon parity trees (any k lost
+  // stripes recoverable).
+  if (opts.has("parity")) {
+    if (opts.is_bare_flag("parity")) {
+      stripe_opts.parity = true;
+    } else {
+      const long k = opts.get_int("parity");
+      if (k < 0) throw std::invalid_argument("--parity expects k >= 0");
+      stripe_opts.parity_stripes = static_cast<std::size_t>(k);
+    }
+  }
   stripe_opts.threshold_bytes = static_cast<std::size_t>(opts.get_int_or(
       "stripe-threshold", static_cast<long>(stripe_opts.threshold_bytes)));
 
@@ -424,21 +435,31 @@ int cmd_stripe(const harness::Options& opts) {
                 plan.trees.front()->num_unicasts(),
                 plan.repaired_trees != 0 ? ", detour-repaired" : "");
   } else {
-    std::printf(
-        "striped across %zu trees: %zu data stripes x %zu bytes%s\n",
-        plan.trees.size(), plan.data_stripes, plan.stripe_bytes,
-        plan.parity_tree >= 0 ? " + 1 XOR parity stripe" : "");
+    if (plan.parity_stripes == 0) {
+      std::printf("striped across %zu trees: %zu data stripes x %zu bytes\n",
+                  plan.trees.size(), plan.data_stripes, plan.stripe_bytes);
+    } else {
+      std::printf(
+          "striped across %zu trees: %zu data stripes x %zu bytes + %zu %s "
+          "parity stripe%s\n",
+          plan.trees.size(), plan.data_stripes, plan.stripe_bytes,
+          plan.parity_stripes, plan.parity_stripes == 1 ? "XOR" : "RS",
+          plan.parity_stripes == 1 ? "" : "s");
+    }
     for (std::size_t t = 0; t < plan.trees.size(); ++t) {
-      const char* note = static_cast<int>(t) == plan.dropped_tree
-                             ? "  DROPPED (stripe from parity)"
-                             : static_cast<int>(t) == plan.parity_tree
-                                   ? "  parity"
-                                   : "";
+      const char* note =
+          plan.dropped(t) ? "  DROPPED (stripe reconstructed from parity)"
+          : plan.parity_tree >= 0 && static_cast<int>(t) >= plan.parity_tree
+              ? "  parity"
+              : "";
       std::printf("  tree %zu: %zu unicasts%s\n", t,
                   plan.trees[t]->num_unicasts(), note);
     }
     if (plan.repaired_trees != 0) {
-      std::printf("  detour-repaired trees: %zu\n", plan.repaired_trees);
+      std::printf(
+          "  repaired trees: %zu (%zu certified disjoint, %zu greedy)%s\n",
+          plan.repaired_trees, plan.repaired_disjoint, plan.repaired_greedy,
+          plan.certified_disjoint ? " — plan stays arc-disjoint" : "");
     }
   }
 
@@ -550,7 +571,7 @@ int usage() {
       "  serve:  --n <dim> [--requests r] [--shapes k] [--m dests]\n"
       "          [--threads t] parallel shard workers\n"
       "          [--cache on|off] [--cache-shards n] [--cache-bytes b]\n"
-      "  stripe: --n <dim> [--bytes b] [--parity] [--stripe-threshold b]\n"
+      "  stripe: --n <dim> [--bytes b] [--parity[=k]] [--stripe-threshold b]\n"
       "          [--cache on|off] — payload striped over the n\n"
       "          arc-disjoint trees vs the single tree, DES-replayed\n"
       "  stats:  [--n dim] [--requests r] [--format json|text|prom] —\n"
